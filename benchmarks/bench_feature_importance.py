@@ -1,0 +1,42 @@
+"""§III-B feature analysis: Breiman importances of the TPM.
+
+Paper: "the read and write arrival flow speed plays the most crucial
+role in TPM with a weight of 0.39 out of 1".  Expected shape: the
+combined flow-speed importance dominates any other single workload
+feature.
+"""
+
+import pytest
+
+from benchmarks.common import save_result, trained_tpm
+from repro.experiments.tables import format_table
+from repro.ssd.config import SSD_A
+
+
+def run_importances():
+    tpm = trained_tpm(SSD_A)
+    return tpm.ch_importances(), tpm.flow_speed_importance()
+
+
+@pytest.mark.benchmark(group="importance")
+def test_feature_importance(benchmark):
+    importances, flow_speed = benchmark.pedantic(run_importances, rounds=1, iterations=1)
+    ranked = sorted(importances.items(), key=lambda kv: -kv[1])
+    rows = [[name, f"{value:.3f}"] for name, value in ranked]
+    save_result(
+        "feature_importance",
+        format_table(
+            ["Ch feature", "Breiman importance"],
+            rows,
+            title=(
+                "§III-B — TPM feature importances over Ch "
+                f"(combined flow speed: {flow_speed:.2f}; paper: 0.39)"
+            ),
+        ),
+    )
+    benchmark.extra_info["flow_speed_importance"] = round(flow_speed, 3)
+
+    # Flow speed is a leading signal (paper: the most crucial, 0.39).
+    top_single = max(importances.values())
+    assert flow_speed >= top_single * 0.8
+    assert flow_speed > 0.1

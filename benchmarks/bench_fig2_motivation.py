@@ -1,0 +1,53 @@
+"""Fig. 2: the motivating example — exact paper numbers.
+
+No congestion: 9 I/Os per tick.  DCQCN halves the sending rate ⇒ 6.
+SRC re-weights the device ⇒ 9 restored at the same network cap.
+"""
+
+import pytest
+
+from benchmarks.common import save_result
+from repro.experiments.motivation import (
+    MotivationScenario,
+    dcqcn_only,
+    dcqcn_src,
+    no_congestion,
+)
+from repro.experiments.tables import format_table
+
+
+def run_fig2():
+    s = MotivationScenario()
+    return {
+        "no congestion": no_congestion(s),
+        "DCQCN": dcqcn_only(s),
+        "SRC": dcqcn_src(s),
+    }
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_fig2_motivation(benchmark):
+    outcomes = benchmark.pedantic(run_fig2, rounds=1, iterations=1)
+    rows = [
+        [
+            name,
+            f"{o.read_delivered:.0f}",
+            f"{o.write_delivered:.0f}",
+            f"{o.aggregated:.0f}",
+            f"{o.wasted_read:.0f}",
+        ]
+        for name, o in outcomes.items()
+    ]
+    save_result(
+        "fig2_motivation",
+        format_table(
+            ["Scenario", "Read", "Write", "Aggregate", "Wasted read"],
+            rows,
+            title="Fig. 2 — Motivation fluid model (I/Os per time unit; paper: 9 / 6 / 9)",
+        ),
+    )
+    assert outcomes["no congestion"].aggregated == 9.0
+    assert outcomes["DCQCN"].aggregated == 6.0
+    assert outcomes["SRC"].aggregated == 9.0
+    assert outcomes["DCQCN"].wasted_read == 3.0
+    assert outcomes["SRC"].wasted_read == 0.0

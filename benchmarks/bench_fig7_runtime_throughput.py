@@ -1,0 +1,135 @@
+"""Figs. 7 & 8: runtime throughput and pause number, DCQCN vs DCQCN-SRC.
+
+The §IV-D experiment: a VDI-like read-intensive workload on 1 initiator
++ 2 targets (SSD-A) with a congestion episode.  Expected shapes:
+
+* read throughput under DCQCN-SRC tracks DCQCN-only (both pinned to the
+  demanded sending rate during congestion) — Fig. 7;
+* DCQCN-only aggregated throughput collapses during congestion (writes
+  starve behind stuck reads) while DCQCN-SRC keeps writes flowing —
+  Fig. 7;
+* the pause number spikes during the congestion episode and SRC does
+  not increase it — Fig. 8.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.common import save_result, trained_tpm, vdi_like_trace
+from repro.experiments.runner import BackgroundTraffic, TestbedConfig, run_testbed
+from repro.experiments.tables import format_table
+from repro.sim.units import MS
+from repro.ssd.config import SSD_A
+
+CONGESTION_START = 10 * MS
+CONGESTION_END = 45 * MS
+DURATION = 70 * MS
+
+_cache = {}
+
+
+def run_fig7_pair():
+    """Both schemes on identical workloads; cached so Fig. 8 reuses it."""
+    if "pair" in _cache:
+        return _cache["pair"]
+    tpm = trained_tpm(SSD_A)
+    bg = BackgroundTraffic(
+        start_ns=CONGESTION_START, end_ns=CONGESTION_END, rate_gbps=10.0, n_hosts=14
+    )
+    only = run_testbed(
+        vdi_like_trace(),
+        TestbedConfig(driver="default", background=bg, ssd_config=SSD_A),
+        duration_ns=DURATION,
+    )
+    src = run_testbed(
+        vdi_like_trace(),
+        TestbedConfig(driver="ssq", src_enabled=True, background=bg, ssd_config=SSD_A),
+        tpm=tpm,
+        duration_ns=DURATION,
+    )
+    _cache["pair"] = (only, src)
+    return only, src
+
+
+def window_mean(series, start_ns, end_ns, bin_ns=MS):
+    return float(series.gbps[start_ns // bin_ns : end_ns // bin_ns].mean())
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_runtime_throughput(benchmark):
+    only, src = benchmark.pedantic(run_fig7_pair, rounds=1, iterations=1)
+
+    # Steady congestion window (skip the episode's onset transient).
+    win = (20 * MS, CONGESTION_END)
+    stats = {
+        "DCQCN-only": (
+            window_mean(only.read_series, *win),
+            window_mean(only.write_series, *win),
+        ),
+        "DCQCN-SRC": (
+            window_mean(src.read_series, *win),
+            window_mean(src.write_series, *win),
+        ),
+    }
+    rows = [
+        [name, f"{r:.2f}", f"{w:.2f}", f"{r + w:.2f}"]
+        for name, (r, w) in stats.items()
+    ]
+    save_result(
+        "fig7_runtime_throughput",
+        format_table(
+            ["Scheme", "Read Gbps", "Write Gbps", "Aggregate Gbps"],
+            rows,
+            title="Fig. 7 — throughput during the congestion window (20–45 ms, SSD-A)",
+        )
+        + "\n\nread series (Gbps per ms, DCQCN-only):\n"
+        + np.array2string(np.round(only.read_series.gbps[:60], 1), max_line_width=100)
+        + "\nread series (Gbps per ms, DCQCN-SRC):\n"
+        + np.array2string(np.round(src.read_series.gbps[:60], 1), max_line_width=100)
+        + "\nwrite series (Gbps per ms, DCQCN-only):\n"
+        + np.array2string(np.round(only.write_series.gbps[:60], 1), max_line_width=100)
+        + "\nwrite series (Gbps per ms, DCQCN-SRC):\n"
+        + np.array2string(np.round(src.write_series.gbps[:60], 1), max_line_width=100),
+    )
+
+    r_only, w_only = stats["DCQCN-only"]
+    r_src, w_src = stats["DCQCN-SRC"]
+    # Read throughput aligns across schemes (both network-pinned).
+    assert r_src == pytest.approx(r_only, rel=0.5)
+    # SRC sustains writes that DCQCN-only starves.
+    assert w_src > w_only * 1.3
+    # And the aggregate improves.
+    assert (r_src + w_src) > (r_only + w_only)
+
+
+@pytest.mark.benchmark(group="fig8")
+def test_fig8_pause_number(benchmark):
+    only, src = benchmark.pedantic(run_fig7_pair, rounds=1, iterations=1)
+    t_only, c_only = only.pause_counts_per_ms()
+    t_src, c_src = src.pause_counts_per_ms()
+
+    def phase_counts(counts):
+        before = counts[: CONGESTION_START // MS].sum()
+        during = counts[CONGESTION_START // MS : CONGESTION_END // MS].sum()
+        after = counts[CONGESTION_END // MS :].sum()
+        return before, during, after
+
+    rows = []
+    for name, counts in (("DCQCN-only", c_only), ("DCQCN-SRC", c_src)):
+        b, d, a = phase_counts(counts)
+        rows.append([name, int(b), int(d), int(a), int(counts.sum())])
+    save_result(
+        "fig8_pause_number",
+        format_table(
+            ["Scheme", "pre-congestion", "during", "post", "total CNPs"],
+            rows,
+            title="Fig. 8 — pause number (CNPs at targets) per phase",
+        ),
+    )
+
+    # The pause number spikes during the congestion episode...
+    b, d, a = phase_counts(c_only)
+    dur_ms = (CONGESTION_END - CONGESTION_START) // MS
+    assert d / dur_ms > (b + 1) / (CONGESTION_START // MS)
+    # ...and SRC does not make congestion worse.
+    assert phase_counts(c_src)[1] <= phase_counts(c_only)[1] * 1.5

@@ -1,0 +1,13 @@
+"""Root conftest: make ``src/`` importable without installation.
+
+Lets ``pytest tests/`` and ``pytest benchmarks/`` run in a fresh checkout
+even when an editable install is unavailable (e.g. offline environments
+without the ``wheel`` package).
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = str(Path(__file__).parent / "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

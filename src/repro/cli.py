@@ -1,0 +1,147 @@
+"""Command-line interface: quick paper experiments from the shell.
+
+::
+
+    python -m repro motivation            # Fig. 2 fluid model
+    python -m repro sweep [--ssd A|B|C]   # a small Fig. 5-style sweep
+    python -m repro synthesize --profile vdi -o trace.csv
+    python -m repro replay trace.csv [--ssd A] [--weight 4]
+
+The full-scale reproductions live in ``benchmarks/`` (pytest-benchmark);
+this CLI exists for interactive exploration at small scale.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.motivation import (
+    MotivationScenario,
+    dcqcn_only,
+    dcqcn_src,
+    no_congestion,
+)
+from repro.experiments.replay import replay_on_device
+from repro.experiments.tables import format_table
+from repro.experiments.weight_sweep import run_weight_sweep
+from repro.nvme.ssq import SSQDriver
+from repro.ssd.config import SSD_A, SSD_B, SSD_C
+from repro.workloads.profiles import FUJITSU_VDI, TENCENT_CBS, synthesize_from_profile
+from repro.workloads.traces import Trace
+
+SSDS = {"A": SSD_A, "B": SSD_B, "C": SSD_C}
+PROFILES = {"vdi": FUJITSU_VDI, "cbs": TENCENT_CBS}
+
+
+def cmd_motivation(_args) -> int:
+    s = MotivationScenario()
+    rows = []
+    for name, outcome in (
+        ("no congestion", no_congestion(s)),
+        ("DCQCN", dcqcn_only(s)),
+        ("SRC", dcqcn_src(s)),
+    ):
+        rows.append(
+            [name, outcome.read_delivered, outcome.write_delivered,
+             outcome.aggregated, outcome.wasted_read]
+        )
+    print(format_table(
+        ["scenario", "read", "write", "aggregate", "wasted"],
+        rows,
+        title="Fig. 2 motivation (I/Os per time unit)",
+    ))
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    config = SSDS[args.ssd]
+    cells = run_weight_sweep(
+        config,
+        interarrivals_ns=(10_000, 25_000),
+        sizes_bytes=(16 * 1024, 40 * 1024),
+        weight_ratios=(1, 2, 4, 8),
+        duration_ns=args.duration_ms * 1_000_000,
+    )
+    rows = [
+        [
+            f"{c.interarrival_ns/1000:.0f}us",
+            f"{c.size_bytes/1024:.0f}KB",
+            " ".join(f"{v:5.2f}" for v in c.read_gbps),
+            " ".join(f"{v:5.2f}" for v in c.write_gbps),
+        ]
+        for c in cells
+    ]
+    print(format_table(
+        ["inter-arr", "size", "read Gbps @ w=1,2,4,8", "write Gbps @ w=1,2,4,8"],
+        rows,
+        title=f"weight sweep on {config.name}",
+    ))
+    return 0
+
+
+def cmd_synthesize(args) -> int:
+    profile = PROFILES[args.profile]
+    trace = synthesize_from_profile(
+        profile, n_reads=args.reads, n_writes=args.writes, seed=args.seed
+    )
+    trace.save(args.output)
+    print(f"wrote {len(trace)} requests ({profile.name}) to {args.output}")
+    return 0
+
+
+def cmd_replay(args) -> int:
+    trace = Trace.load(args.trace)
+    config = SSDS[args.ssd]
+    driver = SSQDriver(read_weight=1, write_weight=args.weight)
+    result = replay_on_device(
+        trace, config, driver, drain=False, measure_start_fraction=0.4
+    )
+    print(
+        f"{config.name} @ w={args.weight}: "
+        f"read {result.read_tput_gbps:.2f} Gbps, "
+        f"write {result.write_tput_gbps:.2f} Gbps "
+        f"({result.reads_completed}r/{result.writes_completed}w)"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="SRC paper-reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("motivation", help="print the Fig. 2 fluid model").set_defaults(
+        fn=cmd_motivation
+    )
+
+    p = sub.add_parser("sweep", help="small Fig. 5-style weight sweep")
+    p.add_argument("--ssd", choices=sorted(SSDS), default="A")
+    p.add_argument("--duration-ms", type=int, default=30)
+    p.set_defaults(fn=cmd_sweep)
+
+    p = sub.add_parser("synthesize", help="generate a synthetic trace CSV")
+    p.add_argument("--profile", choices=sorted(PROFILES), default="vdi")
+    p.add_argument("--reads", type=int, default=2000)
+    p.add_argument("--writes", type=int, default=1000)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("-o", "--output", required=True)
+    p.set_defaults(fn=cmd_synthesize)
+
+    p = sub.add_parser("replay", help="replay a trace CSV on a simulated SSD")
+    p.add_argument("trace")
+    p.add_argument("--ssd", choices=sorted(SSDS), default="A")
+    p.add_argument("--weight", type=int, default=1)
+    p.set_defaults(fn=cmd_replay)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,33 @@
+"""SRC — storage-side rate control (the paper's contribution, §III).
+
+* :mod:`repro.core.sampling` — training-sample collection: replay
+  (workload × weight-ratio) grids on a simulated SSD and record the
+  resulting read/write throughput;
+* :mod:`repro.core.tpm` — the throughput-prediction model
+  ``TPUT_{R,W} = F(Ch, w)`` (Eq. 1), a Random-Forest regressor by
+  default (Table I);
+* :mod:`repro.core.monitor` — the workload monitor profiling request
+  streams over a prediction window δ;
+* :mod:`repro.core.events` — pause/retrieval congestion events;
+* :mod:`repro.core.controller` — Algorithm 1 (``PredictWeightRatio`` /
+  ``DynamicAdjustment``) plus the online controller that subscribes to
+  DCQCN rate changes on a target and adjusts SSQ weights.
+"""
+
+from repro.core.events import CongestionEvent, EventKind
+from repro.core.tpm import ThroughputPredictionModel
+from repro.core.monitor import WorkloadMonitor
+from repro.core.sampling import SamplingPlan, TrainingSet, collect_training_set
+from repro.core.controller import SRCController, predict_weight_ratio
+
+__all__ = [
+    "CongestionEvent",
+    "EventKind",
+    "ThroughputPredictionModel",
+    "WorkloadMonitor",
+    "SamplingPlan",
+    "TrainingSet",
+    "collect_training_set",
+    "SRCController",
+    "predict_weight_ratio",
+]

@@ -1,0 +1,34 @@
+"""Congestion events delivered to SRC (§III-C, Algorithm 1 inputs)."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class EventKind(enum.Enum):
+    """Direction of a rate-control notification.
+
+    ``PAUSE`` — the network demands a lower sending rate (DCQCN cut);
+    ``RETRIEVAL`` — congestion eased, the sending rate may rise again.
+    """
+
+    PAUSE = "pause"
+    RETRIEVAL = "retrieval"
+
+
+@dataclass(frozen=True)
+class CongestionEvent:
+    """One notification: the demanded data sending rate at a timestamp."""
+
+    time_ns: int
+    demanded_rate_gbps: float
+    kind: EventKind
+
+    def __post_init__(self) -> None:
+        if self.time_ns < 0:
+            raise ValueError(f"time must be non-negative, got {self.time_ns}")
+        if self.demanded_rate_gbps <= 0:
+            raise ValueError(
+                f"demanded rate must be positive, got {self.demanded_rate_gbps}"
+            )

@@ -1,0 +1,63 @@
+"""Workload monitor: rolling request profile over a prediction window.
+
+§III-C: "Workload Monitor is also implemented to profile the workload
+characteristics in a user-specific time window (e.g. 10 ms)".  The
+monitor observes request arrivals (hooked into the target's submission
+path) and, on demand, extracts the Ch feature vector from the requests
+seen in the trailing window ``[t - δ, t]``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.sim.units import MS
+from repro.workloads.features import WorkloadFeatures, extract_features
+from repro.workloads.request import IORequest
+from repro.workloads.traces import Trace
+
+
+class WorkloadMonitor:
+    """Sliding-window request profiler."""
+
+    def __init__(self, window_ns: int = 10 * MS) -> None:
+        if window_ns <= 0:
+            raise ValueError(f"window must be positive, got {window_ns}")
+        self.window_ns = window_ns
+        self._requests: deque[tuple[int, IORequest]] = deque()
+        self.observed = 0
+
+    def observe(self, request: IORequest, now_ns: int) -> None:
+        """Record one request arrival at the target."""
+        self._requests.append((now_ns, request))
+        self.observed += 1
+        self._evict(now_ns)
+
+    def _evict(self, now_ns: int) -> None:
+        horizon = now_ns - self.window_ns
+        while self._requests and self._requests[0][0] < horizon:
+            self._requests.popleft()
+
+    def window_trace(self, now_ns: int) -> Trace:
+        """The requests observed in ``[now - δ, now]`` as a trace.
+
+        Arrival timestamps are the observation times, so inter-arrival
+        statistics reflect what the target actually saw.
+        """
+        self._evict(now_ns)
+        reqs = []
+        for t, r in self._requests:
+            clone = IORequest(
+                arrival_ns=t, op=r.op, lba=r.lba, size_bytes=r.size_bytes
+            )
+            reqs.append(clone)
+        return Trace(reqs)
+
+    def features(self, now_ns: int) -> WorkloadFeatures:
+        """Extract Ch from the current window."""
+        return extract_features(self.window_trace(now_ns), window_ns=self.window_ns)
+
+    def in_window(self, now_ns: int) -> int:
+        """Number of requests currently inside the window."""
+        self._evict(now_ns)
+        return len(self._requests)

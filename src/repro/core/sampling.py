@@ -1,0 +1,213 @@
+"""Training-sample collection for the throughput-prediction model.
+
+The paper trains the TPM on "extensive experiments with various
+workloads and weight ratios" (§III-B).  :func:`collect_training_set`
+does exactly that: for every (workload, weight ratio) cell of a
+:class:`SamplingPlan` it replays the workload on a fresh simulated SSD
+through an SSQ driver and records
+
+* **X** — the extracted Ch feature vector plus the weight ratio
+  (:data:`repro.workloads.features.FEATURE_NAMES` order);
+* **y** — measured (read, write) throughput in Gbps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.nvme.ssq import SSQDriver
+from repro.ssd.config import SSDConfig
+from repro.workloads.features import FEATURE_NAMES, extract_features
+from repro.workloads.micro import MicroWorkloadConfig, generate_micro_trace
+from repro.workloads.traces import Trace
+
+
+@dataclass(frozen=True)
+class SamplingPlan:
+    """What to sweep when building a training set.
+
+    Micro-trace grid: every combination of mean inter-arrival, mean
+    request size, and weight ratio (the same axes as Fig. 5), with
+    ``n_requests`` reads and writes per run.
+    """
+
+    interarrival_ns: Sequence[float] = (10_000, 15_000, 20_000, 25_000)
+    size_bytes: Sequence[float] = (10 * 1024, 20 * 1024, 30 * 1024, 40 * 1024)
+    weight_ratios: Sequence[int] = (1, 2, 4, 8, 16)
+    #: Read:write arrival-rate mixes: the write stream's inter-arrival is
+    #: the read stream's times this factor (1.0 ⇒ balanced, 2.0 ⇒
+    #: read-heavy).  The paper's Ch includes the read/write ratio, so the
+    #: training grid must vary it.
+    read_write_mixes: Sequence[float] = (0.5, 1.0, 2.0)
+    #: Trace span per sample.  Must dwarf the saturated command latency
+    #: (QD × pages × pair-service / chips ≈ 6–9 ms for Table II devices)
+    #: or the measurement is pure ramp transient.
+    duration_ns: int = 60_000_000
+    #: Floor on requests per direction for very sparse workloads.
+    min_requests: int = 300
+    seed: int = 0
+    #: Leading fraction of each replay excluded from measurement.  Deeply
+    #: saturated runs have command latencies of several ms, so the
+    #: steady-state window must start well past the ramp.
+    measure_start_fraction: float = 0.4
+
+    def __post_init__(self) -> None:
+        if not self.interarrival_ns or not self.size_bytes or not self.weight_ratios:
+            raise ValueError("all sweep axes must be non-empty")
+        if any(w < 1 for w in self.weight_ratios):
+            raise ValueError("weight ratios must be >= 1 (SRC only slows reads)")
+        if self.duration_ns <= 0:
+            raise ValueError("duration must be positive")
+        if self.min_requests < 10:
+            raise ValueError("need at least 10 requests per sample")
+        if not self.read_write_mixes or any(m <= 0 for m in self.read_write_mixes):
+            raise ValueError("read/write mixes must be positive")
+
+    def n_cells(self) -> int:
+        return (
+            len(self.interarrival_ns)
+            * len(self.size_bytes)
+            * len(self.weight_ratios)
+            * len(self.read_write_mixes)
+        )
+
+    def requests_for(self, interarrival_ns: float) -> int:
+        """Per-direction request count filling :attr:`duration_ns`."""
+        return max(self.min_requests, int(self.duration_ns / interarrival_ns))
+
+
+@dataclass
+class TrainingSet:
+    """Collected (X, y) samples with the frozen feature order."""
+
+    X: np.ndarray
+    y: np.ndarray  # columns: (read Gbps, write Gbps)
+    feature_names: tuple[str, ...] = field(default=FEATURE_NAMES)
+
+    def __post_init__(self) -> None:
+        if self.X.ndim != 2 or self.y.ndim != 2:
+            raise ValueError("X and y must be 2-D")
+        if self.X.shape[0] != self.y.shape[0]:
+            raise ValueError("X and y row counts differ")
+        if self.X.shape[1] != len(self.feature_names):
+            raise ValueError("X width does not match the feature order")
+        if self.y.shape[1] != 2:
+            raise ValueError("y must have (read, write) columns")
+
+    def merge(self, other: "TrainingSet") -> "TrainingSet":
+        if self.feature_names != other.feature_names:
+            raise ValueError("cannot merge sets with different feature orders")
+        return TrainingSet(
+            X=np.vstack([self.X, other.X]), y=np.vstack([self.y, other.y])
+        )
+
+    def __len__(self) -> int:
+        return self.X.shape[0]
+
+
+def sample_trace(
+    trace: Trace,
+    config: SSDConfig,
+    weight_ratio: int,
+    *,
+    window_ns: int | None = None,
+    measure_start_fraction: float = 0.4,
+) -> tuple[np.ndarray, np.ndarray]:
+    """One training sample: replay ``trace`` at ``weight_ratio``.
+
+    Returns (x_row, y_row) with x in FEATURE_NAMES order and y =
+    (read Gbps, write Gbps).
+    """
+    # Imported here rather than at module level: repro.experiments depends
+    # on repro.core (the runner wires SRC controllers), so the reverse
+    # edge must stay lazy.
+    from repro.experiments.replay import replay_on_device
+
+    if weight_ratio < 1:
+        raise ValueError(f"weight ratio must be >= 1, got {weight_ratio}")
+    features = extract_features(trace, window_ns=window_ns)
+    driver = SSQDriver(read_weight=1, write_weight=weight_ratio)
+    result = replay_on_device(
+        trace, config, driver, drain=False, measure_start_fraction=measure_start_fraction
+    )
+    x = features.with_weight(weight_ratio)
+    y = np.array([result.read_tput_gbps, result.write_tput_gbps])
+    return x, y
+
+
+def collect_training_set(
+    config: SSDConfig,
+    plan: SamplingPlan | None = None,
+    *,
+    traces: Sequence[Trace] | None = None,
+    weight_ratios: Sequence[int] | None = None,
+    progress: Callable[[int, int], None] | None = None,
+) -> TrainingSet:
+    """Build a training set from a micro-trace plan and/or given traces.
+
+    Parameters
+    ----------
+    config:
+        SSD to characterise.
+    plan:
+        Micro-trace sweep (default :class:`SamplingPlan`); pass ``None``
+        with explicit ``traces`` to skip micro samples entirely.
+    traces:
+        Extra traces (e.g. MMPP synthetics); each is replayed at every
+        ratio in ``weight_ratios`` (default: the plan's ratios).
+    progress:
+        Optional ``(done, total)`` callback.
+    """
+    if plan is None and traces is None:
+        plan = SamplingPlan()
+    xs: list[np.ndarray] = []
+    ys: list[np.ndarray] = []
+    ratios = list(weight_ratios or (plan.weight_ratios if plan else (1, 2, 4, 8)))
+
+    total = (plan.n_cells() if plan else 0) + len(traces or []) * len(ratios)
+    done = 0
+
+    if plan is not None:
+        for inter in plan.interarrival_ns:
+            for size in plan.size_bytes:
+                for mix in plan.read_write_mixes:
+                    read_wl = MicroWorkloadConfig(
+                        mean_interarrival_ns=inter, mean_size_bytes=size
+                    )
+                    write_wl = MicroWorkloadConfig(
+                        mean_interarrival_ns=inter * mix, mean_size_bytes=size
+                    )
+                    n_reads = plan.requests_for(inter)
+                    n_writes = plan.requests_for(inter * mix)
+                    trace = generate_micro_trace(
+                        read_wl,
+                        write_wl,
+                        n_reads=n_reads,
+                        n_writes=n_writes,
+                        seed=plan.seed + hash((inter, size, mix)) % 10_000,
+                    )
+                    for w in plan.weight_ratios:
+                        x, y = sample_trace(
+                            trace, config, w,
+                            measure_start_fraction=plan.measure_start_fraction,
+                        )
+                        xs.append(x)
+                        ys.append(y)
+                        done += 1
+                        if progress:
+                            progress(done, total)
+
+    mf = plan.measure_start_fraction if plan else 0.4
+    for trace in traces or []:
+        for w in ratios:
+            x, y = sample_trace(trace, config, w, measure_start_fraction=mf)
+            xs.append(x)
+            ys.append(y)
+            done += 1
+            if progress:
+                progress(done, total)
+
+    return TrainingSet(X=np.vstack(xs), y=np.vstack(ys))

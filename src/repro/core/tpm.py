@@ -1,0 +1,88 @@
+"""The throughput-prediction model (TPM), Eq. 1: TPUT_{R,W} = F(Ch, w).
+
+Wraps one of the :mod:`repro.ml` regressors (Random Forest by default,
+the paper's pick from Table I) behind a storage-domain interface: fit on
+a :class:`~repro.core.sampling.TrainingSet`, then predict the read and
+write throughput a workload will sustain at a candidate SSQ weight
+ratio.  Also surfaces the Breiman feature importances behind the
+§III-B observation that arrival flow speed dominates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.sampling import TrainingSet
+from repro.ml.base import Regressor
+from repro.ml.forest import RandomForestRegressor
+from repro.ml.metrics import r2_score
+from repro.workloads.features import FEATURE_NAMES, WorkloadFeatures
+
+
+class ThroughputPredictionModel:
+    """F(Ch, w) → (read Gbps, write Gbps)."""
+
+    def __init__(self, model: Regressor | None = None) -> None:
+        self.model: Regressor = model if model is not None else RandomForestRegressor(
+            n_estimators=40, max_features=1 / 3, seed=7
+        )
+        self.fitted = False
+        self.feature_names = FEATURE_NAMES
+
+    def fit(self, training: TrainingSet) -> "ThroughputPredictionModel":
+        if training.feature_names != self.feature_names:
+            raise ValueError("training set feature order mismatch")
+        if len(training) < 4:
+            raise ValueError(f"need at least 4 samples, got {len(training)}")
+        self.model.fit(training.X, training.y)
+        self.fitted = True
+        return self
+
+    # -- prediction ------------------------------------------------------
+    def predict(
+        self, features: WorkloadFeatures, weight_ratio: float
+    ) -> tuple[float, float]:
+        """Predicted (read, write) throughput in Gbps, floored at 0."""
+        if not self.fitted:
+            raise RuntimeError("TPM is not fitted")
+        row = features.with_weight(weight_ratio).reshape(1, -1)
+        pred = np.asarray(self.model.predict(row)).reshape(-1)
+        if pred.shape[0] != 2:
+            raise RuntimeError(f"expected 2 outputs, got {pred.shape[0]}")
+        return float(max(0.0, pred[0])), float(max(0.0, pred[1]))
+
+    def predict_read(self, features: WorkloadFeatures, weight_ratio: float) -> float:
+        return self.predict(features, weight_ratio)[0]
+
+    # -- evaluation --------------------------------------------------------
+    def score(self, validation: TrainingSet) -> float:
+        """R² on held-out samples (the paper's "accuracy")."""
+        if not self.fitted:
+            raise RuntimeError("TPM is not fitted")
+        pred = self.model.predict(validation.X)
+        return r2_score(validation.y, pred)
+
+    def feature_importances(self) -> dict[str, float]:
+        """Breiman importances by feature name (empty if unsupported)."""
+        imp = getattr(self.model, "feature_importances_", None)
+        if imp is None:
+            return {}
+        return dict(zip(self.feature_names, (float(v) for v in imp)))
+
+    def ch_importances(self) -> dict[str, float]:
+        """Importances over the Ch workload features only (§III-B view).
+
+        The paper reports feature weights "of each feature in Ch" — the
+        control variable ``w`` is excluded and the rest renormalised.
+        """
+        imp = self.feature_importances()
+        imp.pop("weight_ratio", None)
+        total = sum(imp.values())
+        if total <= 0:
+            return imp
+        return {k: v / total for k, v in imp.items()}
+
+    def flow_speed_importance(self) -> float:
+        """Combined Ch importance of read+write arrival flow speed (§III-B)."""
+        imp = self.ch_importances()
+        return imp.get("read_flow_speed", 0.0) + imp.get("write_flow_speed", 0.0)

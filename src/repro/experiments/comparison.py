@@ -1,0 +1,222 @@
+"""DCQCN-only vs DCQCN-SRC comparisons: Table IV and Fig. 10 drivers.
+
+The §IV-B method: run the same workload once with the default driver
+(DCQCN-only) and once with SSQ + the SRC controller (DCQCN-SRC),
+measure trimmed aggregated throughput (reads at initiators + writes at
+targets), and report the improvement.
+
+Congestion in these experiments is endogenous in-cast: each target runs
+a flash array whose combined read capacity exceeds the victim
+initiator's downlink, so inbound read data congests exactly as in the
+paper's Clos runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.tpm import ThroughputPredictionModel
+from repro.experiments.runner import RunResult, TestbedConfig, run_testbed
+from repro.sim.units import MS, US
+from repro.ssd.config import SSDConfig
+from repro.workloads.micro import MicroWorkloadConfig, generate_micro_trace
+from repro.workloads.traces import Trace
+
+
+@dataclass
+class SchemeComparison:
+    """Paired measurement of the two schemes on one workload."""
+
+    label: str
+    dcqcn_only: RunResult
+    dcqcn_src: RunResult
+    trim_fraction: float = 0.1
+
+    @property
+    def only_gbps(self) -> float:
+        return self.dcqcn_only.trimmed_aggregated_gbps(self.trim_fraction)
+
+    @property
+    def src_gbps(self) -> float:
+        return self.dcqcn_src.trimmed_aggregated_gbps(self.trim_fraction)
+
+    @property
+    def improvement(self) -> float:
+        """Relative aggregated-throughput gain of SRC over DCQCN-only."""
+        base = self.only_gbps
+        return (self.src_gbps - base) / base if base > 0 else 0.0
+
+
+def compare_schemes(
+    trace_factory: Callable[[], Trace],
+    base_config: TestbedConfig,
+    tpm: ThroughputPredictionModel,
+    *,
+    label: str = "",
+    duration_ns: int | None = None,
+) -> SchemeComparison:
+    """Run DCQCN-only and DCQCN-SRC on identical workloads."""
+    from dataclasses import replace
+
+    only_cfg = replace(base_config, driver="default", src_enabled=False)
+    src_cfg = replace(base_config, driver="ssq", src_enabled=True)
+    only = run_testbed(trace_factory(), only_cfg, duration_ns=duration_ns)
+    src = run_testbed(trace_factory(), src_cfg, tpm=tpm, duration_ns=duration_ns)
+    return SchemeComparison(label=label, dcqcn_only=only, dcqcn_src=src)
+
+
+# -- Table IV: in-cast ratio analysis ------------------------------------------
+
+
+@dataclass(frozen=True)
+class IncastPoint:
+    """One Table IV row specification."""
+
+    n_targets: int
+    n_initiators: int
+
+    @property
+    def label(self) -> str:
+        return f"{self.n_targets}:{self.n_initiators}"
+
+
+#: The paper's Table IV rows.
+TABLE4_POINTS = (
+    IncastPoint(2, 1),
+    IncastPoint(3, 1),
+    IncastPoint(4, 1),
+    IncastPoint(4, 4),
+)
+
+
+def incast_analysis(
+    tpm: ThroughputPredictionModel,
+    *,
+    points: tuple[IncastPoint, ...] = TABLE4_POINTS,
+    ssd_config: SSDConfig | None = None,
+    ssds_per_target: int = 1,
+    total_read_gbps: float = 38.0,
+    mean_read_bytes: float = 44 * 1024,
+    mean_write_bytes: float = 23 * 1024,
+    write_fraction_of_read_rate: float = 0.5,
+    n_requests: int = 6000,
+    seed: int = 23,
+    link_rate_gbps: float = 40.0,
+    congestion: "BackgroundTraffic | None | str" = "default",
+    duration_ns: int | None = None,
+) -> list[SchemeComparison]:
+    """Reproduce Table IV: fixed total traffic, varying in-cast ratio.
+
+    The total offered read traffic stays at ``total_read_gbps``
+    regardless of the node counts; requests spread round-robin over
+    targets and initiators, so per-target intensity falls as targets are
+    added (the paper's WRR-degenerates-to-RR effect) and per-initiator
+    inbound load falls as initiators are added (congestion relief — with
+    several initiators only the episode's victim is squeezed, so most of
+    the workload never sees congestion, as in the paper's 4:4 row).
+    """
+    from repro.experiments.runner import BackgroundTraffic
+
+    if congestion == "default":
+        congestion = BackgroundTraffic(
+            start_ns=8 * MS, end_ns=40 * MS, rate_gbps=10.0, n_hosts=14
+        )
+    read_inter_ns = mean_read_bytes * 8.0 / total_read_gbps
+    write_inter_ns = read_inter_ns / write_fraction_of_read_rate
+    results: list[SchemeComparison] = []
+    for point in points:
+        def make_trace(seed=seed) -> Trace:
+            return generate_micro_trace(
+                MicroWorkloadConfig(read_inter_ns, mean_read_bytes),
+                MicroWorkloadConfig(write_inter_ns, mean_write_bytes),
+                n_reads=n_requests,
+                n_writes=int(n_requests * write_fraction_of_read_rate),
+                seed=seed,
+            )
+
+        cfg = TestbedConfig(
+            n_initiators=point.n_initiators,
+            n_targets=point.n_targets,
+            ssds_per_target=ssds_per_target,
+            ssd_config=ssd_config,
+            link_rate_gbps=link_rate_gbps,
+            link_delay_ns=US,
+            background=congestion,
+        )
+        results.append(
+            compare_schemes(make_trace, cfg, tpm, label=point.label, duration_ns=duration_ns)
+        )
+    return results
+
+
+# -- Fig. 10: workload intensity ---------------------------------------------------
+
+
+@dataclass(frozen=True)
+class IntensityLevel:
+    """One Fig. 10 workload: average size and arrival rate per direction."""
+
+    label: str
+    mean_size_bytes: float
+    arrivals_per_ms: float
+
+    @property
+    def interarrival_ns(self) -> float:
+        return 1e6 / self.arrivals_per_ms
+
+
+#: The paper's three intensity levels (§IV-F1).
+INTENSITY_LEVELS = (
+    IntensityLevel("light", 22 * 1024, 60.0),
+    IntensityLevel("moderate", 32 * 1024, 80.0),
+    IntensityLevel("heavy", 44 * 1024, 100.0),
+)
+
+
+def intensity_analysis(
+    tpm: ThroughputPredictionModel,
+    *,
+    levels: tuple[IntensityLevel, ...] = INTENSITY_LEVELS,
+    ssd_config: SSDConfig | None = None,
+    ssds_per_target: int = 1,
+    span_ms: float = 45.0,
+    seed: int = 31,
+    congestion: "BackgroundTraffic | None | str" = "default",
+    duration_ns: int | None = None,
+) -> list[SchemeComparison]:
+    """Reproduce Fig. 10: both schemes at light/moderate/heavy intensity.
+
+    Each level runs under the same congestion episode (Fig. 10's runs all
+    contain congestion events); what distinguishes the levels is whether
+    the device queues are deep enough for SRC's WRR to act.  Pass
+    ``congestion=None`` for congestion-free runs.  Request counts scale
+    with each level's arrival rate so every level spans ``span_ms``.
+    """
+    from repro.experiments.runner import BackgroundTraffic
+
+    if congestion == "default":
+        congestion = BackgroundTraffic(
+            start_ns=8 * MS, end_ns=36 * MS, rate_gbps=10.0, n_hosts=14
+        )
+    results: list[SchemeComparison] = []
+    for level in levels:
+        n_requests = max(100, int(level.arrivals_per_ms * span_ms))
+
+        def make_trace(level=level, seed=seed, n_requests=n_requests) -> Trace:
+            wl = MicroWorkloadConfig(level.interarrival_ns, level.mean_size_bytes)
+            return generate_micro_trace(
+                wl, n_reads=n_requests, n_writes=n_requests, seed=seed
+            )
+
+        cfg = TestbedConfig(
+            n_initiators=1,
+            n_targets=2,
+            ssds_per_target=ssds_per_target,
+            ssd_config=ssd_config,
+            background=congestion,
+        )
+        results.append(
+            compare_schemes(make_trace, cfg, tpm, label=level.label, duration_ns=duration_ns)
+        )
+    return results

@@ -1,0 +1,90 @@
+"""Request-latency statistics.
+
+The paper evaluates throughput, but §IV-E's control-delay argument
+("a typical latency of network flows with tens of KB data is tens of
+milliseconds") is about latency — and any adopter of this library will
+want latency percentiles next to the throughput series.  This module
+summarises per-direction end-to-end and device-service latencies from
+completed :class:`~repro.workloads.request.IORequest` objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from repro.workloads.request import IORequest
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Percentile summary of one latency population (ns)."""
+
+    count: int
+    mean_ns: float
+    p50_ns: float
+    p95_ns: float
+    p99_ns: float
+    max_ns: float
+
+    @classmethod
+    def of(cls, samples_ns: np.ndarray) -> "LatencySummary":
+        x = np.asarray(samples_ns, dtype=np.float64)
+        if x.size == 0:
+            return cls(0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        return cls(
+            count=int(x.size),
+            mean_ns=float(x.mean()),
+            p50_ns=float(np.percentile(x, 50)),
+            p95_ns=float(np.percentile(x, 95)),
+            p99_ns=float(np.percentile(x, 99)),
+            max_ns=float(x.max()),
+        )
+
+
+@dataclass(frozen=True)
+class LatencyReport:
+    """End-to-end and device-service latency, split by direction."""
+
+    read_total: LatencySummary
+    write_total: LatencySummary
+    read_device: LatencySummary
+    write_device: LatencySummary
+
+
+def _completed(requests: Iterable[IORequest]) -> list[IORequest]:
+    return [r for r in requests if r.complete_ns >= 0]
+
+
+def latency_report(requests: Iterable[IORequest]) -> LatencyReport:
+    """Summarise latencies of the *completed* requests in ``requests``.
+
+    End-to-end latency spans arrival → completion at the initiator;
+    device latency spans command fetch → device completion (only for
+    requests that carry both stamps).
+    """
+    done = _completed(requests)
+    reads = [r for r in done if r.is_read]
+    writes = [r for r in done if not r.is_read]
+
+    def totals(rs):
+        return np.array([r.complete_ns - r.arrival_ns for r in rs], dtype=np.float64)
+
+    def device(rs):
+        return np.array(
+            [
+                r.device_done_ns - r.fetch_ns
+                for r in rs
+                if r.device_done_ns >= 0 and r.fetch_ns >= 0
+            ],
+            dtype=np.float64,
+        )
+
+    return LatencyReport(
+        read_total=LatencySummary.of(totals(reads)),
+        write_total=LatencySummary.of(totals(writes)),
+        read_device=LatencySummary.of(device(reads)),
+        write_device=LatencySummary.of(device(writes)),
+    )

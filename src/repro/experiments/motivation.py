@@ -1,0 +1,87 @@
+"""Fig. 2: the motivating fluid model of congestion control options.
+
+An analytic (fluid) model of the three scenarios the paper draws:
+
+* (a) no congestion — the device serves R reads + W writes per unit and
+  the network carries everything;
+* (b) DCQCN — the network caps the inbound (read) direction at a
+  fraction of demand; the device keeps processing at full rate, so the
+  delivered read rate is clipped and the surplus is wasted;
+* (c) SRC — the device re-weights so the read *processing* rate matches
+  the network cap and the freed capacity serves writes.
+
+The defaults replicate the numbers in the figure (6 reads + 3 writes
+per unit, network rate 6, a 50% cut): DCQCN delivers 6, SRC restores 9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MotivationScenario:
+    """Fluid parameters of the Fig. 2 demo (units: requests per tick)."""
+
+    ssd_read_rate: float = 6.0
+    ssd_write_rate: float = 3.0
+    network_rate: float = 6.0
+    congestion_cut: float = 0.5  # fraction of network rate surviving a cut
+
+    def __post_init__(self) -> None:
+        if min(self.ssd_read_rate, self.ssd_write_rate, self.network_rate) < 0:
+            raise ValueError("rates must be non-negative")
+        if not 0.0 < self.congestion_cut <= 1.0:
+            raise ValueError("cut must be in (0, 1]")
+
+
+@dataclass(frozen=True)
+class MotivationOutcome:
+    """Delivered throughput per scenario (reads at initiator + writes at target)."""
+
+    read_delivered: float
+    write_delivered: float
+    read_processed: float  # device-side processing rate (≥ delivered)
+
+    @property
+    def aggregated(self) -> float:
+        return self.read_delivered + self.write_delivered
+
+    @property
+    def wasted_read(self) -> float:
+        """Device read work that never reaches the initiator."""
+        return self.read_processed - self.read_delivered
+
+
+def no_congestion(s: MotivationScenario) -> MotivationOutcome:
+    """Fig. 2-a: the network carries the device's full output."""
+    read = min(s.ssd_read_rate, s.network_rate)
+    return MotivationOutcome(
+        read_delivered=read, write_delivered=s.ssd_write_rate, read_processed=s.ssd_read_rate
+    )
+
+
+def dcqcn_only(s: MotivationScenario) -> MotivationOutcome:
+    """Fig. 2-b: the TXQ clips reads; the device keeps processing."""
+    capped = s.network_rate * s.congestion_cut
+    read = min(s.ssd_read_rate, capped)
+    return MotivationOutcome(
+        read_delivered=read, write_delivered=s.ssd_write_rate, read_processed=s.ssd_read_rate
+    )
+
+
+def dcqcn_src(s: MotivationScenario) -> MotivationOutcome:
+    """Fig. 2-c: SRC lowers read processing to the cap, writes absorb the slack.
+
+    The device's total service capacity (read + write rate) is conserved;
+    the read share is reduced to the network cap and the remainder goes
+    to writes.
+    """
+    capped = s.network_rate * s.congestion_cut
+    read = min(s.ssd_read_rate, capped)
+    freed = s.ssd_read_rate - read
+    return MotivationOutcome(
+        read_delivered=read,
+        write_delivered=s.ssd_write_rate + freed,
+        read_processed=read,
+    )

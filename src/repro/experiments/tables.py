@@ -1,0 +1,38 @@
+"""Plain-text table rendering for benchmark/experiment reports."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], *, title: str = ""
+) -> str:
+    """Render an aligned ASCII table (paper-style report output)."""
+    if not headers:
+        raise ValueError("need at least one column")
+    str_rows = [[str(c) for c in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(f"row width {len(row)} != header width {len(headers)}")
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_gbps(value: float) -> str:
+    return f"{value:.2f} Gbps"
+
+
+def format_percent(value: float) -> str:
+    return f"{value * 100.0:.0f}%"

@@ -1,0 +1,100 @@
+"""Fig. 5: I/O throughput across weight ratios under different workloads.
+
+A grid of micro workloads (rows: mean inter-arrival, columns: mean
+request size, matching the paper's 10–25 µs × 10–40 KB panels) is
+replayed at each weight ratio; each cell yields read/write throughput
+curves whose shapes the paper's observations describe:
+
+* equality at w = 1,
+* read ↓ / write ↑ with w under moderate/heavy load,
+* flat curves (WRR → RR) under light load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.experiments.replay import replay_on_device
+from repro.nvme.ssq import SSQDriver
+from repro.ssd.config import SSDConfig
+from repro.workloads.micro import MicroWorkloadConfig, generate_micro_trace
+
+
+@dataclass
+class WeightSweepCell:
+    """One panel of the Fig. 5 grid."""
+
+    interarrival_ns: float
+    size_bytes: float
+    weight_ratios: np.ndarray
+    read_gbps: np.ndarray
+    write_gbps: np.ndarray
+
+    def read_monotone_nonincreasing(self, tolerance: float = 0.15) -> bool:
+        """True when read throughput never rises by more than tolerance."""
+        r = self.read_gbps
+        scale = max(float(r.max()), 1e-9)
+        return bool(np.all(np.diff(r) <= tolerance * scale))
+
+    def control_effect(self) -> float:
+        """Relative read-throughput reduction from w=1 to the max ratio."""
+        base = float(self.read_gbps[0])
+        if base <= 0:
+            return 0.0
+        return (base - float(self.read_gbps[-1])) / base
+
+
+def run_weight_sweep(
+    config: SSDConfig,
+    *,
+    interarrivals_ns: Sequence[float] = (10_000, 17_500, 25_000),
+    sizes_bytes: Sequence[float] = (10 * 1024, 25 * 1024, 40 * 1024),
+    weight_ratios: Sequence[int] = (1, 2, 4, 8, 16),
+    duration_ns: int = 60_000_000,
+    min_requests: int = 300,
+    seed: int = 42,
+    measure_start_fraction: float = 0.4,
+) -> list[WeightSweepCell]:
+    """Run the Fig. 5 grid; returns one cell per (inter-arrival, size).
+
+    Each cell's trace spans ``duration_ns`` so deeply saturated devices
+    (whose command latencies reach several ms) are measured at steady
+    state rather than during the ramp.
+    """
+    if any(w < 1 for w in weight_ratios):
+        raise ValueError("weight ratios must be >= 1")
+    if duration_ns <= 0:
+        raise ValueError("duration must be positive")
+    cells: list[WeightSweepCell] = []
+    for inter in interarrivals_ns:
+        for size in sizes_bytes:
+            wl = MicroWorkloadConfig(mean_interarrival_ns=inter, mean_size_bytes=size)
+            n_requests = max(min_requests, int(duration_ns / inter))
+            trace = generate_micro_trace(
+                wl, n_reads=n_requests, n_writes=n_requests,
+                seed=seed + int(inter) % 997 + int(size) % 991,
+            )
+            reads, writes = [], []
+            for w in weight_ratios:
+                result = replay_on_device(
+                    trace,
+                    config,
+                    SSQDriver(1, w),
+                    drain=False,
+                    measure_start_fraction=measure_start_fraction,
+                )
+                reads.append(result.read_tput_gbps)
+                writes.append(result.write_tput_gbps)
+            cells.append(
+                WeightSweepCell(
+                    interarrival_ns=inter,
+                    size_bytes=size,
+                    weight_ratios=np.array(weight_ratios),
+                    read_gbps=np.array(reads),
+                    write_gbps=np.array(writes),
+                )
+            )
+    return cells

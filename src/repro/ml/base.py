@@ -1,0 +1,54 @@
+"""Shared estimator protocol and input validation."""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+
+@runtime_checkable
+class Regressor(Protocol):
+    """Minimal estimator protocol all regressors in this package follow."""
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "Regressor": ...
+
+    def predict(self, X: np.ndarray) -> np.ndarray: ...
+
+
+def check_Xy(X: np.ndarray, y: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Validate and canonicalise a training pair.
+
+    Returns float64 copies with ``X`` of shape ``(n, d)`` and ``y`` of
+    shape ``(n,)`` or ``(n, k)``.  Raises ``ValueError`` on empty data,
+    dimension mismatch, or non-finite values.
+    """
+    X = np.asarray(X, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if X.ndim == 1:
+        X = X.reshape(-1, 1)
+    if X.ndim != 2:
+        raise ValueError(f"X must be 2-D, got shape {X.shape}")
+    if y.ndim not in (1, 2):
+        raise ValueError(f"y must be 1-D or 2-D, got shape {y.shape}")
+    if X.shape[0] == 0:
+        raise ValueError("cannot fit on empty data")
+    if X.shape[0] != y.shape[0]:
+        raise ValueError(f"X has {X.shape[0]} rows but y has {y.shape[0]}")
+    if not np.isfinite(X).all():
+        raise ValueError("X contains non-finite values")
+    if not np.isfinite(y).all():
+        raise ValueError("y contains non-finite values")
+    return X, y
+
+
+def check_X(X: np.ndarray, n_features: int) -> np.ndarray:
+    """Validate a prediction input against the fitted feature count."""
+    X = np.asarray(X, dtype=np.float64)
+    if X.ndim == 1:
+        X = X.reshape(-1, 1)
+    if X.ndim != 2 or X.shape[1] != n_features:
+        raise ValueError(f"expected shape (n, {n_features}), got {X.shape}")
+    if not np.isfinite(X).all():
+        raise ValueError("X contains non-finite values")
+    return X

@@ -1,0 +1,63 @@
+"""K-nearest-neighbor regression.
+
+Brute-force Euclidean neighbours on standardised features.  Training
+sets in this library are a few thousand rows, where vectorised
+brute-force distance computation beats tree indices in NumPy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import check_X, check_Xy
+
+
+class KNeighborsRegressor:
+    """Uniform or inverse-distance weighted k-NN regression."""
+
+    def __init__(self, n_neighbors: int = 5, *, weights: str = "uniform") -> None:
+        if n_neighbors < 1:
+            raise ValueError(f"n_neighbors must be >= 1, got {n_neighbors}")
+        if weights not in ("uniform", "distance"):
+            raise ValueError(f"weights must be 'uniform' or 'distance', got {weights!r}")
+        self.n_neighbors = n_neighbors
+        self.weights = weights
+        self._X: np.ndarray | None = None
+        self._y: np.ndarray | None = None
+        self._mu: np.ndarray | None = None
+        self._sigma: np.ndarray | None = None
+        self._single_output = True
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "KNeighborsRegressor":
+        X, y = check_Xy(X, y)
+        self._single_output = y.ndim == 1
+        self._y = y.reshape(-1, 1) if self._single_output else y
+        self._mu = X.mean(axis=0)
+        sigma = X.std(axis=0)
+        self._sigma = np.where(sigma == 0.0, 1.0, sigma)
+        self._X = (X - self._mu) / self._sigma
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self._X is None:
+            raise RuntimeError("model is not fitted")
+        X = check_X(X, self._X.shape[1])
+        Xs = (X - self._mu) / self._sigma
+        k = min(self.n_neighbors, self._X.shape[0])
+        # (n_query, n_train) squared distances via the expansion trick.
+        d2 = (
+            np.sum(Xs**2, axis=1)[:, None]
+            + np.sum(self._X**2, axis=1)[None, :]
+            - 2.0 * Xs @ self._X.T
+        )
+        np.maximum(d2, 0.0, out=d2)
+        nn = np.argpartition(d2, k - 1, axis=1)[:, :k]
+        neigh_y = self._y[nn]  # (n_query, k, n_out)
+        if self.weights == "uniform":
+            pred = neigh_y.mean(axis=1)
+        else:
+            d = np.sqrt(np.take_along_axis(d2, nn, axis=1))
+            # Exact matches get (effectively) all the weight.
+            w = 1.0 / np.maximum(d, 1e-12)
+            pred = (neigh_y * w[:, :, None]).sum(axis=1) / w.sum(axis=1)[:, None]
+        return pred.ravel() if self._single_output else pred

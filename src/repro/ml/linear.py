@@ -1,0 +1,45 @@
+"""Ordinary least-squares linear regression.
+
+Solved via ``numpy.linalg.lstsq`` on the column-augmented design matrix;
+features are standardised internally so the normal equations stay well
+conditioned when inputs mix nanoseconds (1e4) with ratios (1e0).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import check_X, check_Xy
+
+
+class LinearRegression:
+    """Multi-output ordinary least squares."""
+
+    def __init__(self) -> None:
+        self.coef_: np.ndarray | None = None
+        self.intercept_: np.ndarray | None = None
+        self._mu: np.ndarray | None = None
+        self._sigma: np.ndarray | None = None
+        self._single_output = True
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "LinearRegression":
+        X, y = check_Xy(X, y)
+        self._single_output = y.ndim == 1
+        y2 = y.reshape(-1, 1) if self._single_output else y
+        self._mu = X.mean(axis=0)
+        sigma = X.std(axis=0)
+        self._sigma = np.where(sigma == 0.0, 1.0, sigma)
+        Xs = (X - self._mu) / self._sigma
+        design = np.hstack([np.ones((Xs.shape[0], 1)), Xs])
+        beta, *_ = np.linalg.lstsq(design, y2, rcond=None)
+        self.intercept_ = beta[0]
+        self.coef_ = beta[1:]
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self.coef_ is None:
+            raise RuntimeError("model is not fitted")
+        X = check_X(X, self.coef_.shape[0])
+        Xs = (X - self._mu) / self._sigma
+        pred = Xs @ self.coef_ + self.intercept_
+        return pred.ravel() if self._single_output else pred

@@ -1,0 +1,86 @@
+"""Polynomial regression: expanded features + ridge-regularised OLS.
+
+Degree-2 expansion (all monomials up to total degree 2, including cross
+terms) is the paper's "Polynomial Regression" comparator.  A small ridge
+penalty keeps the expanded design matrix solvable when cross terms are
+collinear.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from repro.ml.base import check_X, check_Xy
+
+
+def polynomial_features(X: np.ndarray, degree: int) -> np.ndarray:
+    """All monomials of the columns of ``X`` with total degree 1..degree.
+
+    The constant term is excluded (the regressor adds its own intercept).
+    Column order is deterministic: degree-1 terms first, then degree-2,
+    each in lexicographic index order.
+    """
+    if degree < 1:
+        raise ValueError(f"degree must be >= 1, got {degree}")
+    X = np.asarray(X, dtype=np.float64)
+    if X.ndim != 2:
+        raise ValueError(f"X must be 2-D, got shape {X.shape}")
+    n, d = X.shape
+    cols = []
+    for deg in range(1, degree + 1):
+        for combo in itertools.combinations_with_replacement(range(d), deg):
+            col = np.ones(n)
+            for idx in combo:
+                col = col * X[:, idx]
+            cols.append(col)
+    return np.column_stack(cols)
+
+
+class PolynomialRegression:
+    """Least squares on a polynomial basis expansion."""
+
+    def __init__(self, degree: int = 2, *, ridge: float = 1e-8) -> None:
+        if degree < 1:
+            raise ValueError(f"degree must be >= 1, got {degree}")
+        if ridge < 0:
+            raise ValueError(f"ridge must be non-negative, got {ridge}")
+        self.degree = degree
+        self.ridge = ridge
+        self.coef_: np.ndarray | None = None
+        self.intercept_: np.ndarray | None = None
+        self._mu: np.ndarray | None = None
+        self._sigma: np.ndarray | None = None
+        self._n_features = 0
+        self._single_output = True
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "PolynomialRegression":
+        X, y = check_Xy(X, y)
+        self._n_features = X.shape[1]
+        self._single_output = y.ndim == 1
+        y2 = y.reshape(-1, 1) if self._single_output else y
+        phi = polynomial_features(X, self.degree)
+        self._mu = phi.mean(axis=0)
+        sigma = phi.std(axis=0)
+        self._sigma = np.where(sigma == 0.0, 1.0, sigma)
+        phi_s = (phi - self._mu) / self._sigma
+        n, p = phi_s.shape
+        design = np.hstack([np.ones((n, 1)), phi_s])
+        # Ridge-regularised normal equations; the intercept is not penalised.
+        penalty = self.ridge * np.eye(p + 1)
+        penalty[0, 0] = 0.0
+        gram = design.T @ design + penalty
+        beta = np.linalg.solve(gram, design.T @ y2)
+        self.intercept_ = beta[0]
+        self.coef_ = beta[1:]
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self.coef_ is None:
+            raise RuntimeError("model is not fitted")
+        X = check_X(X, self._n_features)
+        phi = polynomial_features(X, self.degree)
+        phi_s = (phi - self._mu) / self._sigma
+        pred = phi_s @ self.coef_ + self.intercept_
+        return pred.ravel() if self._single_output else pred

@@ -1,0 +1,218 @@
+"""CART regression tree with variance-reduction splitting.
+
+Split search is vectorised per node: for each candidate feature the
+sorted prefix sums of ``y`` and ``y**2`` give the weighted child
+impurities of every threshold in one pass.  Multi-output targets use the
+summed per-output variance as the impurity, so one tree can predict read
+and write throughput jointly (as the TPM requires).
+
+Feature importances follow Breiman's mean-decrease-in-impurity: each
+split credits its feature with ``n_node * (impurity - weighted child
+impurity)``, normalised to sum to one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ml.base import check_X, check_Xy
+
+
+@dataclass
+class _Node:
+    """One tree node; leaves have ``feature == -1``."""
+
+    feature: int
+    threshold: float
+    left: "_Node | None"
+    right: "_Node | None"
+    value: np.ndarray  # mean target of the node's training rows
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.feature < 0
+
+
+def _impurity_sums(y: np.ndarray) -> float:
+    """Total variance impurity * n (summed over outputs) of target block."""
+    return float(np.sum(y.var(axis=0)) * y.shape[0])
+
+
+class DecisionTreeRegressor:
+    """CART regression tree.
+
+    Parameters
+    ----------
+    max_depth:
+        Maximum tree depth; ``None`` grows until purity/min-samples stop.
+    min_samples_split:
+        Minimum rows required to attempt a split.
+    min_samples_leaf:
+        Minimum rows each child must keep.
+    max_features:
+        Features examined per split: ``None`` (all), an int, or a float
+        fraction — the hook random forests use for decorrelation.
+    seed:
+        RNG seed for the feature subsampling (only relevant when
+        ``max_features`` restricts the candidate set).
+    """
+
+    def __init__(
+        self,
+        *,
+        max_depth: int | None = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: int | float | None = None,
+        seed: int | None = None,
+    ) -> None:
+        if max_depth is not None and max_depth < 1:
+            raise ValueError(f"max_depth must be >= 1, got {max_depth}")
+        if min_samples_split < 2:
+            raise ValueError(f"min_samples_split must be >= 2, got {min_samples_split}")
+        if min_samples_leaf < 1:
+            raise ValueError(f"min_samples_leaf must be >= 1, got {min_samples_leaf}")
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.seed = seed
+        self._root: _Node | None = None
+        self._n_features = 0
+        self._importance_raw: np.ndarray | None = None
+        self._single_output = True
+
+    # -- fitting -----------------------------------------------------------
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "DecisionTreeRegressor":
+        X, y = check_Xy(X, y)
+        self._single_output = y.ndim == 1
+        y2 = y.reshape(-1, 1) if self._single_output else y
+        self._n_features = X.shape[1]
+        self._importance_raw = np.zeros(self._n_features)
+        self._rng = np.random.default_rng(self.seed)
+        self._root = self._build(X, y2, depth=0)
+        return self
+
+    def _n_candidate_features(self) -> int:
+        if self.max_features is None:
+            return self._n_features
+        if isinstance(self.max_features, float):
+            if not 0.0 < self.max_features <= 1.0:
+                raise ValueError("fractional max_features must be in (0, 1]")
+            return max(1, int(self.max_features * self._n_features))
+        if self.max_features < 1:
+            raise ValueError(f"max_features must be >= 1, got {self.max_features}")
+        return min(self.max_features, self._n_features)
+
+    def _best_split(
+        self, X: np.ndarray, y: np.ndarray
+    ) -> tuple[int, float, float] | None:
+        """Find (feature, threshold, impurity_decrease) or None."""
+        n = X.shape[0]
+        parent_imp = _impurity_sums(y)
+        if parent_imp <= 1e-12:
+            return None
+        k = self._n_candidate_features()
+        if k < self._n_features:
+            features = self._rng.choice(self._n_features, size=k, replace=False)
+        else:
+            features = np.arange(self._n_features)
+
+        best: tuple[int, float, float] | None = None
+        min_leaf = self.min_samples_leaf
+        for f in features:
+            order = np.argsort(X[:, f], kind="stable")
+            xs = X[order, f]
+            ys = y[order]
+            # Prefix sums over rows for every output column.
+            csum = np.cumsum(ys, axis=0)
+            csum2 = np.cumsum(ys**2, axis=0)
+            total, total2 = csum[-1], csum2[-1]
+            # Candidate split after position i (1-indexed sizes).
+            sizes_l = np.arange(1, n)
+            valid = (xs[:-1] < xs[1:]) & (sizes_l >= min_leaf) & (n - sizes_l >= min_leaf)
+            if not valid.any():
+                continue
+            sl = csum[:-1]
+            sl2 = csum2[:-1]
+            nl = sizes_l[:, None].astype(np.float64)
+            nr = (n - sizes_l)[:, None].astype(np.float64)
+            # n * variance = sum(y^2) - sum(y)^2 / n, per child, per output.
+            imp_l = (sl2 - sl**2 / nl).sum(axis=1)
+            imp_r = ((total2 - sl2) - (total - sl) ** 2 / nr).sum(axis=1)
+            decrease = parent_imp - (imp_l + imp_r)
+            decrease[~valid] = -np.inf
+            i = int(np.argmax(decrease))
+            if decrease[i] <= 1e-12:
+                continue
+            thr = 0.5 * (xs[i] + xs[i + 1])
+            if best is None or decrease[i] > best[2]:
+                best = (int(f), float(thr), float(decrease[i]))
+        return best
+
+    def _build(self, X: np.ndarray, y: np.ndarray, depth: int) -> _Node:
+        value = y.mean(axis=0)
+        n = X.shape[0]
+        if (
+            n < self.min_samples_split
+            or (self.max_depth is not None and depth >= self.max_depth)
+        ):
+            return _Node(-1, 0.0, None, None, value)
+        split = self._best_split(X, y)
+        if split is None:
+            return _Node(-1, 0.0, None, None, value)
+        feature, threshold, decrease = split
+        self._importance_raw[feature] += decrease
+        mask = X[:, feature] <= threshold
+        left = self._build(X[mask], y[mask], depth + 1)
+        right = self._build(X[~mask], y[~mask], depth + 1)
+        return _Node(feature, threshold, left, right, value)
+
+    # -- inference -----------------------------------------------------------
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self._root is None:
+            raise RuntimeError("model is not fitted")
+        X = check_X(X, self._n_features)
+        out = np.empty((X.shape[0], self._root.value.shape[0]))
+        for i, row in enumerate(X):
+            node = self._root
+            while not node.is_leaf:
+                node = node.left if row[node.feature] <= node.threshold else node.right
+            out[i] = node.value
+        return out.ravel() if self._single_output else out
+
+    @property
+    def feature_importances_(self) -> np.ndarray:
+        """Breiman mean-decrease-in-impurity importances (sum to 1)."""
+        if self._importance_raw is None:
+            raise RuntimeError("model is not fitted")
+        total = self._importance_raw.sum()
+        if total == 0.0:
+            return np.zeros_like(self._importance_raw)
+        return self._importance_raw / total
+
+    def depth(self) -> int:
+        """Actual depth of the fitted tree (0 = single leaf)."""
+        if self._root is None:
+            raise RuntimeError("model is not fitted")
+
+        def walk(node: _Node) -> int:
+            if node.is_leaf:
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+
+        return walk(self._root)
+
+    def n_leaves(self) -> int:
+        """Number of leaf nodes in the fitted tree."""
+        if self._root is None:
+            raise RuntimeError("model is not fitted")
+
+        def walk(node: _Node) -> int:
+            if node.is_leaf:
+                return 1
+            return walk(node.left) + walk(node.right)
+
+        return walk(self._root)

@@ -1,0 +1,178 @@
+"""DCQCN reaction-point (RP) state machine — Zhu et al., SIGCOMM'15.
+
+Per-flow sender-side rate control:
+
+* **on CNP**: remember the current rate as the target, cut the current
+  rate by ``alpha/2``, and raise ``alpha`` (congestion severity
+  estimate);
+* **alpha decay**: every ``alpha_timer_ns`` without a CNP, decay alpha;
+* **rate increase**: two independent counters — an elapsed-time timer
+  and a transmitted-byte counter — each advance a stage; the first
+  ``fast_recovery_threshold`` stages halve the gap to the target (fast
+  recovery), later stages grow the target additively, and much later
+  hyper-additively.
+
+The :class:`RateChange` listener hook is the integration point SRC uses:
+every decrease is a *pause* event carrying the demanded sending rate,
+and increases back toward line rate are *retrieval* events (§III-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.sim.engine import Simulator
+
+
+@dataclass(frozen=True)
+class DCQCNConfig:
+    """RP parameters (SIGCOMM'15 defaults, scaled to 40 Gbps links)."""
+
+    line_rate_gbps: float = 40.0
+    min_rate_gbps: float = 0.1
+    g: float = 1 / 16  # alpha gain
+    initial_alpha: float = 1.0
+    alpha_timer_ns: int = 55_000
+    increase_timer_ns: int = 55_000
+    byte_counter_bytes: int = 10 * 1024 * 1024
+    fast_recovery_threshold: int = 5
+    rate_ai_gbps: float = 0.4  # additive increase step
+    rate_hai_gbps: float = 4.0  # hyper increase step
+
+    def __post_init__(self) -> None:
+        if self.line_rate_gbps <= 0 or self.min_rate_gbps <= 0:
+            raise ValueError("rates must be positive")
+        if self.min_rate_gbps > self.line_rate_gbps:
+            raise ValueError("min rate exceeds line rate")
+        if not 0 < self.g <= 1:
+            raise ValueError("g must be in (0, 1]")
+        if self.alpha_timer_ns <= 0 or self.increase_timer_ns <= 0:
+            raise ValueError("timers must be positive")
+        if self.byte_counter_bytes <= 0:
+            raise ValueError("byte counter must be positive")
+        if self.fast_recovery_threshold < 1:
+            raise ValueError("fast recovery threshold must be >= 1")
+
+
+@dataclass(frozen=True)
+class RateChange:
+    """One rate adjustment, as reported to listeners."""
+
+    time_ns: int
+    rate_gbps: float
+    decreased: bool  # True = cut (pause-like), False = raise (retrieval-like)
+
+
+class DCQCNRateControl:
+    """RP state for one flow."""
+
+    def __init__(self, sim: Simulator, config: DCQCNConfig | None = None) -> None:
+        self.sim = sim
+        self.config = config or DCQCNConfig()
+        self.current_rate_gbps = self.config.line_rate_gbps
+        self.target_rate_gbps = self.config.line_rate_gbps
+        self.alpha = self.config.initial_alpha
+        self._bytes_since_increase = 0
+        self._timer_stage = 0
+        self._byte_stage = 0
+        self._congested = False  # a CNP has been seen since line rate
+        self._alpha_timer_event = None
+        self._increase_timer_event = None
+        self.listeners: list[Callable[[RateChange], None]] = []
+        self.cnp_count = 0
+
+    # -- listener plumbing -------------------------------------------------
+    def _notify(self, decreased: bool) -> None:
+        change = RateChange(
+            time_ns=self.sim.now, rate_gbps=self.current_rate_gbps, decreased=decreased
+        )
+        for listener in self.listeners:
+            listener(change)
+
+    def _set_rate(self, rate_gbps: float, *, decreased: bool) -> None:
+        rate_gbps = min(
+            self.config.line_rate_gbps, max(self.config.min_rate_gbps, rate_gbps)
+        )
+        if rate_gbps == self.current_rate_gbps:
+            return
+        self.current_rate_gbps = rate_gbps
+        self._notify(decreased)
+
+    # -- CNP reaction ----------------------------------------------------------
+    def on_cnp(self) -> None:
+        """React to a congestion notification packet."""
+        self.cnp_count += 1
+        self.target_rate_gbps = self.current_rate_gbps
+        self._set_rate(
+            self.current_rate_gbps * (1.0 - self.alpha / 2.0), decreased=True
+        )
+        self.alpha = (1.0 - self.config.g) * self.alpha + self.config.g
+        self._congested = True
+        self._timer_stage = 0
+        self._byte_stage = 0
+        self._bytes_since_increase = 0
+        self._restart_timers()
+
+    def _restart_timers(self) -> None:
+        for ev_name in ("_alpha_timer_event", "_increase_timer_event"):
+            ev = getattr(self, ev_name)
+            if ev is not None:
+                ev.cancel()
+        self._alpha_timer_event = self.sim.schedule(
+            self.config.alpha_timer_ns, self._alpha_decay
+        )
+        self._increase_timer_event = self.sim.schedule(
+            self.config.increase_timer_ns, self._timer_tick
+        )
+
+    def _alpha_decay(self) -> None:
+        self.alpha *= 1.0 - self.config.g
+        if self._congested:
+            self._alpha_timer_event = self.sim.schedule(
+                self.config.alpha_timer_ns, self._alpha_decay
+            )
+
+    def _timer_tick(self) -> None:
+        if not self._congested:
+            return
+        self._timer_stage += 1
+        self._increase_rate()
+        self._increase_timer_event = self.sim.schedule(
+            self.config.increase_timer_ns, self._timer_tick
+        )
+
+    # -- byte counter (driven by the NIC on each data packet sent) -----------
+    def on_bytes_sent(self, nbytes: int) -> None:
+        if not self._congested:
+            return
+        self._bytes_since_increase += nbytes
+        if self._bytes_since_increase >= self.config.byte_counter_bytes:
+            self._bytes_since_increase = 0
+            self._byte_stage += 1
+            self._increase_rate()
+
+    # -- increase logic ----------------------------------------------------------
+    def _increase_rate(self) -> None:
+        cfg = self.config
+        stage = min(self._timer_stage, self._byte_stage)
+        if max(self._timer_stage, self._byte_stage) <= cfg.fast_recovery_threshold:
+            pass  # fast recovery: target unchanged
+        elif stage <= cfg.fast_recovery_threshold:
+            self.target_rate_gbps = min(
+                cfg.line_rate_gbps, self.target_rate_gbps + cfg.rate_ai_gbps
+            )
+        else:
+            self.target_rate_gbps = min(
+                cfg.line_rate_gbps, self.target_rate_gbps + cfg.rate_hai_gbps
+            )
+        self._set_rate(
+            (self.target_rate_gbps + self.current_rate_gbps) / 2.0, decreased=False
+        )
+        if (
+            self.current_rate_gbps >= cfg.line_rate_gbps
+            and self.target_rate_gbps >= cfg.line_rate_gbps
+        ):
+            # Fully recovered; stop the increase/decay machinery until the
+            # next CNP.
+            self._congested = False

@@ -1,0 +1,114 @@
+"""Unidirectional links: serialization, propagation, PFC pause.
+
+A :class:`Link` connects a transmitting device to a receiving device.
+Packets entering the link queue in FIFO order (control packets jump the
+queue), serialize at the link rate, then arrive at the receiver after
+the propagation delay.  PFC pauses stop *data* transmission; control
+packets still pass, as PFC operates per traffic class and control
+traffic rides the lossless high-priority class.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Protocol
+
+from repro.net.packet import Packet
+from repro.sim.engine import Simulator
+from repro.sim.units import gbps_to_bytes_per_ns
+
+
+class Device(Protocol):
+    """Anything that can terminate a link."""
+
+    name: str
+
+    def receive(self, packet: Packet, in_port: int) -> None: ...
+
+
+class Link:
+    """One direction of a cable."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        *,
+        rate_gbps: float,
+        delay_ns: int,
+        dst: Device,
+        dst_port: int,
+        name: str = "",
+    ) -> None:
+        if rate_gbps <= 0:
+            raise ValueError(f"link rate must be positive, got {rate_gbps}")
+        if delay_ns < 0:
+            raise ValueError(f"link delay must be non-negative, got {delay_ns}")
+        self.sim = sim
+        self.rate_gbps = rate_gbps
+        self.delay_ns = delay_ns
+        self.dst = dst
+        self.dst_port = dst_port
+        self.name = name or f"->{dst.name}"
+        self._bytes_per_ns = gbps_to_bytes_per_ns(rate_gbps)
+        self._queue: deque[Packet] = deque()
+        self._queued_bytes = 0
+        self._busy = False
+        self.paused = False
+        #: Called with each packet when its serialization finishes (used
+        #: by switches for ingress-buffer accounting).
+        self.on_depart: Callable[[Packet], None] | None = None
+        self.bytes_sent = 0
+        self.packets_sent = 0
+
+    # -- queue state -----------------------------------------------------
+    @property
+    def queued_bytes(self) -> int:
+        return self._queued_bytes
+
+    @property
+    def queued_packets(self) -> int:
+        return len(self._queue)
+
+    # -- transmission ------------------------------------------------------
+    def send(self, packet: Packet) -> None:
+        """Enqueue a packet for transmission."""
+        if packet.is_control:
+            self._queue.appendleft(packet)
+        else:
+            self._queue.append(packet)
+        self._queued_bytes += packet.size_bytes
+        self._try_start()
+
+    def serialization_ns(self, size_bytes: int) -> int:
+        return max(1, int(size_bytes / self._bytes_per_ns + 0.5))
+
+    def _try_start(self) -> None:
+        if self._busy or not self._queue:
+            return
+        if self.paused and not self._queue[0].is_control:
+            return
+        packet = self._queue.popleft()
+        self._queued_bytes -= packet.size_bytes
+        self._busy = True
+        ser = self.serialization_ns(packet.size_bytes)
+
+        def finish() -> None:
+            self._busy = False
+            self.bytes_sent += packet.size_bytes
+            self.packets_sent += 1
+            if self.on_depart is not None:
+                self.on_depart(packet)
+            self.sim.schedule(
+                self.delay_ns, lambda: self.dst.receive(packet, self.dst_port)
+            )
+            self._try_start()
+
+        self.sim.schedule(ser, finish)
+
+    # -- PFC -----------------------------------------------------------------
+    def pause(self) -> None:
+        self.paused = True
+
+    def resume(self) -> None:
+        self.paused = False
+        self._try_start()

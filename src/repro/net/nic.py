@@ -1,0 +1,261 @@
+"""Host RDMA NICs: TXQ, per-flow DCQCN pacing, NP logic, reassembly.
+
+A :class:`NIC` owns one uplink and a set of :class:`Flow` objects (one
+per destination — the QP abstraction).  Messages handed to
+:meth:`NIC.send_message` queue in the flow's share of the TXQ; the flow
+carves them into MTU segments paced at its DCQCN rate.  A full TXQ
+rejects the message — that back-pressure signal is what stalls read
+completions on targets under congestion (§II-B's bottleneck).
+
+Receive side implements the DCQCN notification point: an ECN-marked
+data packet triggers a CNP back to the sender, rate-limited to one per
+``cnp_interval_ns`` per flow.  Multi-packet messages are reassembled and
+delivered to the attached endpoint with their payload.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.net.dcqcn import DCQCNConfig, DCQCNRateControl, RateChange
+from repro.net.link import Link
+from repro.net.packet import CONTROL_PACKET_BYTES, Packet, PacketKind
+from repro.sim.engine import Simulator
+from repro.sim.units import gbps_to_bytes_per_ns
+
+
+@dataclass(frozen=True)
+class NICConfig:
+    """Host NIC parameters."""
+
+    mtu_bytes: int = 4096
+    txq_capacity_bytes: int = 2 * 1024 * 1024
+    cnp_interval_ns: int = 50_000
+    max_link_backlog_packets: int = 4
+    dcqcn: DCQCNConfig = field(default_factory=DCQCNConfig)
+
+    def __post_init__(self) -> None:
+        if self.mtu_bytes <= 0:
+            raise ValueError("mtu must be positive")
+        if self.txq_capacity_bytes <= 0:
+            raise ValueError("TXQ capacity must be positive")
+        if self.cnp_interval_ns <= 0:
+            raise ValueError("CNP interval must be positive")
+        if self.max_link_backlog_packets < 1:
+            raise ValueError("link backlog must be >= 1")
+
+
+_flow_ids = itertools.count()
+_message_ids = itertools.count()
+
+
+@dataclass
+class _Message:
+    id: int
+    dst: str
+    size_bytes: int
+    sent_bytes: int
+    payload: Any
+
+
+class Flow:
+    """One sender-side flow (QP): message queue + DCQCN pacing."""
+
+    def __init__(self, nic: "NIC", dst: str) -> None:
+        self.id = next(_flow_ids)
+        self.nic = nic
+        self.dst = dst
+        self.rate_control = DCQCNRateControl(nic.sim, nic.config.dcqcn)
+        self._messages: deque[_Message] = deque()
+        self.queued_bytes = 0
+        self._next_send_ns = 0
+        self._pump_event = None
+        self.bytes_sent = 0
+
+    def enqueue(self, size_bytes: int, payload: Any) -> None:
+        self._messages.append(
+            _Message(
+                id=next(_message_ids),
+                dst=self.dst,
+                size_bytes=size_bytes,
+                sent_bytes=0,
+                payload=payload,
+            )
+        )
+        self.queued_bytes += size_bytes
+        self.pump()
+
+    # -- pacing ---------------------------------------------------------
+    def pump(self) -> None:
+        """Send segments while allowed; reschedules itself as needed."""
+        sim = self.nic.sim
+        if self._pump_event is not None:
+            self._pump_event.cancel()
+            self._pump_event = None
+        while self._messages:
+            if sim.now < self._next_send_ns:
+                self._pump_event = sim.schedule_at(self._next_send_ns, self.pump)
+                return
+            if self.nic.link.queued_packets >= self.nic.config.max_link_backlog_packets:
+                return  # re-pumped when the link drains
+            msg = self._messages[0]
+            seg = min(self.nic.config.mtu_bytes, msg.size_bytes - msg.sent_bytes)
+            msg.sent_bytes += seg
+            last = msg.sent_bytes >= msg.size_bytes
+            packet = Packet(
+                kind=PacketKind.DATA,
+                src=self.nic.name,
+                dst=self.dst,
+                size_bytes=seg,
+                flow_id=self.id,
+                message_id=msg.id,
+                message_bytes=msg.size_bytes,
+                last_of_message=last,
+                payload=msg.payload if last else None,
+            )
+            self.nic.link.send(packet)
+            self.bytes_sent += seg
+            self.queued_bytes -= seg
+            self.nic._txq_used -= seg
+            self.rate_control.on_bytes_sent(seg)
+            gap = seg / gbps_to_bytes_per_ns(self.rate_control.current_rate_gbps)
+            self._next_send_ns = sim.now + max(1, int(gap + 0.5))
+            if last:
+                self._messages.popleft()
+            self.nic._notify_txq_drain()
+
+
+class NIC:
+    """Host network interface."""
+
+    def __init__(self, sim: Simulator, name: str, config: NICConfig | None = None) -> None:
+        self.sim = sim
+        self.name = name
+        self.config = config or NICConfig()
+        self.link: Link | None = None  # uplink, set by the topology builder
+        self.flows: dict[str, Flow] = {}
+        self._flows_by_id: dict[int, Flow] = {}
+        self._txq_used = 0
+        self._reassembly: dict[int, int] = {}
+        self._last_cnp_ns: dict[int, int] = {}
+        #: Endpoint callback: (payload, src_name, size_bytes) on message delivery.
+        self.endpoint: Callable[[Any, str, int], None] | None = None
+        #: Subscribers to DCQCN rate changes of any of this NIC's flows.
+        self.rate_listeners: list[Callable[[Flow, RateChange], None]] = []
+        #: Subscribers to TXQ space becoming available.
+        self.txq_drain_listeners: list[Callable[[], None]] = []
+        #: Timestamps of received CNPs (the paper's "pause number" signal).
+        self.cnp_log: list[int] = []
+        self.pfc_pause_log: list[int] = []
+        self.bytes_received = 0
+        self.messages_delivered = 0
+
+    # -- wiring -------------------------------------------------------------
+    def attach_uplink(self, link: Link) -> None:
+        self.link = link
+        link.on_depart = lambda _pkt: self._pump_all()
+
+    def _pump_all(self) -> None:
+        for flow in self.flows.values():
+            if flow.queued_bytes:
+                flow.pump()
+
+    def flow_to(self, dst: str) -> Flow:
+        flow = self.flows.get(dst)
+        if flow is None:
+            flow = Flow(self, dst)
+            self.flows[dst] = flow
+            self._flows_by_id[flow.id] = flow
+
+            def forward(change: RateChange, flow=flow) -> None:
+                for listener in self.rate_listeners:
+                    listener(flow, change)
+
+            flow.rate_control.listeners.append(forward)
+        return flow
+
+    # -- transmit --------------------------------------------------------------
+    @property
+    def txq_free_bytes(self) -> int:
+        return self.config.txq_capacity_bytes - self._txq_used
+
+    def send_message(self, dst: str, size_bytes: int, payload: Any = None) -> bool:
+        """Queue a message; returns False when the TXQ lacks space."""
+        if size_bytes <= 0:
+            raise ValueError(f"message size must be positive, got {size_bytes}")
+        if self.link is None:
+            raise RuntimeError(f"NIC {self.name} has no uplink")
+        if size_bytes > self.txq_free_bytes:
+            return False
+        self._txq_used += size_bytes
+        self.flow_to(dst).enqueue(size_bytes, payload)
+        return True
+
+    def _notify_txq_drain(self) -> None:
+        for listener in self.txq_drain_listeners:
+            listener()
+
+    def send_ack(self, dst: str, payload: Any = None) -> None:
+        """Send a small control acknowledgment (bypasses the TXQ)."""
+        if self.link is None:
+            raise RuntimeError(f"NIC {self.name} has no uplink")
+        self.link.send(
+            Packet(
+                kind=PacketKind.ACK,
+                src=self.name,
+                dst=dst,
+                size_bytes=CONTROL_PACKET_BYTES,
+                payload=payload,
+            )
+        )
+
+    # -- receive ---------------------------------------------------------------
+    def receive(self, packet: Packet, in_port: int) -> None:
+        if packet.kind in (PacketKind.PAUSE, PacketKind.RESUME):
+            if self.link is not None:
+                if packet.kind is PacketKind.PAUSE:
+                    self.pfc_pause_log.append(self.sim.now)
+                    self.link.pause()
+                else:
+                    self.link.resume()
+            return
+        if packet.kind is PacketKind.CNP:
+            self.cnp_log.append(self.sim.now)
+            flow = self._flows_by_id.get(packet.flow_id)
+            if flow is not None:
+                flow.rate_control.on_cnp()
+            return
+        if packet.kind is PacketKind.ACK:
+            if self.endpoint is not None:
+                self.endpoint(packet.payload, packet.src, packet.size_bytes)
+            return
+        # DATA
+        self.bytes_received += packet.size_bytes
+        if packet.ecn_marked:
+            self._maybe_send_cnp(packet)
+        got = self._reassembly.get(packet.message_id, 0) + packet.size_bytes
+        if got >= packet.message_bytes:
+            self._reassembly.pop(packet.message_id, None)
+            self.messages_delivered += 1
+            if self.endpoint is not None:
+                self.endpoint(packet.payload, packet.src, packet.message_bytes)
+        else:
+            self._reassembly[packet.message_id] = got
+
+    def _maybe_send_cnp(self, packet: Packet) -> None:
+        last = self._last_cnp_ns.get(packet.flow_id, -(10**12))
+        if self.sim.now - last < self.config.cnp_interval_ns:
+            return
+        self._last_cnp_ns[packet.flow_id] = self.sim.now
+        cnp = Packet(
+            kind=PacketKind.CNP,
+            src=self.name,
+            dst=packet.src,
+            size_bytes=CONTROL_PACKET_BYTES,
+            flow_id=packet.flow_id,
+        )
+        if self.link is not None:
+            self.link.send(cnp)

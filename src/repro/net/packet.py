@@ -1,0 +1,54 @@
+"""Network packets."""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+
+class PacketKind(enum.Enum):
+    """Packet classes; control packets preempt data on links."""
+
+    DATA = "data"
+    CNP = "cnp"  # DCQCN congestion notification packet
+    PAUSE = "pause"  # PFC XOFF
+    RESUME = "resume"  # PFC XON
+    ACK = "ack"  # message-level acknowledgment (fabric completions)
+
+
+#: Wire sizes of control packets (bytes).
+CONTROL_PACKET_BYTES = 64
+
+_packet_ids = itertools.count()
+
+
+@dataclass
+class Packet:
+    """One packet on the wire.
+
+    ``message_id`` / ``message_bytes`` / ``last_of_message`` let the
+    receiving NIC reassemble multi-packet messages; ``payload`` carries
+    an opaque fabric-level object on the message's last packet.
+    """
+
+    kind: PacketKind
+    src: str
+    dst: str
+    size_bytes: int
+    flow_id: int = -1
+    ecn_marked: bool = False
+    message_id: int = -1
+    message_bytes: int = 0
+    last_of_message: bool = False
+    payload: Any = None
+    pkt_id: int = field(default_factory=lambda: next(_packet_ids))
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ValueError(f"packet size must be positive, got {self.size_bytes}")
+
+    @property
+    def is_control(self) -> bool:
+        return self.kind is not PacketKind.DATA

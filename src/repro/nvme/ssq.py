@@ -1,0 +1,188 @@
+"""Separate submission queues with WRR fetch — §III-A, Fig. 4-b.
+
+The SSQ driver is the storage-side control point SRC manipulates:
+
+* reads enter RSQ, writes enter WSQ — unless the **consistency check**
+  finds an overlapping-LBA request still waiting in some SQ, in which
+  case the new request joins that same queue so dependent I/Os retire
+  in submission order;
+* the device fetches by **token WRR** (:class:`repro.nvme.wrr.TokenWRR`);
+  a fetched command consumes a token of *its own I/O type* regardless of
+  which queue held it, preserving the demanded weight ratio;
+* the configured queue depth is **partitioned** between the types in
+  proportion to the weights, bounding per-type in-flight commands.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable
+
+from repro.nvme.wrr import TokenWRR
+from repro.workloads.request import IORequest, OpType
+
+
+class SSQDriver:
+    """Separate read/write submission queues with weighted fetch."""
+
+    #: Dependency-detection granularity in bytes.  Requests are indexed
+    #: by the 4 KiB buckets they touch; bucket collision is a
+    #: conservative superset of sector overlap.
+    DEPENDENCY_BUCKET_BYTES = 4096
+
+    def __init__(
+        self,
+        read_weight: int = 1,
+        write_weight: int = 1,
+        *,
+        consistency_check: bool = True,
+    ) -> None:
+        self.wrr = TokenWRR(read_weight, write_weight)
+        #: §III-A data-consistency mechanism; disable only for ablation
+        #: studies (dependent I/Os may then retire out of order).
+        self.consistency_check = consistency_check
+        self.rsq: deque[IORequest] = deque()
+        self.wsq: deque[IORequest] = deque()
+        self._doorbell: Callable[[], None] | None = None
+        self.submitted = 0
+        self.fetched = 0
+        self.consistency_redirects = 0
+        #: History of (submit-time) weight changes, for experiment plots.
+        self.weight_log: list[tuple[int, int, int]] = []
+        # bucket -> [queue, refcount]: which SQ holds waiting requests
+        # touching this address bucket, and how many.
+        self._pending_buckets: dict[int, list] = {}
+
+    def connect(self, device) -> None:
+        """Bind to a device; submissions will ring its doorbell."""
+        self._doorbell = device.doorbell
+        device.attach_driver(self)
+
+    # -- weight control (SRC's knob) -----------------------------------------
+    def set_weights(self, read_weight: int, write_weight: int, *, now_ns: int = 0) -> None:
+        self.wrr.set_weights(read_weight, write_weight)
+        self.weight_log.append((now_ns, read_weight, write_weight))
+        # A weight change can unblock fetch immediately (e.g. a larger
+        # write partition); let the device re-evaluate.
+        if self._doorbell is not None:
+            self._doorbell()
+
+    @property
+    def weight_ratio(self) -> float:
+        return self.wrr.weight_ratio
+
+    # -- host side -----------------------------------------------------------
+    def submit(self, request: IORequest, *, now_ns: int | None = None) -> None:
+        """Enqueue with the consistency check, then ring the doorbell."""
+        if now_ns is not None:
+            request.submit_ns = now_ns
+        natural = self.rsq if request.is_read else self.wsq
+        target = self._consistency_queue(request) if self.consistency_check else None
+        if target is None:
+            target = natural
+        elif target is not natural:
+            self.consistency_redirects += 1
+        if self.consistency_check:
+            self._index_buckets(request, target)
+        target.append(request)
+        self.submitted += 1
+        if self._doorbell is not None:
+            self._doorbell()
+
+    def _buckets_of(self, request: IORequest) -> range:
+        start = (request.lba * 512) // self.DEPENDENCY_BUCKET_BYTES
+        end = (request.lba * 512 + request.size_bytes - 1) // self.DEPENDENCY_BUCKET_BYTES
+        return range(start, end + 1)
+
+    def _consistency_queue(self, request: IORequest) -> deque[IORequest] | None:
+        """The SQ holding a waiting request that overlaps ``request``.
+
+        Overlap is tracked at :data:`DEPENDENCY_BUCKET_BYTES` granularity
+        through an index updated on submit/fetch, so the check is O(pages
+        touched) instead of a queue scan.  Returns None when no
+        dependency is waiting.
+        """
+        for bucket in self._buckets_of(request):
+            entry = self._pending_buckets.get(bucket)
+            if entry is not None:
+                return entry[0]
+        return None
+
+    def _index_buckets(self, request: IORequest, queue: deque[IORequest]) -> None:
+        for bucket in self._buckets_of(request):
+            entry = self._pending_buckets.get(bucket)
+            if entry is None:
+                self._pending_buckets[bucket] = [queue, 1]
+            else:
+                # Later requests to this bucket follow the same queue, so
+                # repointing is unnecessary; just bump the refcount.
+                entry[1] += 1
+
+    def _unindex_buckets(self, request: IORequest) -> None:
+        for bucket in self._buckets_of(request):
+            entry = self._pending_buckets.get(bucket)
+            if entry is None:
+                continue
+            entry[1] -= 1
+            if entry[1] <= 0:
+                del self._pending_buckets[bucket]
+
+    # -- device side (SubmissionSource) -----------------------------------------
+    def has_pending(self) -> bool:
+        return bool(self.rsq or self.wsq)
+
+    def _partition(self, queue_depth: int) -> tuple[int, int]:
+        """(read slots, write slots) split of QD by the weight ratio."""
+        total = self.wrr.read_weight + self.wrr.write_weight
+        write_slots = max(1, (queue_depth * self.wrr.write_weight) // total)
+        read_slots = max(1, queue_depth - write_slots)
+        return read_slots, write_slots
+
+    def fetch(
+        self, inflight_reads: int, inflight_writes: int, queue_depth: int
+    ) -> IORequest | None:
+        # WRR chooses by queue occupancy; the skip-if-empty rule (serve
+        # the other queue without moving tokens) applies only to truly
+        # empty queues.  A slot-blocked head instead *stalls* fetch until
+        # its class completes a command — this is what makes the token
+        # ratio authoritative for throughput control, while the QD
+        # partition guarantees each class its own slots so a class whose
+        # completions are back-pressured (reads under congestion) can
+        # never occupy the whole device.
+        choice = self.wrr.choose(bool(self.rsq), bool(self.wsq))
+        if choice is None:
+            return None
+        both = bool(self.rsq) and bool(self.wsq)
+        queue = self.rsq if choice is OpType.READ else self.wsq
+        head = queue[0]
+        read_slots, write_slots = self._partition(queue_depth)
+        if not self._head_eligible(
+            head, inflight_reads, inflight_writes, read_slots, write_slots
+        ):
+            return None
+        queue.popleft()
+        self._unindex_buckets(head)
+        # Tokens move only when both queues competed for the turn.
+        if both:
+            self.wrr.consume(head.op)
+        self.fetched += 1
+        return head
+
+    @staticmethod
+    def _head_eligible(
+        head: IORequest,
+        inflight_reads: int,
+        inflight_writes: int,
+        read_slots: int,
+        write_slots: int,
+    ) -> bool:
+        if head.is_read:
+            return inflight_reads < read_slots
+        return inflight_writes < write_slots
+
+    # -- introspection ----------------------------------------------------------
+    def queued(self) -> int:
+        return len(self.rsq) + len(self.wsq)
+
+    def queue_lengths(self) -> tuple[int, int]:
+        return len(self.rsq), len(self.wsq)

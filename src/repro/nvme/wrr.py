@@ -1,0 +1,87 @@
+"""Token-based weighted round-robin between the read and write SQs.
+
+NVMe's WRR arbitration as the paper uses it (§III-A): each SQ gets a
+number of tokens equal to its weight; fetching a command consumes one
+token of that command's I/O type; when the type that should go next has
+no tokens left, all tokens are reset to the weights.  If only one queue
+has waiting commands, it is served without touching the tokens (the
+"skip-if-empty" rule that makes WRR degenerate to plain round-robin
+under light load — the effect behind Fig. 5's flat bottom-left panels
+and the in-cast analysis of Table IV).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.request import OpType
+
+
+class TokenWRR:
+    """Two-class WRR token state.
+
+    Weights are positive integers; ``weight_ratio`` is write weight over
+    read weight, the paper's control variable ``w`` (reads fixed at 1).
+    """
+
+    def __init__(self, read_weight: int = 1, write_weight: int = 1) -> None:
+        self._validate(read_weight, write_weight)
+        self.read_weight = read_weight
+        self.write_weight = write_weight
+        self.read_tokens = read_weight
+        self.write_tokens = write_weight
+
+    @staticmethod
+    def _validate(read_weight: int, write_weight: int) -> None:
+        if read_weight < 1 or write_weight < 1:
+            raise ValueError(
+                f"weights must be >= 1, got read={read_weight} write={write_weight}"
+            )
+
+    @property
+    def weight_ratio(self) -> float:
+        """Write weight over read weight (the paper's ``w``)."""
+        return self.write_weight / self.read_weight
+
+    def set_weights(self, read_weight: int, write_weight: int) -> None:
+        """Update weights and restart the token round."""
+        self._validate(read_weight, write_weight)
+        self.read_weight = read_weight
+        self.write_weight = write_weight
+        self.reset_tokens()
+
+    def reset_tokens(self) -> None:
+        self.read_tokens = self.read_weight
+        self.write_tokens = self.write_weight
+
+    def choose(self, read_available: bool, write_available: bool) -> OpType | None:
+        """Pick the I/O type to fetch next.
+
+        Does not consume a token — call :meth:`consume` with the type of
+        the command actually fetched (which can differ when the
+        consistency check placed it in the other queue).
+        """
+        if not read_available and not write_available:
+            return None
+        if read_available and not write_available:
+            return OpType.READ
+        if write_available and not read_available:
+            return OpType.WRITE
+        # Both available: serve the class with tokens; writes first within
+        # a round so that a ratio w yields w writes per read.
+        if self.write_tokens == 0 and self.read_tokens == 0:
+            self.reset_tokens()
+        if self.write_tokens >= self.read_tokens and self.write_tokens > 0:
+            return OpType.WRITE
+        if self.read_tokens > 0:
+            return OpType.READ
+        return OpType.WRITE
+
+    def consume(self, op: OpType) -> None:
+        """Take one token of ``op``'s class (resets the round when dry)."""
+        if op is OpType.READ:
+            if self.read_tokens == 0:
+                self.reset_tokens()
+            self.read_tokens -= 1
+        else:
+            if self.write_tokens == 0:
+                self.reset_tokens()
+            self.write_tokens -= 1

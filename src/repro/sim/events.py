@@ -1,0 +1,67 @@
+"""Event primitives for the discrete-event engine.
+
+An :class:`Event` couples a firing time with a zero-argument callback.
+:class:`EventQueue` is a binary heap keyed on ``(time, seq)`` — the
+monotonically increasing sequence number makes ordering deterministic for
+events scheduled at the same instant, which in turn makes every
+simulation in the library exactly reproducible for a fixed seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Events compare by ``(time, seq)`` so heap order is total and
+    deterministic.  ``cancelled`` supports O(1) lazy deletion: cancelled
+    events stay in the heap but are skipped when popped.
+    """
+
+    time: int
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the engine skips it when it reaches the top."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """A deterministic min-heap of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return sum(1 for ev in self._heap if not ev.cancelled)
+
+    def push(self, time: int, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` at absolute ``time`` and return its handle."""
+        if time < 0:
+            raise ValueError(f"event time must be non-negative, got {time}")
+        ev = Event(time=time, seq=next(self._counter), callback=callback)
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    def pop(self) -> Event | None:
+        """Pop the earliest non-cancelled event, or ``None`` if drained."""
+        while self._heap:
+            ev = heapq.heappop(self._heap)
+            if not ev.cancelled:
+                return ev
+        return None
+
+    def peek_time(self) -> int | None:
+        """Firing time of the next live event without removing it."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None

@@ -1,0 +1,44 @@
+"""Transaction-level multi-queue SSD simulator (MQSim substitute).
+
+The device model follows MQSim's decomposition (FAST'18):
+
+* **host interface** — commands are fetched from the NVMe driver's
+  submission queues into at most ``queue_depth`` device slots; fetch
+  *order* is delegated to the driver (FIFO for the default driver, token
+  WRR for the SSQ driver of §III-A), which is exactly the hook SRC uses;
+* **FTL** — page-level mapping with a cached mapping table (CMT); a CMT
+  miss costs an extra mapping-page read on the data page's chip;
+* **write cache** — staging buffer; ``write_through`` (default, flash
+  program bounds write completion as in the paper's Fig 5 behaviour) or
+  ``write_back`` (completion on cache insert, background flush);
+* **flash backend** — channels × chips; chip ops (read/program/erase)
+  serialise per chip, page transfers serialise per channel;
+* **GC** — greedy least-valid-block victim per chip once free blocks
+  fall below a threshold.
+
+All activity is event-driven on a shared :class:`repro.sim.Simulator`.
+"""
+
+from repro.ssd.config import SSD_A, SSD_B, SSD_C, SSDConfig
+from repro.ssd.transactions import PageTransaction, TxnKind
+from repro.ssd.flash import FlashBackend
+from repro.ssd.ftl import FTL, CachedMappingTable
+from repro.ssd.write_cache import WriteCache
+from repro.ssd.controller import SSDController
+from repro.ssd.device import SSD, CompletionEntry
+
+__all__ = [
+    "SSDConfig",
+    "SSD_A",
+    "SSD_B",
+    "SSD_C",
+    "PageTransaction",
+    "TxnKind",
+    "FlashBackend",
+    "FTL",
+    "CachedMappingTable",
+    "WriteCache",
+    "SSDController",
+    "SSD",
+    "CompletionEntry",
+]

@@ -1,0 +1,292 @@
+"""SSD controller: command fetch, FTL orchestration, completion posting.
+
+The controller owns the device-side half of the NVMe queue protocol:
+
+* it fetches commands from an attached :class:`SubmissionSource` (the
+  NVMe driver) whenever device slots are free — at most ``queue_depth``
+  commands in flight, with the *order* of fetch decided entirely by the
+  driver (FIFO or SSQ WRR, which is SRC's control point);
+* it splits commands into page transactions (data reads/programs,
+  mapping reads on CMT misses, GC traffic) and tracks per-command
+  outstanding counts;
+* it posts completion entries to a bounded CQ; a full CQ holds the
+  command's slot, propagating host-side backpressure into the device —
+  the mechanism behind read-throughput waste under DCQCN-only control.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Protocol
+
+from repro.sim.engine import Simulator
+from repro.ssd.config import SSDConfig
+from repro.ssd.flash import FlashBackend
+from repro.ssd.ftl import FTL
+from repro.ssd.transactions import PageTransaction, TxnKind
+from repro.ssd.write_cache import WriteCache
+from repro.workloads.request import IORequest
+
+
+class SubmissionSource(Protocol):
+    """What the controller needs from an NVMe driver."""
+
+    def fetch(self, inflight_reads: int, inflight_writes: int, queue_depth: int) -> IORequest | None:
+        """Pop the next command to fetch, or None if nothing eligible."""
+        ...
+
+    def has_pending(self) -> bool: ...
+
+
+@dataclass
+class CompletionEntry:
+    """One CQ entry."""
+
+    request: IORequest
+    posted_ns: int
+
+
+@dataclass
+class _Inflight:
+    request: IORequest
+    pages_outstanding: int
+    cache_reserved: int = 0
+    completed: bool = field(default=False)
+
+
+class SSDController:
+    """Device-side command engine (see module docstring)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: SSDConfig,
+        backend: FlashBackend,
+        ftl: FTL,
+        cache: WriteCache,
+    ) -> None:
+        self.sim = sim
+        self.config = config
+        self.backend = backend
+        self.ftl = ftl
+        self.cache = cache
+        self.driver: SubmissionSource | None = None
+
+        self.inflight_reads = 0
+        self.inflight_writes = 0
+        self.cq: deque[CompletionEntry] = deque()
+        self._pending_cq: deque[_Inflight] = deque()
+        self._stalled_writes: deque[_Inflight] = deque()
+        self.cq_listener: Callable[[CompletionEntry], None] | None = None
+        self.completion_log: list[tuple[int, IORequest]] = []
+        self.commands_fetched = 0
+        self.commands_completed = 0
+
+    # -- wiring -----------------------------------------------------------
+    def attach_driver(self, driver: SubmissionSource) -> None:
+        self.driver = driver
+
+    @property
+    def slots_used(self) -> int:
+        return self.inflight_reads + self.inflight_writes
+
+    # -- fetch loop -------------------------------------------------------
+    def doorbell(self) -> None:
+        """Driver notification that new commands were submitted."""
+        self.kick()
+
+    def kick(self) -> None:
+        """Fetch commands while slots are free and the driver has work."""
+        if self.driver is None:
+            return
+        while self.slots_used < self.config.queue_depth:
+            req = self.driver.fetch(
+                self.inflight_reads, self.inflight_writes, self.config.queue_depth
+            )
+            if req is None:
+                break
+            self._start_command(req)
+
+    def _start_command(self, req: IORequest) -> None:
+        req.fetch_ns = self.sim.now
+        self.commands_fetched += 1
+        if req.is_read:
+            self.inflight_reads += 1
+            self._start_read(req)
+        else:
+            self.inflight_writes += 1
+            self._start_write(req)
+
+    # -- reads ----------------------------------------------------------
+    def _start_read(self, req: IORequest) -> None:
+        lpns = list(self.ftl.lpn_range(req.lba, req.size_bytes))
+        cmd = _Inflight(request=req, pages_outstanding=len(lpns))
+        for lpn in lpns:
+            if self.cache.read_hit(lpn):
+                # Served from the write cache at DRAM speed; one page
+                # transfer time stands in for the cache copy-out.
+                self.sim.schedule(
+                    self.config.page_transfer_ns, lambda c=cmd: self._page_done(c)
+                )
+                continue
+            chip = self.ftl.chip_for_read(lpn)
+            hit = self.ftl.cmt.lookup(lpn)
+            data_txn = PageTransaction(
+                kind=TxnKind.READ,
+                chip_index=chip,
+                page_bytes=self.config.page_bytes,
+                owner=cmd,
+                on_done=lambda _t, c=cmd: self._page_done(c),
+            )
+            if not hit and self.config.mapping_read_penalty:
+                # The translation itself must be read from flash first.
+                mapping_txn = PageTransaction(
+                    kind=TxnKind.MAPPING_READ,
+                    chip_index=chip,
+                    page_bytes=self.config.page_bytes,
+                    owner=cmd,
+                    on_done=lambda _t, d=data_txn: self.backend.submit(d),
+                )
+                self.backend.submit(mapping_txn)
+            else:
+                self.backend.submit(data_txn)
+
+    # -- writes ----------------------------------------------------------
+    def _start_write(self, req: IORequest) -> None:
+        lpns = list(self.ftl.lpn_range(req.lba, req.size_bytes))
+        stage_bytes = len(lpns) * self.config.page_bytes
+        cmd = _Inflight(request=req, pages_outstanding=len(lpns), cache_reserved=stage_bytes)
+        if not self.cache.can_reserve(stage_bytes):
+            # Fetched but unadmittable: the command holds its slot until
+            # flushes free staging space (realistic full-cache stall).
+            self._stalled_writes.append(cmd)
+            return
+        self._admit_write(cmd)
+
+    def _admit_write(self, cmd: _Inflight) -> None:
+        self.cache.reserve(cmd.cache_reserved)
+        req = cmd.request
+        lpns = list(self.ftl.lpn_range(req.lba, req.size_bytes))
+        write_back = self.config.write_cache_policy == "write_back"
+        if write_back:
+            # Completion at cache speed: data is staged (one page-transfer
+            # per page, pipelined => dominated by the last page), flash
+            # programs drain in the background.
+            staging = self.config.page_transfer_ns * len(lpns)
+            self.sim.schedule(staging, lambda c=cmd: self._complete_command(c))
+        for lpn in lpns:
+            self.cache.note_write(lpn)
+            chip = self.ftl.allocate_write(lpn)
+            self.ftl.cmt.lookup(lpn)  # writes touch the mapping too
+            txn = PageTransaction(
+                kind=TxnKind.PROGRAM,
+                chip_index=chip,
+                page_bytes=self.config.page_bytes,
+                owner=cmd,
+                on_done=lambda _t, c=cmd: self._write_page_done(c),
+            )
+            self.backend.submit(txn)
+            self._maybe_gc(chip)
+
+    def _write_page_done(self, cmd: _Inflight) -> None:
+        self.cache.release(self.config.page_bytes)
+        cmd.cache_reserved -= self.config.page_bytes
+        self._retry_stalled_writes()
+        if self.config.write_cache_policy == "write_through":
+            self._page_done(cmd)
+        # write_back: command already completed at staging time; the
+        # program only frees cache space.
+
+    def _retry_stalled_writes(self) -> None:
+        while self._stalled_writes and self.cache.can_reserve(
+            self._stalled_writes[0].cache_reserved
+        ):
+            self._admit_write(self._stalled_writes.popleft())
+
+    # -- completion ------------------------------------------------------
+    def _page_done(self, cmd: _Inflight) -> None:
+        cmd.pages_outstanding -= 1
+        if cmd.pages_outstanding == 0 and not cmd.completed:
+            self._complete_command(cmd)
+
+    def _complete_command(self, cmd: _Inflight) -> None:
+        if cmd.completed:
+            return
+        cmd.completed = True
+        cmd.request.device_done_ns = self.sim.now
+        if len(self.cq) < self.config.cq_capacity:
+            self._post_completion(cmd)
+        else:
+            self._pending_cq.append(cmd)
+
+    def _post_completion(self, cmd: _Inflight) -> None:
+        req = cmd.request
+        entry = CompletionEntry(request=req, posted_ns=self.sim.now)
+        self.cq.append(entry)
+        if req.is_read:
+            self.inflight_reads -= 1
+        else:
+            self.inflight_writes -= 1
+        self.commands_completed += 1
+        self.completion_log.append((self.sim.now, req))
+        if self.cq_listener is not None:
+            self.cq_listener(entry)
+        self.kick()
+
+    def pop_completion(self) -> CompletionEntry | None:
+        """Host consumes one CQ entry, unblocking any queued completion."""
+        if not self.cq:
+            return None
+        entry = self.cq.popleft()
+        if self._pending_cq:
+            self._post_completion(self._pending_cq.popleft())
+        return entry
+
+    # -- garbage collection ------------------------------------------------
+    def _maybe_gc(self, chip_index: int) -> None:
+        if not self.ftl.gc_needed(chip_index):
+            return
+        victim = self.ftl.begin_gc(chip_index)
+        if victim is None:
+            return
+        block_id, valid_lpns = victim
+        state = {"remaining": len(valid_lpns)}
+
+        def copy_done() -> None:
+            state["remaining"] -= 1
+            if state["remaining"] == 0:
+                erase = PageTransaction(
+                    kind=TxnKind.ERASE,
+                    chip_index=chip_index,
+                    page_bytes=0,
+                    on_done=lambda _t: self.ftl.finish_gc(chip_index, block_id),
+                )
+                self.backend.submit(erase)
+
+        if not valid_lpns:
+            state["remaining"] = 1
+            copy_done()
+            return
+
+        for lpn in valid_lpns:
+            def after_read(_t: PageTransaction, lpn=lpn) -> None:
+                if self.ftl.gc_relocate(lpn, chip_index, block_id):
+                    program = PageTransaction(
+                        kind=TxnKind.GC_PROGRAM,
+                        chip_index=chip_index,
+                        page_bytes=self.config.page_bytes,
+                        on_done=lambda _t2: copy_done(),
+                    )
+                    self.backend.submit(program)
+                else:
+                    copy_done()
+
+            self.backend.submit(
+                PageTransaction(
+                    kind=TxnKind.GC_READ,
+                    chip_index=chip_index,
+                    page_bytes=self.config.page_bytes,
+                    on_done=after_read,
+                )
+            )

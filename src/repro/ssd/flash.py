@@ -1,0 +1,193 @@
+"""Flash backend: channels, chips, and two-stage transaction service.
+
+Service model (per MQSim):
+
+* **read-like** transactions first occupy the chip for the sensing
+  latency, then the channel for one page-transfer time;
+* **program-like** transactions first occupy the channel (data in), then
+  the chip for the program latency;
+* **erase** occupies only the chip.
+
+Chips and channels are independent FIFO servers; this captures both
+chip-level parallelism (many chips busy at once) and channel contention
+(transfers on one channel serialise).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.sim.engine import Simulator
+from repro.ssd.config import SSDConfig
+from repro.ssd.transactions import PageTransaction, TxnKind
+
+
+@dataclass
+class _Server:
+    """A FIFO resource (one channel)."""
+
+    busy: bool = False
+    queue: deque = field(default_factory=deque)
+    busy_ns_total: int = 0
+
+
+@dataclass
+class _Chip:
+    """A chip with separate read/write service queues.
+
+    MQSim's transaction scheduling unit keeps per-chip queues per
+    transaction type; with the equal priority the paper assumes
+    ("SSD firmware grants an equal priority to read and write commands"),
+    service alternates between the two queues whenever both are
+    backlogged, so a burst of slow programs cannot starve reads.
+    """
+
+    busy: bool = False
+    read_queue: deque = field(default_factory=deque)
+    write_queue: deque = field(default_factory=deque)
+    last_was_read: bool = False
+    busy_ns_total: int = 0
+
+    def pending(self) -> int:
+        return len(self.read_queue) + len(self.write_queue)
+
+    def next_item(self):
+        """Pop the next transaction, alternating classes when both wait."""
+        if self.read_queue and self.write_queue:
+            use_read = not self.last_was_read
+        elif self.read_queue:
+            use_read = True
+        elif self.write_queue:
+            use_read = False
+        else:
+            return None
+        self.last_was_read = use_read
+        return (self.read_queue if use_read else self.write_queue).popleft()
+
+
+class FlashBackend:
+    """Event-driven channels × chips flash array."""
+
+    def __init__(self, sim: Simulator, config: SSDConfig) -> None:
+        self.sim = sim
+        self.config = config
+        self._chips = [_Chip() for _ in range(config.n_chips)]
+        self._channels = [_Server() for _ in range(config.n_channels)]
+        self.completed: int = 0
+
+    # -- topology helpers --------------------------------------------------
+    def channel_of(self, chip_index: int) -> int:
+        if not 0 <= chip_index < self.config.n_chips:
+            raise ValueError(f"chip index {chip_index} out of range")
+        return chip_index // self.config.chips_per_channel
+
+    # -- latencies ----------------------------------------------------------
+    def _chip_latency(self, txn: PageTransaction) -> int:
+        if txn.kind in (TxnKind.READ, TxnKind.MAPPING_READ, TxnKind.GC_READ):
+            return self.config.read_latency_ns
+        if txn.kind in (TxnKind.PROGRAM, TxnKind.GC_PROGRAM):
+            return self.config.write_latency_ns
+        if txn.kind is TxnKind.ERASE:
+            return self.config.erase_latency_ns
+        raise ValueError(f"unknown txn kind {txn.kind}")
+
+    def _channel_latency(self, txn: PageTransaction) -> int:
+        if not txn.uses_channel or txn.page_bytes == 0:
+            return 0
+        # Partial last pages still occupy a full page slot on the bus
+        # (MQSim transfers whole pages).
+        return self.config.page_transfer_ns
+
+    # -- dispatch -------------------------------------------------------------
+    def submit(self, txn: PageTransaction) -> None:
+        """Enter a transaction into the backend pipeline."""
+        txn.issued_ns = self.sim.now
+        if txn.is_read_like:
+            self._enqueue_chip(txn, next_stage=self._after_read_chip)
+        elif txn.kind in (TxnKind.PROGRAM, TxnKind.GC_PROGRAM):
+            self._enqueue_channel(txn, next_stage=self._after_write_channel)
+        else:  # ERASE
+            self._enqueue_chip(txn, next_stage=self._finish)
+
+    # -- chip stage -------------------------------------------------------
+    def _enqueue_chip(self, txn: PageTransaction, next_stage) -> None:
+        chip = self._chips[txn.chip_index]
+        queue = chip.read_queue if txn.is_read_like else chip.write_queue
+        queue.append((txn, next_stage))
+        if not chip.busy:
+            self._start_chip(txn.chip_index)
+
+    def _start_chip(self, chip_index: int) -> None:
+        chip = self._chips[chip_index]
+        if chip.busy:
+            return
+        item = chip.next_item()
+        if item is None:
+            return
+        txn, next_stage = item
+        chip.busy = True
+        latency = self._chip_latency(txn)
+        chip.busy_ns_total += latency
+
+        def done() -> None:
+            chip.busy = False
+            next_stage(txn)
+            self._start_chip(chip_index)
+
+        self.sim.schedule(latency, done)
+
+    # -- channel stage -------------------------------------------------------
+    def _enqueue_channel(self, txn: PageTransaction, next_stage) -> None:
+        latency = self._channel_latency(txn)
+        if latency == 0:
+            next_stage(txn)
+            return
+        ch_index = self.channel_of(txn.chip_index)
+        channel = self._channels[ch_index]
+        channel.queue.append((txn, next_stage))
+        if not channel.busy:
+            self._start_channel(ch_index)
+
+    def _start_channel(self, ch_index: int) -> None:
+        channel = self._channels[ch_index]
+        if channel.busy or not channel.queue:
+            return
+        txn, next_stage = channel.queue.popleft()
+        channel.busy = True
+        latency = self._channel_latency(txn)
+        channel.busy_ns_total += latency
+
+        def done() -> None:
+            channel.busy = False
+            next_stage(txn)
+            self._start_channel(ch_index)
+
+        self.sim.schedule(latency, done)
+
+    # -- stage transitions ---------------------------------------------------
+    def _after_read_chip(self, txn: PageTransaction) -> None:
+        self._enqueue_channel(txn, next_stage=self._finish)
+
+    def _after_write_channel(self, txn: PageTransaction) -> None:
+        self._enqueue_chip(txn, next_stage=self._finish)
+
+    def _finish(self, txn: PageTransaction) -> None:
+        txn.done_ns = self.sim.now
+        self.completed += 1
+        if txn.on_done is not None:
+            txn.on_done(txn)
+
+    # -- introspection ----------------------------------------------------
+    def chip_utilisation(self, horizon_ns: int) -> list[float]:
+        """Fraction of ``horizon_ns`` each chip spent busy."""
+        if horizon_ns <= 0:
+            raise ValueError("horizon must be positive")
+        return [min(1.0, c.busy_ns_total / horizon_ns) for c in self._chips]
+
+    def pending(self) -> int:
+        """Transactions queued or in service in the backend."""
+        chip_q = sum(c.pending() for c in self._chips)
+        chan_q = sum(len(c.queue) for c in self._channels)
+        busy = sum(c.busy for c in self._chips) + sum(c.busy for c in self._channels)
+        return chip_q + chan_q + busy

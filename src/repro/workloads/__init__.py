@@ -1,0 +1,62 @@
+"""Workload generation, trace statistics, and feature extraction.
+
+Two families of traces mirror §IV-A of the paper:
+
+* **micro traces** (:mod:`repro.workloads.micro`) — inter-arrival times
+  and request sizes drawn from exponential distributions;
+* **synthetic traces** (:mod:`repro.workloads.mmpp` +
+  :mod:`repro.workloads.profiles`) — 2-phase MMPP processes fitted to the
+  summary statistics of real storage repositories (Fujitsu VDI, Tencent
+  CBS), giving bursty arrivals with controlled SCV and autocorrelation.
+
+:mod:`repro.workloads.features` implements the paper's feature extractor
+producing the workload-characteristics vector ``Ch`` used by the
+throughput-prediction model (§III-B).
+"""
+
+from repro.workloads.request import IORequest, OpType
+from repro.workloads.traces import Trace, merge_traces
+from repro.workloads.micro import MicroWorkloadConfig, generate_micro_trace
+from repro.workloads.mmpp import MMPP2, fit_mmpp2, generate_mmpp_trace
+from repro.workloads.stats import (
+    autocorrelation,
+    scv,
+    skewness,
+    trace_summary,
+)
+from repro.workloads.features import (
+    CH_FEATURE_NAMES,
+    FEATURE_NAMES,
+    WorkloadFeatures,
+    extract_features,
+)
+from repro.workloads.profiles import (
+    FUJITSU_VDI,
+    TENCENT_CBS,
+    TraceProfile,
+    synthesize_from_profile,
+)
+
+__all__ = [
+    "IORequest",
+    "OpType",
+    "Trace",
+    "merge_traces",
+    "MicroWorkloadConfig",
+    "generate_micro_trace",
+    "MMPP2",
+    "fit_mmpp2",
+    "generate_mmpp_trace",
+    "scv",
+    "skewness",
+    "autocorrelation",
+    "trace_summary",
+    "WorkloadFeatures",
+    "extract_features",
+    "CH_FEATURE_NAMES",
+    "FEATURE_NAMES",
+    "TraceProfile",
+    "FUJITSU_VDI",
+    "TENCENT_CBS",
+    "synthesize_from_profile",
+]

@@ -1,0 +1,102 @@
+"""Trace statistics: SCV, skewness, autocorrelation, summaries.
+
+These are the statistics the paper extracts from real repository traces
+(§IV-A) before fitting an MMPP, and the ones the feature extractor
+(§III-B) computes over prediction windows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.workloads.traces import Trace
+
+
+def scv(samples: np.ndarray) -> float:
+    """Squared coefficient of variation: Var(X) / E[X]^2.
+
+    Returns 0.0 for fewer than two samples or a zero mean (a degenerate
+    but harmless window), matching how the feature extractor treats
+    near-empty prediction windows.
+    """
+    x = np.asarray(samples, dtype=np.float64)
+    if x.size < 2:
+        return 0.0
+    mean = x.mean()
+    if mean == 0.0:
+        return 0.0
+    return float(x.var() / mean**2)
+
+
+def skewness(samples: np.ndarray) -> float:
+    """Sample skewness E[(X-µ)^3] / σ^3 (0.0 when degenerate)."""
+    x = np.asarray(samples, dtype=np.float64)
+    if x.size < 3:
+        return 0.0
+    std = x.std()
+    if std == 0.0:
+        return 0.0
+    return float(np.mean((x - x.mean()) ** 3) / std**3)
+
+
+def autocorrelation(samples: np.ndarray, lag: int = 1) -> float:
+    """Lag-``k`` sample autocorrelation (0.0 when degenerate)."""
+    if lag <= 0:
+        raise ValueError(f"lag must be positive, got {lag}")
+    x = np.asarray(samples, dtype=np.float64)
+    if x.size <= lag + 1:
+        return 0.0
+    var = x.var()
+    if var == 0.0:
+        return 0.0
+    centered = x - x.mean()
+    cov = np.mean(centered[:-lag] * centered[lag:])
+    return float(cov / var)
+
+
+@dataclass(frozen=True)
+class SeriesSummary:
+    """First moments plus burstiness descriptors of one sample series."""
+
+    mean: float
+    scv: float
+    skewness: float
+    autocorr_lag1: float
+
+    @classmethod
+    def of(cls, samples: np.ndarray) -> "SeriesSummary":
+        x = np.asarray(samples, dtype=np.float64)
+        mean = float(x.mean()) if x.size else 0.0
+        return cls(
+            mean=mean,
+            scv=scv(x),
+            skewness=skewness(x),
+            autocorr_lag1=autocorrelation(x, 1),
+        )
+
+
+@dataclass(frozen=True)
+class TraceSummary:
+    """Per-direction inter-arrival and size summaries of a trace."""
+
+    read_interarrival: SeriesSummary
+    read_size: SeriesSummary
+    write_interarrival: SeriesSummary
+    write_size: SeriesSummary
+    read_ratio: float
+    n_requests: int
+
+
+def trace_summary(trace: Trace) -> TraceSummary:
+    """Compute the full per-direction statistical summary of ``trace``."""
+    reads, writes = trace.reads(), trace.writes()
+    return TraceSummary(
+        read_interarrival=SeriesSummary.of(reads.interarrivals()),
+        read_size=SeriesSummary.of(reads.sizes()),
+        write_interarrival=SeriesSummary.of(writes.interarrivals()),
+        write_size=SeriesSummary.of(writes.sizes()),
+        read_ratio=trace.read_ratio(),
+        n_requests=len(trace),
+    )

@@ -1,0 +1,75 @@
+"""Shared fixtures: fast device configs and pre-trained models.
+
+The Table II presets have ms-scale saturated latencies — fine for
+benchmarks, too slow for unit tests.  ``fast_ssd`` scales every latency
+down ~30× so a full saturation experiment fits in a few ms of simulated
+time and well under a second of wall time.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.sampling import SamplingPlan, collect_training_set
+from repro.core.tpm import ThroughputPredictionModel
+from repro.sim.units import KIB, MIB, US
+from repro.ssd.config import SSDConfig
+from repro.workloads.micro import MicroWorkloadConfig, generate_micro_trace
+
+
+FAST_SSD = SSDConfig(
+    name="fast-test",
+    queue_depth=16,
+    write_cache_bytes=1 * MIB,
+    cmt_bytes=256 * KIB,
+    page_bytes=4 * KIB,
+    read_latency_ns=2 * US,
+    write_latency_ns=8 * US,
+    n_channels=2,
+    chips_per_channel=2,
+    channel_bw_bytes_per_ns=0.8,
+    # 4 chips × 256 blocks × 64 pages × 4 KiB = 256 MiB physical — roomy
+    # enough that sustained test write streams never exhaust free blocks.
+    blocks_per_chip=256,
+    pages_per_block=64,
+    erase_latency_ns=40 * US,
+)
+
+
+@pytest.fixture
+def fast_ssd() -> SSDConfig:
+    return FAST_SSD
+
+
+@pytest.fixture
+def small_trace():
+    """Balanced 200r+200w micro trace, saturating for FAST_SSD."""
+    wl = MicroWorkloadConfig(mean_interarrival_ns=3_000, mean_size_bytes=8 * KIB)
+    return generate_micro_trace(wl, n_reads=200, n_writes=200, seed=7)
+
+
+def _make_tiny_tpm() -> ThroughputPredictionModel:
+    plan = SamplingPlan(
+        interarrival_ns=(2_000, 6_000),
+        size_bytes=(4 * KIB, 12 * KIB),
+        # Contiguous low ratios keep the Algorithm-1 walk's convergence
+        # check meaningful (sparse grids create flat prediction steps).
+        weight_ratios=(1, 2, 3, 4, 6, 8),
+        read_write_mixes=(1.0,),
+        duration_ns=4_000_000,
+        min_requests=100,
+    )
+    training = collect_training_set(FAST_SSD, plan)
+    return ThroughputPredictionModel().fit(training)
+
+
+_TINY_TPM = None
+
+
+@pytest.fixture
+def tiny_tpm() -> ThroughputPredictionModel:
+    """A TPM fitted on FAST_SSD; built once per test session."""
+    global _TINY_TPM
+    if _TINY_TPM is None:
+        _TINY_TPM = _make_tiny_tpm()
+    return _TINY_TPM

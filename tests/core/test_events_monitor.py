@@ -1,0 +1,66 @@
+"""Congestion events and the workload monitor."""
+
+import pytest
+
+from repro.core.events import CongestionEvent, EventKind
+from repro.core.monitor import WorkloadMonitor
+from repro.workloads.request import IORequest, OpType
+
+
+def req(size=4096, op=OpType.READ, lba=0):
+    return IORequest(arrival_ns=0, op=op, lba=lba, size_bytes=size)
+
+
+class TestEvents:
+    def test_fields(self):
+        e = CongestionEvent(100, 5.0, EventKind.PAUSE)
+        assert e.time_ns == 100
+        assert e.kind is EventKind.PAUSE
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CongestionEvent(-1, 5.0, EventKind.PAUSE)
+        with pytest.raises(ValueError):
+            CongestionEvent(0, 0.0, EventKind.RETRIEVAL)
+
+
+class TestMonitor:
+    def test_window_eviction(self):
+        m = WorkloadMonitor(window_ns=1000)
+        m.observe(req(), now_ns=0)
+        m.observe(req(), now_ns=500)
+        m.observe(req(), now_ns=1400)
+        assert m.in_window(1400) == 2  # the t=0 one fell out
+        assert m.observed == 3
+
+    def test_window_trace_uses_observation_times(self):
+        m = WorkloadMonitor(window_ns=10_000)
+        m.observe(req(size=1000), now_ns=100)
+        m.observe(req(size=2000), now_ns=300)
+        trace = m.window_trace(500)
+        assert [r.arrival_ns for r in trace] == [100, 300]
+        assert trace.total_bytes() == 3000
+
+    def test_features_flow_speed_normalised_by_window(self):
+        m = WorkloadMonitor(window_ns=10_000)
+        for i in range(10):
+            m.observe(req(size=1000), now_ns=i * 100)
+        f = m.features(1000)
+        assert f.read_flow_speed == pytest.approx(10 * 1000 / 10_000)
+
+    def test_mixed_direction_features(self):
+        m = WorkloadMonitor(window_ns=10_000)
+        m.observe(req(op=OpType.READ), 0)
+        m.observe(req(op=OpType.READ), 10)
+        m.observe(req(op=OpType.WRITE), 20)
+        f = m.features(100)
+        assert f.read_write_ratio == pytest.approx(2.0)
+
+    def test_empty_window(self):
+        m = WorkloadMonitor(window_ns=100)
+        assert m.in_window(0) == 0
+        assert len(m.window_trace(0)) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadMonitor(0)

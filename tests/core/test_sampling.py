@@ -1,0 +1,114 @@
+"""Training-sample collection tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.sampling import (
+    SamplingPlan,
+    TrainingSet,
+    collect_training_set,
+    sample_trace,
+)
+from repro.workloads.features import FEATURE_NAMES
+from repro.workloads.micro import MicroWorkloadConfig, generate_micro_trace
+from tests.conftest import FAST_SSD
+
+TINY_PLAN = SamplingPlan(
+    interarrival_ns=(3_000,),
+    size_bytes=(8 * 1024,),
+    weight_ratios=(1, 4),
+    read_write_mixes=(1.0,),
+    duration_ns=2_000_000,
+    min_requests=100,
+)
+
+
+class TestPlan:
+    def test_n_cells(self):
+        assert TINY_PLAN.n_cells() == 2
+        assert SamplingPlan().n_cells() == 4 * 4 * 5 * 3
+
+    def test_requests_for_duration(self):
+        plan = SamplingPlan(duration_ns=10_000_000)
+        assert plan.requests_for(10_000) == 1000
+        assert plan.requests_for(10**9) == plan.min_requests
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SamplingPlan(weight_ratios=())
+        with pytest.raises(ValueError):
+            SamplingPlan(weight_ratios=(0,))
+        with pytest.raises(ValueError):
+            SamplingPlan(duration_ns=0)
+        with pytest.raises(ValueError):
+            SamplingPlan(read_write_mixes=(0.0,))
+
+
+class TestTrainingSet:
+    def make(self, n=4):
+        X = np.zeros((n, len(FEATURE_NAMES)))
+        y = np.zeros((n, 2))
+        return TrainingSet(X=X, y=y)
+
+    def test_len(self):
+        assert len(self.make(5)) == 5
+
+    def test_merge(self):
+        merged = self.make(3).merge(self.make(2))
+        assert len(merged) == 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TrainingSet(X=np.zeros((3, 2)), y=np.zeros((3, 2)))  # width
+        with pytest.raises(ValueError):
+            TrainingSet(X=np.zeros((3, len(FEATURE_NAMES))), y=np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            TrainingSet(X=np.zeros((3, len(FEATURE_NAMES))), y=np.zeros((3, 3)))
+
+
+class TestCollection:
+    def test_collect_shapes_and_feature_order(self):
+        ts = collect_training_set(FAST_SSD, TINY_PLAN)
+        assert len(ts) == 2
+        assert ts.X.shape[1] == len(FEATURE_NAMES)
+        assert ts.feature_names == FEATURE_NAMES
+        # Weight ratio is the last column and matches the plan.
+        assert sorted(ts.X[:, -1].tolist()) == [1.0, 4.0]
+
+    def test_throughputs_positive_under_saturation(self):
+        ts = collect_training_set(FAST_SSD, TINY_PLAN)
+        assert np.all(ts.y > 0)
+
+    def test_higher_weight_lowers_read_throughput(self):
+        ts = collect_training_set(FAST_SSD, TINY_PLAN)
+        by_w = {ts.X[i, -1]: ts.y[i, 0] for i in range(len(ts))}
+        assert by_w[4.0] < by_w[1.0]
+
+    def test_extra_traces_sampled(self):
+        wl = MicroWorkloadConfig(3_000, 8 * 1024)
+        trace = generate_micro_trace(wl, n_reads=300, n_writes=300, seed=2)
+        ts = collect_training_set(
+            FAST_SSD, None, traces=[trace], weight_ratios=(1, 2)
+        )
+        assert len(ts) == 2
+
+    def test_progress_callback(self):
+        calls = []
+        collect_training_set(
+            FAST_SSD, TINY_PLAN, progress=lambda d, t: calls.append((d, t))
+        )
+        assert calls == [(1, 2), (2, 2)]
+
+    def test_sample_trace_returns_feature_row(self):
+        wl = MicroWorkloadConfig(3_000, 8 * 1024)
+        trace = generate_micro_trace(wl, n_reads=200, n_writes=200, seed=3)
+        x, y = sample_trace(trace, FAST_SSD, 2)
+        assert x.shape == (len(FEATURE_NAMES),)
+        assert x[-1] == 2.0
+        assert y.shape == (2,)
+
+    def test_sample_trace_validation(self):
+        wl = MicroWorkloadConfig(3_000, 8 * 1024)
+        trace = generate_micro_trace(wl, n_reads=50, n_writes=50, seed=4)
+        with pytest.raises(ValueError):
+            sample_trace(trace, FAST_SSD, 0)

@@ -1,0 +1,117 @@
+"""Throughput-prediction model tests (uses the session-cached tiny TPM)."""
+
+import numpy as np
+import pytest
+
+from repro.core.sampling import SamplingPlan, TrainingSet, collect_training_set
+from repro.core.tpm import ThroughputPredictionModel
+from repro.ml.linear import LinearRegression
+from repro.workloads.features import FEATURE_NAMES, extract_features
+from repro.workloads.micro import MicroWorkloadConfig, generate_micro_trace
+from tests.conftest import FAST_SSD
+
+
+def features():
+    wl = MicroWorkloadConfig(3_000, 8 * 1024)
+    trace = generate_micro_trace(wl, n_reads=400, n_writes=400, seed=5)
+    return extract_features(trace)
+
+
+def test_predict_returns_read_write_pair(tiny_tpm):
+    r, w = tiny_tpm.predict(features(), 1)
+    assert r > 0 and w > 0
+
+
+def test_predict_read_shortcut(tiny_tpm):
+    f = features()
+    assert tiny_tpm.predict_read(f, 2) == tiny_tpm.predict(f, 2)[0]
+
+
+def test_higher_weight_predicts_lower_read(tiny_tpm):
+    f = features()
+    assert tiny_tpm.predict_read(f, 8) < tiny_tpm.predict_read(f, 1)
+
+
+def test_score_on_training_distribution(tiny_tpm):
+    plan = SamplingPlan(
+        interarrival_ns=(2_000, 6_000),
+        size_bytes=(4 * 1024, 12 * 1024),
+        weight_ratios=(2, 8),
+        read_write_mixes=(1.0,),
+        duration_ns=4_000_000,
+        min_requests=100,
+        seed=99,
+    )
+    validation = collect_training_set(FAST_SSD, plan)
+    assert tiny_tpm.score(validation) > 0.5
+
+
+def test_unfitted_raises():
+    tpm = ThroughputPredictionModel()
+    with pytest.raises(RuntimeError):
+        tpm.predict(features(), 1)
+    with pytest.raises(RuntimeError):
+        tpm.score(TrainingSet(X=np.zeros((1, len(FEATURE_NAMES))), y=np.zeros((1, 2))))
+
+
+def test_fit_requires_enough_samples():
+    tpm = ThroughputPredictionModel()
+    tiny = TrainingSet(X=np.zeros((2, len(FEATURE_NAMES))), y=np.zeros((2, 2)))
+    with pytest.raises(ValueError):
+        tpm.fit(tiny)
+
+
+def test_feature_importances_named_and_normalised(tiny_tpm):
+    imp = tiny_tpm.feature_importances()
+    assert set(imp) == set(FEATURE_NAMES)
+    assert sum(imp.values()) == pytest.approx(1.0)
+
+
+def test_weight_ratio_is_informative(tiny_tpm):
+    """The control knob must carry nontrivial importance."""
+    imp = tiny_tpm.feature_importances()
+    assert imp["weight_ratio"] > 0.05
+
+
+def test_ch_importances_exclude_weight_and_renormalise(tiny_tpm):
+    ch = tiny_tpm.ch_importances()
+    assert "weight_ratio" not in ch
+    assert sum(ch.values()) == pytest.approx(1.0)
+
+
+def test_flow_speed_importance_accessor(tiny_tpm):
+    ch = tiny_tpm.ch_importances()
+    expected = ch["read_flow_speed"] + ch["write_flow_speed"]
+    assert tiny_tpm.flow_speed_importance() == pytest.approx(expected)
+
+
+def test_custom_model_without_importances():
+    plan = SamplingPlan(
+        interarrival_ns=(3_000,),
+        size_bytes=(8 * 1024,),
+        weight_ratios=(1, 2, 4, 8),
+        read_write_mixes=(1.0,),
+        duration_ns=2_000_000,
+        min_requests=100,
+    )
+    training = collect_training_set(FAST_SSD, plan)
+    tpm = ThroughputPredictionModel(LinearRegression()).fit(training)
+    assert tpm.feature_importances() == {}
+    r, w = tpm.predict(features(), 1)
+    assert np.isfinite([r, w]).all()
+
+
+def test_predictions_floored_at_zero():
+    """A linear model can extrapolate negative; the TPM clamps."""
+    plan = SamplingPlan(
+        interarrival_ns=(3_000,),
+        size_bytes=(8 * 1024,),
+        weight_ratios=(1, 2, 4, 8),
+        read_write_mixes=(1.0,),
+        duration_ns=2_000_000,
+        min_requests=100,
+    )
+    training = collect_training_set(FAST_SSD, plan)
+    tpm = ThroughputPredictionModel(LinearRegression()).fit(training)
+    r, w = tpm.predict(features(), 64)  # far outside the grid
+    assert r >= 0.0 and w >= 0.0

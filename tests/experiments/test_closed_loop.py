@@ -1,0 +1,93 @@
+"""Closed-loop integration: the full SRC story at test scale.
+
+One scaled-down end-to-end scenario asserting the paper's central claim:
+under inbound congestion, DCQCN-only starves writes through the
+TXQ → CQ → slot chain, while DCQCN-SRC sustains them at a matched read
+rate.  This is the Fig. 7 experiment shrunk onto the fast test device.
+"""
+
+import pytest
+
+from repro.experiments.runner import BackgroundTraffic, TestbedConfig, run_testbed
+from repro.sim.units import MS
+from repro.workloads.micro import MicroWorkloadConfig, generate_micro_trace
+from tests.conftest import FAST_SSD
+
+
+CONGESTION = BackgroundTraffic(start_ns=1 * MS, end_ns=9 * MS, rate_gbps=10.0, n_hosts=14)
+DURATION = 11 * MS
+
+
+def make_trace(seed=13):
+    # Saturating on FAST_SSD: ~8 KB every 3 µs per direction per target.
+    reads = MicroWorkloadConfig(1_500, 8 * 1024)
+    writes = MicroWorkloadConfig(4_000, 8 * 1024)
+    return generate_micro_trace(reads, writes, n_reads=6000, n_writes=2200, seed=seed)
+
+
+@pytest.fixture(scope="module")
+def closed_loop_pair(tiny_tpm_module):
+    only = run_testbed(
+        make_trace(),
+        TestbedConfig(
+            n_targets=2, ssd_config=FAST_SSD, driver="default", background=CONGESTION
+        ),
+        duration_ns=DURATION,
+    )
+    src = run_testbed(
+        make_trace(),
+        TestbedConfig(
+            n_targets=2, ssd_config=FAST_SSD, driver="ssq", src_enabled=True,
+            background=CONGESTION, src_min_interval_ns=200_000,
+        ),
+        tpm=tiny_tpm_module,
+        duration_ns=DURATION,
+    )
+    return only, src
+
+
+@pytest.fixture(scope="module")
+def tiny_tpm_module():
+    from tests.conftest import _make_tiny_tpm
+    import tests.conftest as c
+
+    if c._TINY_TPM is None:
+        c._TINY_TPM = _make_tiny_tpm()
+    return c._TINY_TPM
+
+
+def congestion_window(series):
+    return float(series.gbps[4:9].mean())
+
+
+def test_congestion_actually_happened(closed_loop_pair):
+    only, _ = closed_loop_pair
+    assert len(only.pause_times_ns) > 10
+
+
+def test_reads_pinned_similarly_under_both(closed_loop_pair):
+    only, src = closed_loop_pair
+    r_only = congestion_window(only.read_series)
+    r_src = congestion_window(src.read_series)
+    assert r_src == pytest.approx(r_only, rel=0.6)
+
+
+def test_src_rescues_writes(closed_loop_pair):
+    only, src = closed_loop_pair
+    w_only = congestion_window(only.write_series)
+    w_src = congestion_window(src.write_series)
+    assert w_src > w_only
+
+
+def test_src_improves_aggregate(closed_loop_pair):
+    only, src = closed_loop_pair
+    agg_only = congestion_window(only.aggregated_series)
+    agg_src = congestion_window(src.aggregated_series)
+    assert agg_src > agg_only
+
+
+def test_src_made_adjustments(closed_loop_pair):
+    _, src = closed_loop_pair
+    adjustments = [a for c in src.controllers for a in c.adjustments]
+    assert adjustments
+    assert any(a.weight_ratio > 1 for a in adjustments)

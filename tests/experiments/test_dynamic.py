@@ -1,0 +1,70 @@
+"""Fig. 9 dynamic-control harness tests (scaled down)."""
+
+import pytest
+
+from repro.core.events import CongestionEvent, EventKind
+from repro.experiments.dynamic import run_dynamic_control
+from repro.sim.units import MS
+from repro.workloads.micro import MicroWorkloadConfig, generate_micro_trace
+from tests.conftest import FAST_SSD
+
+
+def saturating_trace(span_ms=12):
+    wl = MicroWorkloadConfig(2_000, 8 * 1024)
+    n = span_ms * 500
+    return generate_micro_trace(wl, n_reads=n, n_writes=n, seed=11)
+
+
+def test_pause_event_reduces_read_throughput(tiny_tpm):
+    trace = saturating_trace()
+    base_read = None
+    events = [CongestionEvent(6 * MS, 0.7, EventKind.PAUSE)]
+    res = run_dynamic_control(
+        trace, FAST_SSD, tiny_tpm, events, window_ns=2 * MS, bin_ns=MS
+    )
+    before = res.read_series.gbps[2:6].mean()
+    after = res.read_series.gbps[8:12].mean()
+    assert after < before * 0.8
+    assert res.outcomes[0].weight_ratio > 1
+
+
+def test_retrieval_event_restores_read_throughput(tiny_tpm):
+    trace = saturating_trace(16)
+    events = [
+        CongestionEvent(5 * MS, 0.7, EventKind.PAUSE),
+        CongestionEvent(10 * MS, 50.0, EventKind.RETRIEVAL),
+    ]
+    res = run_dynamic_control(
+        trace, FAST_SSD, tiny_tpm, events, window_ns=2 * MS, bin_ns=MS
+    )
+    squeezed = res.read_series.gbps[7:10].mean()
+    restored = res.read_series.gbps[12:16].mean()
+    assert res.outcomes[1].weight_ratio == 1
+    assert restored > squeezed
+
+
+def test_convergence_delays_recorded(tiny_tpm):
+    trace = saturating_trace()
+    events = [CongestionEvent(5 * MS, 1.3, EventKind.PAUSE)]
+    res = run_dynamic_control(
+        trace, FAST_SSD, tiny_tpm, events, window_ns=2 * MS, bin_ns=MS,
+        convergence_band=0.4,
+    )
+    delay = res.outcomes[0].convergence_delay_ns
+    assert delay >= 0  # converged within the run
+    assert res.mean_control_delay_ns() == delay
+
+
+def test_events_must_be_ordered(tiny_tpm):
+    trace = saturating_trace(4)
+    events = [
+        CongestionEvent(2 * MS, 1.0, EventKind.PAUSE),
+        CongestionEvent(1 * MS, 2.0, EventKind.PAUSE),
+    ]
+    with pytest.raises(ValueError):
+        run_dynamic_control(trace, FAST_SSD, tiny_tpm, events)
+
+
+def test_needs_events(tiny_tpm):
+    with pytest.raises(ValueError):
+        run_dynamic_control(saturating_trace(2), FAST_SSD, tiny_tpm, [])

@@ -1,0 +1,87 @@
+"""Latency reporting and lifecycle invariants."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.latency import LatencySummary, latency_report
+from repro.experiments.runner import TestbedConfig, run_testbed
+from repro.sim.units import MS
+from repro.workloads.micro import MicroWorkloadConfig, generate_micro_trace
+from repro.workloads.request import IORequest, OpType
+from tests.conftest import FAST_SSD
+
+
+class TestSummary:
+    def test_of_known_values(self):
+        s = LatencySummary.of(np.array([1.0, 2.0, 3.0, 4.0]))
+        assert s.count == 4
+        assert s.mean_ns == pytest.approx(2.5)
+        assert s.p50_ns == pytest.approx(2.5)
+        assert s.max_ns == 4.0
+
+    def test_empty(self):
+        s = LatencySummary.of(np.array([]))
+        assert s.count == 0
+        assert s.mean_ns == 0.0
+
+    def test_percentiles_ordered(self):
+        rng = np.random.default_rng(0)
+        s = LatencySummary.of(rng.exponential(1000, 5000))
+        assert s.p50_ns <= s.p95_ns <= s.p99_ns <= s.max_ns
+
+
+def completed_request(op, arrival, fetch, device_done, complete):
+    r = IORequest(arrival_ns=arrival, op=op, lba=0, size_bytes=512)
+    r.fetch_ns, r.device_done_ns, r.complete_ns = fetch, device_done, complete
+    return r
+
+
+class TestReport:
+    def test_splits_directions(self):
+        reqs = [
+            completed_request(OpType.READ, 0, 10, 20, 100),
+            completed_request(OpType.WRITE, 0, 10, 30, 200),
+        ]
+        rep = latency_report(reqs)
+        assert rep.read_total.count == 1
+        assert rep.read_total.mean_ns == 100
+        assert rep.write_total.mean_ns == 200
+        assert rep.read_device.mean_ns == 10
+        assert rep.write_device.mean_ns == 20
+
+    def test_ignores_incomplete(self):
+        incomplete = IORequest(arrival_ns=0, op=OpType.READ, lba=0, size_bytes=512)
+        rep = latency_report([incomplete])
+        assert rep.read_total.count == 0
+
+
+class TestEndToEndLifecycle:
+    @pytest.fixture(scope="class")
+    def run(self):
+        trace = generate_micro_trace(
+            MicroWorkloadConfig(10_000, 8 * 1024), n_reads=150, n_writes=150, seed=9
+        )
+        result = run_testbed(
+            trace,
+            TestbedConfig(n_targets=2, ssd_config=FAST_SSD, driver="ssq"),
+            drain_margin_ns=40 * MS,
+        )
+        return trace, result
+
+    def test_all_lifecycle_timestamps_monotone(self, run):
+        trace, _ = run
+        for r in trace:
+            if r.complete_ns < 0:
+                continue
+            assert r.arrival_ns <= r.submit_ns, "issued before arrival"
+            assert r.submit_ns <= r.fetch_ns, "fetched before submitted"
+            assert r.fetch_ns <= r.device_done_ns, "completed before fetched"
+            assert r.device_done_ns <= r.complete_ns, "delivered before served"
+
+    def test_report_from_real_run(self, run):
+        trace, _ = run
+        rep = latency_report(trace.requests)
+        assert rep.read_total.count > 0
+        assert rep.write_total.count > 0
+        # Device latency is a component of (and below) the total.
+        assert rep.read_device.mean_ns < rep.read_total.mean_ns

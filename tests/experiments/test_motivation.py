@@ -1,0 +1,64 @@
+"""Fig. 2 fluid-model tests — the paper's exact numbers."""
+
+import pytest
+
+from repro.experiments.motivation import (
+    MotivationScenario,
+    dcqcn_only,
+    dcqcn_src,
+    no_congestion,
+)
+
+
+def test_paper_numbers_no_congestion():
+    o = no_congestion(MotivationScenario())
+    assert o.read_delivered == 6.0
+    assert o.write_delivered == 3.0
+    assert o.aggregated == 9.0
+    assert o.wasted_read == 0.0
+
+
+def test_paper_numbers_dcqcn():
+    o = dcqcn_only(MotivationScenario())
+    assert o.read_delivered == 3.0  # half the network rate
+    assert o.write_delivered == 3.0
+    assert o.aggregated == 6.0  # degraded from 9
+    assert o.wasted_read == 3.0  # SSD work thrown away
+
+
+def test_paper_numbers_src():
+    o = dcqcn_src(MotivationScenario())
+    assert o.read_delivered == 3.0  # still honors the network cap
+    assert o.write_delivered == 6.0  # freed capacity moves to writes
+    assert o.aggregated == 9.0  # restored
+    assert o.wasted_read == 0.0
+
+
+def test_src_never_below_dcqcn():
+    for cut in (0.1, 0.3, 0.7, 1.0):
+        s = MotivationScenario(congestion_cut=cut)
+        assert dcqcn_src(s).aggregated >= dcqcn_only(s).aggregated
+
+
+def test_src_preserves_network_cap():
+    s = MotivationScenario(congestion_cut=0.25)
+    assert dcqcn_src(s).read_delivered == dcqcn_only(s).read_delivered
+
+
+def test_no_cut_equals_no_congestion():
+    s = MotivationScenario(congestion_cut=1.0)
+    assert dcqcn_only(s).aggregated == no_congestion(s).aggregated
+    assert dcqcn_src(s).aggregated == no_congestion(s).aggregated
+
+
+def test_network_slower_than_ssd_without_congestion():
+    s = MotivationScenario(ssd_read_rate=10.0, network_rate=6.0)
+    assert no_congestion(s).read_delivered == 6.0
+    assert no_congestion(s).wasted_read == 4.0
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        MotivationScenario(congestion_cut=0.0)
+    with pytest.raises(ValueError):
+        MotivationScenario(ssd_read_rate=-1.0)

@@ -1,0 +1,121 @@
+"""Integrated testbed runner (scaled-down smoke + semantics tests)."""
+
+import pytest
+
+from repro.experiments.runner import (
+    BackgroundTraffic,
+    TestbedConfig,
+    run_testbed,
+)
+from repro.sim.units import MS
+from repro.workloads.micro import MicroWorkloadConfig, generate_micro_trace
+from repro.workloads.traces import Trace
+from tests.conftest import FAST_SSD
+
+
+def small_trace(n=120, inter=20_000, size=8 * 1024, seed=5):
+    wl = MicroWorkloadConfig(inter, size)
+    return generate_micro_trace(wl, n_reads=n, n_writes=n, seed=seed)
+
+
+def base_config(**kw):
+    defaults = dict(
+        n_initiators=1,
+        n_targets=2,
+        ssd_config=FAST_SSD,
+        driver="default",
+        src_enabled=False,
+    )
+    defaults.update(kw)
+    return TestbedConfig(**defaults)
+
+
+def test_run_produces_throughput_both_directions():
+    res = run_testbed(small_trace(), base_config(), bin_ns=MS)
+    assert res.read_series.gbps.sum() > 0
+    assert res.write_series.gbps.sum() > 0
+    assert res.aggregated_series.gbps.sum() == pytest.approx(
+        res.read_series.gbps.sum() + res.write_series.gbps.sum()
+    )
+
+
+def test_all_requests_complete_with_drain_margin():
+    trace = small_trace()
+    n = len(trace)
+    res = run_testbed(trace, base_config(), drain_margin_ns=50 * MS)
+    done = sum(i.reads_completed + i.writes_completed for i in res.initiators)
+    assert done == n
+
+
+def test_requests_split_across_targets():
+    res = run_testbed(small_trace(), base_config(n_targets=2))
+    received = [t.commands_received for t in res.targets]
+    assert received[0] > 0 and received[1] > 0
+    assert abs(received[0] - received[1]) <= 1
+
+
+def test_multiple_initiators():
+    res = run_testbed(small_trace(), base_config(n_initiators=2))
+    sent = [i.requests_sent for i in res.initiators]
+    assert all(s > 0 for s in sent)
+
+
+def test_ssq_driver_option():
+    res = run_testbed(small_trace(), base_config(driver="ssq"))
+    from repro.nvme.ssq import SSQDriver
+
+    assert all(isinstance(d, SSQDriver) for t in res.targets for d in t.drivers)
+
+
+def test_src_requires_tpm():
+    with pytest.raises(ValueError):
+        run_testbed(small_trace(), base_config(driver="ssq", src_enabled=True))
+
+
+def test_src_attaches_controllers(tiny_tpm):
+    res = run_testbed(
+        small_trace(), base_config(driver="ssq", src_enabled=True), tpm=tiny_tpm
+    )
+    assert len(res.controllers) == 2
+    assert all(c.monitor.observed > 0 for c in res.controllers)
+
+
+def test_background_traffic_creates_congestion_signals(tiny_tpm):
+    bg = BackgroundTraffic(start_ns=0, end_ns=3 * MS, rate_gbps=45.0, n_hosts=3)
+    res = run_testbed(
+        small_trace(n=200, inter=10_000),
+        base_config(background=bg),
+        duration_ns=3 * MS,
+    )
+    assert len(res.pause_times_ns) > 0
+
+
+def test_pause_counts_binning():
+    bg = BackgroundTraffic(start_ns=0, end_ns=2 * MS, rate_gbps=45.0, n_hosts=3)
+    res = run_testbed(
+        small_trace(n=200, inter=10_000), base_config(background=bg), duration_ns=2 * MS
+    )
+    times, counts = res.pause_counts_per_ms()
+    assert counts.sum() == len(res.pause_times_ns)
+
+
+def test_trimmed_metrics_accessible():
+    res = run_testbed(small_trace(), base_config())
+    assert res.trimmed_aggregated_gbps() == pytest.approx(
+        res.trimmed_read_gbps() + res.trimmed_write_gbps(), rel=1e-9
+    )
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        TestbedConfig(n_initiators=0)
+    with pytest.raises(ValueError):
+        TestbedConfig(driver="bogus")
+    with pytest.raises(ValueError):
+        TestbedConfig(driver="default", src_enabled=True)
+    with pytest.raises(ValueError):
+        BackgroundTraffic(start_ns=10, end_ns=10, rate_gbps=1.0)
+    with pytest.raises(ValueError):
+        BackgroundTraffic(start_ns=0, end_ns=10, rate_gbps=1.0, n_hosts=0)
+    with pytest.raises(ValueError):
+        run_testbed(Trace([]), base_config())

@@ -1,0 +1,82 @@
+"""K-nearest-neighbor regression tests."""
+
+import numpy as np
+import pytest
+
+from repro.ml.knn import KNeighborsRegressor
+from repro.ml.metrics import r2_score
+
+
+def test_k1_memorises_training_points():
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(30, 2))
+    y = rng.normal(size=30)
+    model = KNeighborsRegressor(1).fit(X, y)
+    assert np.allclose(model.predict(X), y)
+
+
+def test_k_larger_than_n_uses_all():
+    X = np.arange(4.0).reshape(-1, 1)
+    y = np.array([1.0, 2.0, 3.0, 4.0])
+    model = KNeighborsRegressor(100).fit(X, y)
+    assert model.predict(np.array([[0.0]]))[0] == pytest.approx(y.mean())
+
+
+def test_uniform_average_of_neighbors():
+    X = np.array([[0.0], [1.0], [10.0]])
+    y = np.array([0.0, 2.0, 100.0])
+    model = KNeighborsRegressor(2).fit(X, y)
+    # Query at 0.4: neighbors are 0.0 and 1.0.
+    assert model.predict(np.array([[0.4]]))[0] == pytest.approx(1.0)
+
+
+def test_distance_weighting_prefers_closer():
+    X = np.array([[0.0], [1.0]])
+    y = np.array([0.0, 10.0])
+    uni = KNeighborsRegressor(2, weights="uniform").fit(X, y)
+    dist = KNeighborsRegressor(2, weights="distance").fit(X, y)
+    q = np.array([[0.1]])
+    assert uni.predict(q)[0] == pytest.approx(5.0)
+    assert dist.predict(q)[0] < 2.0  # dominated by the nearby 0.0 label
+
+
+def test_exact_match_with_distance_weights():
+    X = np.array([[0.0], [5.0]])
+    y = np.array([1.0, 9.0])
+    model = KNeighborsRegressor(2, weights="distance").fit(X, y)
+    assert model.predict(np.array([[0.0]]))[0] == pytest.approx(1.0, abs=1e-6)
+
+
+def test_smooth_function_accuracy():
+    rng = np.random.default_rng(1)
+    X = rng.uniform(-3, 3, size=(800, 1))
+    y = np.sin(X.ravel())
+    model = KNeighborsRegressor(5).fit(X[:600], y[:600])
+    assert r2_score(y[600:], model.predict(X[600:])) > 0.98
+
+
+def test_standardisation_makes_scales_comparable():
+    """A feature in nanoseconds must not drown one in ratios."""
+    rng = np.random.default_rng(2)
+    big = rng.uniform(0, 1e6, 300)  # irrelevant
+    small = rng.uniform(0, 1, 300)  # fully determines y
+    X = np.column_stack([big, small])
+    y = small * 10
+    model = KNeighborsRegressor(3).fit(X[:200], y[:200])
+    assert r2_score(y[200:], model.predict(X[200:])) > 0.5
+
+
+def test_multioutput_shape():
+    X = np.arange(10.0).reshape(-1, 1)
+    y = np.column_stack([X.ravel(), -X.ravel()])
+    model = KNeighborsRegressor(3).fit(X, y)
+    assert model.predict(X).shape == (10, 2)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        KNeighborsRegressor(0)
+    with pytest.raises(ValueError):
+        KNeighborsRegressor(3, weights="triangle")
+    with pytest.raises(RuntimeError):
+        KNeighborsRegressor().predict(np.zeros((1, 1)))

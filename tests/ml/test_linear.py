@@ -1,0 +1,126 @@
+"""Linear and polynomial regression tests."""
+
+import numpy as np
+import pytest
+
+from repro.ml.linear import LinearRegression
+from repro.ml.metrics import r2_score
+from repro.ml.polynomial import PolynomialRegression, polynomial_features
+
+
+class TestLinear:
+    def test_recovers_exact_linear_function(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(60, 3))
+        y = 2.0 * X[:, 0] - 1.0 * X[:, 1] + 0.5 * X[:, 2] + 4.0
+        model = LinearRegression().fit(X, y)
+        assert r2_score(y, model.predict(X)) == pytest.approx(1.0, abs=1e-9)
+
+    def test_multioutput(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(50, 2))
+        y = np.column_stack([X @ [1.0, 2.0], X @ [-1.0, 0.5] + 3.0])
+        model = LinearRegression().fit(X, y)
+        pred = model.predict(X)
+        assert pred.shape == (50, 2)
+        assert r2_score(y, pred) == pytest.approx(1.0, abs=1e-9)
+
+    def test_single_output_returns_1d(self):
+        X = np.arange(10.0).reshape(-1, 1)
+        model = LinearRegression().fit(X, X.ravel())
+        assert model.predict(X).ndim == 1
+
+    def test_constant_feature_handled(self):
+        """Zero-variance columns must not produce NaNs."""
+        X = np.column_stack([np.ones(20), np.arange(20.0)])
+        y = 3.0 * X[:, 1] + 1.0
+        model = LinearRegression().fit(X, y)
+        assert np.isfinite(model.predict(X)).all()
+        assert r2_score(y, model.predict(X)) == pytest.approx(1.0, abs=1e-9)
+
+    def test_badly_scaled_features(self):
+        """Nanosecond-scale and unit-scale features in one matrix."""
+        rng = np.random.default_rng(2)
+        X = np.column_stack([rng.uniform(1e4, 1e5, 80), rng.uniform(0, 1, 80)])
+        y = 1e-4 * X[:, 0] + 5.0 * X[:, 1]
+        model = LinearRegression().fit(X, y)
+        assert r2_score(y, model.predict(X)) > 0.999
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            LinearRegression().predict(np.zeros((1, 2)))
+
+    def test_predict_wrong_width_raises(self):
+        model = LinearRegression().fit(np.zeros((5, 3)), np.zeros(5))
+        with pytest.raises(ValueError):
+            model.predict(np.zeros((2, 2)))
+
+    def test_rejects_nan_input(self):
+        X = np.zeros((4, 2))
+        y = np.array([0.0, 1.0, np.nan, 2.0])
+        with pytest.raises(ValueError):
+            LinearRegression().fit(X, y)
+
+    def test_1d_X_reshaped(self):
+        X = np.arange(10.0)
+        model = LinearRegression().fit(X, 2 * X)
+        assert model.predict(np.array([20.0])) == pytest.approx(40.0)
+
+
+class TestPolynomialFeatures:
+    def test_degree_one_is_identity(self):
+        X = np.array([[1.0, 2.0], [3.0, 4.0]])
+        assert np.array_equal(polynomial_features(X, 1), X)
+
+    def test_degree_two_column_count(self):
+        # d features -> d + d(d+1)/2 columns.
+        X = np.zeros((1, 3))
+        assert polynomial_features(X, 2).shape[1] == 3 + 6
+
+    def test_degree_two_values(self):
+        X = np.array([[2.0, 3.0]])
+        phi = polynomial_features(X, 2)
+        # Order: x0, x1, x0², x0·x1, x1².
+        assert phi.tolist() == [[2.0, 3.0, 4.0, 6.0, 9.0]]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            polynomial_features(np.zeros((2, 2)), 0)
+        with pytest.raises(ValueError):
+            polynomial_features(np.zeros(3), 2)
+
+
+class TestPolynomialRegression:
+    def test_fits_quadratic_exactly(self):
+        x = np.linspace(-2, 2, 40).reshape(-1, 1)
+        y = 3.0 * x.ravel() ** 2 - x.ravel() + 1.0
+        model = PolynomialRegression(degree=2).fit(x, y)
+        assert r2_score(y, model.predict(x)) == pytest.approx(1.0, abs=1e-6)
+
+    def test_captures_interaction_terms(self):
+        rng = np.random.default_rng(3)
+        X = rng.uniform(-1, 1, size=(100, 2))
+        y = X[:, 0] * X[:, 1]
+        model = PolynomialRegression(degree=2).fit(X, y)
+        assert r2_score(y, model.predict(X)) > 0.999
+
+    def test_linear_beats_poly_extrapolation_noise(self):
+        """Collinear expanded features stay solvable thanks to the ridge."""
+        X = np.column_stack([np.arange(20.0), np.arange(20.0)])  # duplicated col
+        y = X[:, 0] * 2.0
+        model = PolynomialRegression(degree=2).fit(X, y)
+        assert np.isfinite(model.predict(X)).all()
+
+    def test_multioutput(self):
+        x = np.linspace(0, 1, 30).reshape(-1, 1)
+        y = np.column_stack([x.ravel() ** 2, 1 - x.ravel()])
+        model = PolynomialRegression(2).fit(x, y)
+        assert model.predict(x).shape == (30, 2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PolynomialRegression(degree=0)
+        with pytest.raises(ValueError):
+            PolynomialRegression(ridge=-1.0)
+        with pytest.raises(RuntimeError):
+            PolynomialRegression().predict(np.zeros((1, 1)))

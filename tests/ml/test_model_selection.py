@@ -1,0 +1,93 @@
+"""Splitting and cross-validation tests."""
+
+import numpy as np
+import pytest
+
+from repro.ml.linear import LinearRegression
+from repro.ml.model_selection import KFold, cross_val_score, train_test_split
+
+
+def data(n=50, d=3, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, d))
+    y = X @ np.array([1.0, -2.0, 0.5]) + 0.01 * rng.normal(size=n)
+    return X, y
+
+
+class TestTrainTestSplit:
+    def test_sizes_at_60_40(self):
+        X, y = data(100)
+        Xtr, Xva, ytr, yva = train_test_split(X, y, train_fraction=0.6, seed=1)
+        assert Xtr.shape[0] == 60 and Xva.shape[0] == 40
+        assert ytr.shape[0] == 60 and yva.shape[0] == 40
+
+    def test_partition_is_exact(self):
+        X, y = data(30)
+        Xtr, Xva, _, _ = train_test_split(X, y, seed=2)
+        combined = np.vstack([Xtr, Xva])
+        assert combined.shape == X.shape
+        # Every original row appears exactly once.
+        orig = {tuple(row) for row in X}
+        split = {tuple(row) for row in combined}
+        assert orig == split
+
+    def test_deterministic_with_seed(self):
+        X, y = data(20)
+        a = train_test_split(X, y, seed=5)[0]
+        b = train_test_split(X, y, seed=5)[0]
+        assert np.array_equal(a, b)
+
+    def test_shuffles(self):
+        X, y = data(50)
+        Xtr, _, _, _ = train_test_split(X, y, seed=3)
+        assert not np.array_equal(Xtr, X[:30])
+
+    def test_both_sides_nonempty_even_extreme(self):
+        X, y = data(10)
+        Xtr, Xva, _, _ = train_test_split(X, y, train_fraction=0.99, seed=1)
+        assert Xva.shape[0] >= 1
+        Xtr, Xva, _, _ = train_test_split(X, y, train_fraction=0.01, seed=1)
+        assert Xtr.shape[0] >= 1
+
+    def test_validation(self):
+        X, y = data(10)
+        with pytest.raises(ValueError):
+            train_test_split(X, y, train_fraction=0.0)
+        with pytest.raises(ValueError):
+            train_test_split(X, y[:5])
+        with pytest.raises(ValueError):
+            train_test_split(X[:1], y[:1])
+
+
+class TestKFold:
+    def test_folds_partition_indices(self):
+        folds = list(KFold(4, seed=0).split(23))
+        assert len(folds) == 4
+        all_val = np.concatenate([v for _, v in folds])
+        assert sorted(all_val.tolist()) == list(range(23))
+
+    def test_train_and_val_disjoint(self):
+        for train, val in KFold(5, seed=1).split(40):
+            assert set(train).isdisjoint(set(val))
+            assert len(train) + len(val) == 40
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KFold(1)
+        with pytest.raises(ValueError):
+            list(KFold(5).split(3))
+
+
+class TestCrossValScore:
+    def test_linear_model_scores_high_on_linear_data(self):
+        X, y = data(100)
+        scores = cross_val_score(LinearRegression(), X, y, n_splits=4, seed=2)
+        assert scores.shape == (4,)
+        assert np.all(scores > 0.95)
+
+    def test_fresh_clone_per_fold(self):
+        """The passed model instance must stay unfitted."""
+        X, y = data(40)
+        model = LinearRegression()
+        cross_val_score(model, X, y, n_splits=4, seed=3)
+        assert model.coef_ is None

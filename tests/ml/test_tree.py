@@ -1,0 +1,132 @@
+"""CART decision-tree regression tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.metrics import r2_score
+from repro.ml.tree import DecisionTreeRegressor
+
+
+def step_data():
+    X = np.linspace(0, 1, 100).reshape(-1, 1)
+    y = (X.ravel() > 0.5).astype(float)
+    return X, y
+
+
+def test_learns_step_function_with_one_split():
+    X, y = step_data()
+    tree = DecisionTreeRegressor(max_depth=1).fit(X, y)
+    assert r2_score(y, tree.predict(X)) == pytest.approx(1.0)
+    assert tree.depth() == 1
+    assert tree.n_leaves() == 2
+
+
+def test_full_tree_memorises():
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(50, 2))
+    y = rng.normal(size=50)
+    tree = DecisionTreeRegressor().fit(X, y)
+    assert np.allclose(tree.predict(X), y)
+
+
+def test_max_depth_limits_tree():
+    rng = np.random.default_rng(1)
+    X = rng.normal(size=(200, 3))
+    y = rng.normal(size=200)
+    tree = DecisionTreeRegressor(max_depth=3).fit(X, y)
+    assert tree.depth() <= 3
+    assert tree.n_leaves() <= 8
+
+
+def test_min_samples_leaf_respected():
+    X, y = step_data()
+    tree = DecisionTreeRegressor(min_samples_leaf=30).fit(X, y)
+    # With 100 points and min leaf 30, at most 3 leaves.
+    assert tree.n_leaves() <= 3
+
+
+def test_pure_node_stops_splitting():
+    X = np.arange(10.0).reshape(-1, 1)
+    y = np.zeros(10)
+    tree = DecisionTreeRegressor().fit(X, y)
+    assert tree.n_leaves() == 1
+
+
+def test_constant_feature_never_split():
+    X = np.ones((20, 1))
+    y = np.arange(20.0)
+    tree = DecisionTreeRegressor().fit(X, y)
+    assert tree.n_leaves() == 1
+    assert tree.predict(X)[0] == pytest.approx(y.mean())
+
+
+def test_multioutput():
+    X = np.linspace(0, 1, 60).reshape(-1, 1)
+    y = np.column_stack([(X.ravel() > 0.3).astype(float), (X.ravel() > 0.7) * 2.0])
+    tree = DecisionTreeRegressor().fit(X, y)
+    pred = tree.predict(X)
+    assert pred.shape == (60, 2)
+    assert r2_score(y, pred) == pytest.approx(1.0)
+
+
+def test_feature_importances_identify_relevant_feature():
+    rng = np.random.default_rng(2)
+    X = rng.uniform(size=(300, 3))
+    y = (X[:, 1] > 0.5).astype(float)  # only feature 1 matters
+    tree = DecisionTreeRegressor(seed=0).fit(X, y)
+    imp = tree.feature_importances_
+    assert imp.shape == (3,)
+    assert imp[1] > 0.9
+    assert imp.sum() == pytest.approx(1.0)
+
+
+def test_importances_zero_when_no_splits():
+    X = np.ones((10, 2))
+    y = np.zeros(10)
+    tree = DecisionTreeRegressor().fit(X, y)
+    assert np.all(tree.feature_importances_ == 0.0)
+
+
+def test_max_features_subsampling_still_fits():
+    rng = np.random.default_rng(3)
+    X = rng.uniform(size=(200, 4))
+    y = X[:, 0] + X[:, 3]
+    tree = DecisionTreeRegressor(max_features=2, seed=1).fit(X, y)
+    assert r2_score(y, tree.predict(X)) > 0.9
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        DecisionTreeRegressor(max_depth=0)
+    with pytest.raises(ValueError):
+        DecisionTreeRegressor(min_samples_split=1)
+    with pytest.raises(ValueError):
+        DecisionTreeRegressor(min_samples_leaf=0)
+    with pytest.raises(RuntimeError):
+        DecisionTreeRegressor().predict(np.zeros((1, 1)))
+    with pytest.raises(RuntimeError):
+        _ = DecisionTreeRegressor().feature_importances_
+
+
+def test_prediction_deterministic():
+    rng = np.random.default_rng(4)
+    X = rng.normal(size=(100, 3))
+    y = rng.normal(size=100)
+    a = DecisionTreeRegressor(max_features=2, seed=9).fit(X, y).predict(X)
+    b = DecisionTreeRegressor(max_features=2, seed=9).fit(X, y).predict(X)
+    assert np.array_equal(a, b)
+
+
+@settings(deadline=None, max_examples=25)
+@given(st.integers(min_value=5, max_value=60), st.integers(min_value=0, max_value=10**6))
+def test_predictions_within_target_range_property(n, seed):
+    """Tree predictions are means of training targets: always in range."""
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, 2))
+    y = rng.uniform(-5, 5, size=n)
+    tree = DecisionTreeRegressor(max_depth=4).fit(X, y)
+    pred = tree.predict(rng.normal(size=(20, 2)) * 10)
+    assert pred.min() >= y.min() - 1e-9
+    assert pred.max() <= y.max() + 1e-9

@@ -1,0 +1,113 @@
+"""DCQCN reaction-point state machine tests."""
+
+import pytest
+
+from repro.net.dcqcn import DCQCNConfig, DCQCNRateControl
+from repro.sim.engine import Simulator
+
+
+def make(config=None):
+    sim = Simulator()
+    return sim, DCQCNRateControl(sim, config or DCQCNConfig())
+
+
+def test_starts_at_line_rate():
+    _, rp = make()
+    assert rp.current_rate_gbps == 40.0
+    assert rp.alpha == 1.0
+
+
+def test_first_cnp_halves_rate():
+    _, rp = make()
+    rp.on_cnp()
+    # alpha=1 => cut by alpha/2 = 50%.
+    assert rp.current_rate_gbps == pytest.approx(20.0)
+    assert rp.target_rate_gbps == pytest.approx(40.0)
+
+
+def test_alpha_rises_on_cnp_and_decays_after():
+    sim, rp = make()
+    rp.on_cnp()
+    assert rp.alpha == pytest.approx(1.0)  # (1-g)*1 + g with alpha0=1
+    rp.on_cnp()
+    a = rp.alpha
+    sim.run(until=sim.now + 10 * 55_000)
+    assert rp.alpha < a  # decay timers fired
+
+
+def test_repeated_cnps_drive_rate_to_floor():
+    _, rp = make()
+    for _ in range(50):
+        rp.on_cnp()
+    assert rp.current_rate_gbps == pytest.approx(0.1)  # min rate clamp
+
+
+def test_fast_recovery_approaches_target():
+    sim, rp = make()
+    rp.on_cnp()
+    cut = rp.current_rate_gbps
+    sim.run(until=2 * 55_000 + 10)
+    # Two timer ticks of fast recovery: rate climbed toward target 40.
+    assert rp.current_rate_gbps > cut
+    assert rp.current_rate_gbps <= 40.0
+
+
+def test_full_recovery_reaches_line_rate():
+    sim, rp = make()
+    rp.on_cnp()
+    sim.run(until=sim.now + 400 * 55_000)
+    assert rp.current_rate_gbps == pytest.approx(40.0)
+    assert not rp._congested
+
+
+def test_byte_counter_triggers_increase():
+    sim, rp = make()
+    rp.on_cnp()
+    cut = rp.current_rate_gbps
+    rp.on_bytes_sent(DCQCNConfig().byte_counter_bytes)
+    assert rp.current_rate_gbps > cut
+
+
+def test_byte_counter_idle_when_uncongested():
+    _, rp = make()
+    rp.on_bytes_sent(10**9)
+    assert rp.current_rate_gbps == 40.0
+
+
+def test_listeners_see_decreases_and_increases():
+    sim, rp = make()
+    changes = []
+    rp.listeners.append(lambda c: changes.append(c))
+    rp.on_cnp()
+    sim.run(until=5 * 55_000)
+    assert changes[0].decreased
+    assert changes[0].rate_gbps == pytest.approx(20.0)
+    assert any(not c.decreased for c in changes[1:])
+
+
+def test_cnp_counter():
+    _, rp = make()
+    rp.on_cnp()
+    rp.on_cnp()
+    assert rp.cnp_count == 2
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        DCQCNConfig(line_rate_gbps=0)
+    with pytest.raises(ValueError):
+        DCQCNConfig(min_rate_gbps=50, line_rate_gbps=40)
+    with pytest.raises(ValueError):
+        DCQCNConfig(g=0)
+    with pytest.raises(ValueError):
+        DCQCNConfig(alpha_timer_ns=0)
+    with pytest.raises(ValueError):
+        DCQCNConfig(fast_recovery_threshold=0)
+
+
+def test_rate_never_exceeds_line_or_drops_below_min():
+    sim, rp = make()
+    for i in range(20):
+        rp.on_cnp()
+        sim.run(until=sim.now + 55_000)
+        assert 0.1 <= rp.current_rate_gbps <= 40.0

@@ -1,0 +1,71 @@
+"""DCQCN system-level behavior: fairness and bottleneck tracking."""
+
+import pytest
+
+from repro.net.topology import build_star
+from repro.sim.engine import Simulator
+from repro.sim.units import GBPS, MS
+
+
+def incast(n_senders, msg_bytes=64 * 1024, gap_ns=10_000, run_ms=8):
+    """n senders blast one receiver; returns (net, per-sender goodput)."""
+    sim = Simulator()
+    names = ["dst"] + [f"s{i}" for i in range(n_senders)]
+    net = build_star(sim, names)
+    received = {f"s{i}": 0 for i in range(n_senders)}
+
+    def endpoint(payload, src, size):
+        received[src] += size
+
+    net.hosts["dst"].endpoint = endpoint
+
+    def make_feeder(name):
+        nic = net.hosts[name]
+
+        def feed():
+            nic.send_message("dst", msg_bytes)
+            sim.schedule(gap_ns, feed)
+
+        return feed
+
+    for i in range(n_senders):
+        sim.schedule_at(0, make_feeder(f"s{i}"))
+    sim.run(until=run_ms * MS)
+    # Goodput over the second half (past convergence).
+    return net, received, run_ms
+
+
+def test_two_flow_fairness():
+    net, received, run_ms = incast(2)
+    rates = [received[s] / (run_ms * MS) / GBPS for s in received]
+    # Combined goodput near the 40 Gbps bottleneck...
+    assert sum(rates) == pytest.approx(40.0, rel=0.25)
+    # ...split roughly fairly.
+    assert min(rates) / max(rates) > 0.6
+
+
+def test_four_flow_fairness_and_bottleneck():
+    net, received, run_ms = incast(4)
+    rates = sorted(received[s] / (run_ms * MS) / GBPS for s in received)
+    assert sum(rates) == pytest.approx(40.0, rel=0.3)
+    assert rates[0] / rates[-1] > 0.45
+
+
+def test_congestion_control_keeps_queues_bounded():
+    net, received, _ = incast(3)
+    sw = net.switches["sw0"]
+    # ECN-based control holds the buffer far below the PFC threshold in
+    # steady state (no drops, few or no pauses).
+    assert sw.packets_dropped == 0
+    assert sw._buffered_bytes < sw.config.buffer_bytes
+
+
+def test_single_flow_reaches_line_rate():
+    net, received, run_ms = incast(1)
+    rate = received["s0"] / (run_ms * MS) / GBPS
+    # One uncongested flow delivers most of the 40 Gbps (message gaps
+    # and delivery delay cost a little).
+    assert rate > 30.0
+    # And its DCQCN state was never cut below half line rate for long:
+    flow = net.hosts["s0"].flows["dst"]
+    assert flow.rate_control.current_rate_gbps > 20.0

@@ -1,0 +1,120 @@
+"""Link serialization, ordering, and PFC pause tests."""
+
+import pytest
+
+from repro.net.link import Link
+from repro.net.packet import Packet, PacketKind
+from repro.sim.engine import Simulator
+
+
+class Sink:
+    def __init__(self, sim, name="sink"):
+        self.sim = sim
+        self.name = name
+        self.received = []
+
+    def receive(self, packet, in_port):
+        self.received.append((self.sim.now, packet, in_port))
+
+
+def make_link(rate=40.0, delay=1000):
+    sim = Simulator()
+    sink = Sink(sim)
+    link = Link(sim, rate_gbps=rate, delay_ns=delay, dst=sink, dst_port=3)
+    return sim, sink, link
+
+
+def data(size=4096, src="a", dst="sink"):
+    return Packet(kind=PacketKind.DATA, src=src, dst=dst, size_bytes=size)
+
+
+def test_delivery_time_is_serialization_plus_delay():
+    sim, sink, link = make_link(rate=40.0, delay=1000)
+    link.send(data(4096))
+    sim.run()
+    # 4096 B at 5 B/ns = 819 ns + 1000 ns propagation.
+    t, pkt, port = sink.received[0]
+    assert t == 819 + 1000
+    assert port == 3
+
+
+def test_fifo_order_and_pipelining():
+    sim, sink, link = make_link(rate=40.0, delay=1000)
+    link.send(data(4096))
+    link.send(data(4096))
+    sim.run()
+    t1, t2 = sink.received[0][0], sink.received[1][0]
+    assert t2 - t1 == 819  # second waits one serialization, shares the wire
+
+
+def test_control_packets_jump_queue():
+    sim, sink, link = make_link()
+    link.send(data(4096))
+    link.send(data(4096))
+    cnp = Packet(kind=PacketKind.CNP, src="a", dst="sink", size_bytes=64)
+    link.send(cnp)
+    sim.run()
+    kinds = [p.kind for _, p, _ in sink.received]
+    # First data was already serializing; the CNP passes the queued data.
+    assert kinds == [PacketKind.DATA, PacketKind.CNP, PacketKind.DATA]
+
+
+def test_pause_stops_data_but_not_control():
+    sim, sink, link = make_link()
+    link.pause()
+    link.send(data(4096))
+    link.send(Packet(kind=PacketKind.CNP, src="a", dst="sink", size_bytes=64))
+    sim.run()
+    kinds = [p.kind for _, p, _ in sink.received]
+    assert kinds == [PacketKind.CNP]
+    link.resume()
+    sim.run()
+    assert len(sink.received) == 2
+
+
+def test_pause_mid_stream_then_resume():
+    sim, sink, link = make_link()
+    link.send(data(4096))
+    sim.run()
+    link.pause()
+    link.send(data(4096))
+    sim.run()
+    assert len(sink.received) == 1
+    link.resume()
+    sim.run()
+    assert len(sink.received) == 2
+
+
+def test_queue_accounting():
+    sim, sink, link = make_link()
+    link.send(data(4096))
+    link.send(data(4096))
+    link.send(data(4096))
+    # One is serializing, two queued.
+    assert link.queued_packets == 2
+    assert link.queued_bytes == 2 * 4096
+    sim.run()
+    assert link.queued_packets == 0
+    assert link.queued_bytes == 0
+    assert link.bytes_sent == 3 * 4096
+    assert link.packets_sent == 3
+
+
+def test_on_depart_hook():
+    sim, sink, link = make_link()
+    departed = []
+    link.on_depart = lambda pkt: departed.append(pkt.size_bytes)
+    link.send(data(1000))
+    sim.run()
+    assert departed == [1000]
+
+
+def test_validation():
+    sim = Simulator()
+    sink = Sink(sim)
+    with pytest.raises(ValueError):
+        Link(sim, rate_gbps=0, delay_ns=0, dst=sink, dst_port=0)
+    with pytest.raises(ValueError):
+        Link(sim, rate_gbps=1, delay_ns=-1, dst=sink, dst_port=0)
+    with pytest.raises(ValueError):
+        Packet(kind=PacketKind.DATA, src="a", dst="b", size_bytes=0)

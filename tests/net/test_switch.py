@@ -1,0 +1,134 @@
+"""Switch forwarding, ECN marking, and PFC tests."""
+
+import pytest
+
+from repro.net.switch import SwitchConfig
+from repro.net.packet import Packet, PacketKind
+from repro.net.topology import Network, build_star
+from repro.sim.engine import Simulator
+from repro.sim.units import MS
+
+
+def test_switch_config_validation():
+    with pytest.raises(ValueError):
+        SwitchConfig(ecn_kmin_bytes=0)
+    with pytest.raises(ValueError):
+        SwitchConfig(ecn_kmin_bytes=100, ecn_kmax_bytes=50)
+    with pytest.raises(ValueError):
+        SwitchConfig(ecn_pmax=0.0)
+    with pytest.raises(ValueError):
+        SwitchConfig(pfc_xon_bytes=100, pfc_xoff_bytes=50)
+    with pytest.raises(ValueError):
+        SwitchConfig(buffer_bytes=1000, pfc_xoff_bytes=2000)
+
+
+def test_forwarding_through_star():
+    sim = Simulator()
+    net = build_star(sim, ["a", "b"])
+    got = []
+    net.hosts["b"].endpoint = lambda p, src, size: got.append((src, size))
+    net.hosts["a"].send_message("b", 10_000, payload=None)
+    sim.run()
+    assert got == [("a", 10_000)]
+    assert net.switches["sw0"].packets_forwarded > 0
+
+
+def test_unroutable_destination_raises():
+    sim = Simulator()
+    net = build_star(sim, ["a", "b"])
+    sw = net.switches["sw0"]
+    pkt = Packet(kind=PacketKind.DATA, src="a", dst="nowhere", size_bytes=64)
+    with pytest.raises(RuntimeError, match="no route"):
+        sw.receive(pkt, 0)
+
+
+def test_ecn_marks_under_sustained_overload():
+    sim = Simulator()
+    # Two senders at full rate into one receiver: egress queue builds.
+    net = build_star(sim, ["dst", "s1", "s2"])
+    for name in ("s1", "s2"):
+        host = net.hosts[name]
+
+        def feeder(h=host):
+            h.send_message("dst", 64 * 1024)
+            sim.schedule(10_000, feeder)  # ~52 Gbps offered each
+
+        feeder()
+    sim.run(until=3 * MS)
+    assert net.switches["sw0"].ecn_marks > 0
+
+
+def test_no_ecn_marks_when_underloaded():
+    sim = Simulator()
+    net = build_star(sim, ["dst", "s1"])
+    host = net.hosts["s1"]
+
+    def feeder():
+        host.send_message("dst", 4096)
+        sim.schedule(100_000, feeder)  # ~0.3 Gbps
+
+    feeder()
+    sim.run(until=2 * MS)
+    assert net.switches["sw0"].ecn_marks == 0
+
+
+def test_pfc_pause_fires_when_ingress_backs_up():
+    sim = Simulator()
+    # Small PFC thresholds so the test triggers quickly; receiver link
+    # is slower than the sender's, so the switch buffers.
+    cfg = SwitchConfig(
+        ecn_kmin_bytes=10**9,  # disable ECN so only PFC acts
+        ecn_kmax_bytes=2 * 10**9,
+        pfc_xoff_bytes=64 * 1024,
+        pfc_xon_bytes=32 * 1024,
+        buffer_bytes=10**9,
+    )
+    net = Network(sim)
+    net.add_switch("sw", cfg)
+    net.add_host("fast")
+    net.add_host("slow")
+    net.connect("fast", "sw", rate_gbps=40.0)
+    net.connect("slow", "sw", rate_gbps=1.0)
+    net.build_routes()
+    host = net.hosts["fast"]
+
+    def feeder():
+        host.send_message("slow", 32 * 1024)
+        sim.schedule(10_000, feeder)
+
+    feeder()
+    sim.run(until=2 * MS)
+    sw = net.switches["sw"]
+    assert sw.pauses_sent > 0
+    assert len(net.hosts["fast"].pfc_pause_log) > 0
+
+
+def test_buffer_overflow_drops():
+    sim = Simulator()
+    cfg = SwitchConfig(
+        ecn_kmin_bytes=10**8,
+        ecn_kmax_bytes=2 * 10**8,
+        pfc_xoff_bytes=256 * 1024,
+        pfc_xon_bytes=128 * 1024,
+        buffer_bytes=300 * 1024,
+    )
+    net = Network(sim)
+    net.add_switch("sw", cfg)
+    net.add_host("fast")
+    net.add_host("slow")
+    net.connect("fast", "sw", rate_gbps=100.0)
+    net.connect("slow", "sw", rate_gbps=0.5)
+    net.build_routes()
+    host = net.hosts["fast"]
+
+    # Ignore PFC by flooding faster than pauses propagate.
+    def feeder():
+        host.send_message("slow", 64 * 1024)
+        sim.schedule(4_000, feeder)
+
+    feeder()
+    sim.run(until=2 * MS)
+    # Either PFC protected the buffer or drops occurred — but occupancy
+    # never exceeded it (drops counted when it would).
+    sw = net.switches["sw"]
+    assert sw._buffered_bytes <= cfg.buffer_bytes

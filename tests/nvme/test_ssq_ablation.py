@@ -1,0 +1,42 @@
+"""SSQ consistency-check toggle (ablation support)."""
+
+from repro.nvme.ssq import SSQDriver
+from repro.workloads.request import IORequest, OpType
+
+
+def req(op, lba=0, size=4096):
+    return IORequest(arrival_ns=0, op=op, lba=lba, size_bytes=size)
+
+
+def test_disabled_check_routes_by_type_only():
+    d = SSQDriver(1, 8, consistency_check=False)
+    d.submit(req(OpType.READ, lba=0))
+    d.submit(req(OpType.WRITE, lba=0))  # overlapping, but unchecked
+    assert d.queue_lengths() == (1, 1)
+    assert d.consistency_redirects == 0
+    assert not d._pending_buckets  # no index maintained
+
+
+def test_disabled_check_allows_reordering():
+    d = SSQDriver(1, 8, consistency_check=False)
+    first = req(OpType.READ, lba=0)
+    second = req(OpType.WRITE, lba=0)
+    d.submit(first)
+    d.submit(second)
+    # Write-preferring weights fetch the later write first.
+    got = d.fetch(0, 0, 64)
+    assert got is second
+
+
+def test_enabled_check_preserves_order():
+    d = SSQDriver(1, 8, consistency_check=True)
+    first = req(OpType.READ, lba=0)
+    second = req(OpType.WRITE, lba=0)
+    d.submit(first)
+    d.submit(second)
+    assert d.fetch(0, 0, 64) is first
+    assert d.fetch(1, 0, 64) is second
+
+
+def test_default_is_enabled():
+    assert SSQDriver().consistency_check

@@ -1,0 +1,87 @@
+"""Token WRR arbitration tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.nvme.wrr import TokenWRR
+from repro.workloads.request import OpType
+
+
+def drain_round(wrr, n):
+    """Simulate n fetches with both queues backlogged; return op sequence."""
+    ops = []
+    for _ in range(n):
+        op = wrr.choose(True, True)
+        wrr.consume(op)
+        ops.append(op)
+    return ops
+
+
+def test_weight_ratio():
+    assert TokenWRR(1, 4).weight_ratio == 4.0
+    assert TokenWRR(2, 3).weight_ratio == 1.5
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        TokenWRR(0, 1)
+    with pytest.raises(ValueError):
+        TokenWRR(1, 0)
+    with pytest.raises(ValueError):
+        TokenWRR().set_weights(1, -1)
+
+
+def test_equal_weights_alternate():
+    ops = drain_round(TokenWRR(1, 1), 6)
+    assert ops == [OpType.WRITE, OpType.READ] * 3
+
+
+def test_ratio_respected_over_rounds():
+    wrr = TokenWRR(1, 3)
+    ops = drain_round(wrr, 12)
+    assert ops.count(OpType.WRITE) == 9
+    assert ops.count(OpType.READ) == 3
+
+
+def test_nontrivial_weights_interleave():
+    ops = drain_round(TokenWRR(2, 3), 10)
+    assert ops.count(OpType.WRITE) == 6
+    assert ops.count(OpType.READ) == 4
+    # Not all writes first: interleaving within the round.
+    first_round = ops[:5]
+    assert OpType.READ in first_round and OpType.WRITE in first_round
+
+
+def test_empty_queue_served_other():
+    wrr = TokenWRR(1, 4)
+    assert wrr.choose(True, False) is OpType.READ
+    assert wrr.choose(False, True) is OpType.WRITE
+    assert wrr.choose(False, False) is None
+
+
+def test_set_weights_resets_tokens():
+    wrr = TokenWRR(1, 1)
+    wrr.consume(OpType.WRITE)
+    wrr.set_weights(1, 5)
+    assert wrr.read_tokens == 1
+    assert wrr.write_tokens == 5
+
+
+def test_consume_on_dry_type_resets_round():
+    wrr = TokenWRR(1, 2)
+    wrr.consume(OpType.WRITE)
+    wrr.consume(OpType.WRITE)
+    assert wrr.write_tokens == 0
+    wrr.consume(OpType.WRITE)  # dry -> round reset then consume
+    assert wrr.write_tokens == 1
+    assert wrr.read_tokens == 1
+
+
+@given(st.integers(min_value=1, max_value=8), st.integers(min_value=1, max_value=8))
+def test_long_run_ratio_property(rw, ww):
+    wrr = TokenWRR(rw, ww)
+    rounds = 30
+    ops = drain_round(wrr, rounds * (rw + ww))
+    assert ops.count(OpType.READ) == rounds * rw
+    assert ops.count(OpType.WRITE) == rounds * ww

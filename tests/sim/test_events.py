@@ -1,0 +1,93 @@
+"""EventQueue ordering and cancellation tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.events import EventQueue
+
+
+def test_pop_returns_events_in_time_order():
+    q = EventQueue()
+    fired = []
+    q.push(30, lambda: fired.append(30))
+    q.push(10, lambda: fired.append(10))
+    q.push(20, lambda: fired.append(20))
+    while (ev := q.pop()) is not None:
+        ev.callback()
+    assert fired == [10, 20, 30]
+
+
+def test_same_time_events_pop_in_insertion_order():
+    q = EventQueue()
+    order = []
+    for i in range(5):
+        q.push(100, lambda i=i: order.append(i))
+    while (ev := q.pop()) is not None:
+        ev.callback()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_cancelled_events_are_skipped():
+    q = EventQueue()
+    keep = q.push(10, lambda: None)
+    drop = q.push(5, lambda: None)
+    drop.cancel()
+    assert q.pop() is keep
+    assert q.pop() is None
+
+
+def test_len_excludes_cancelled():
+    q = EventQueue()
+    a = q.push(1, lambda: None)
+    q.push(2, lambda: None)
+    assert len(q) == 2
+    a.cancel()
+    assert len(q) == 1
+
+
+def test_peek_time_skips_cancelled_head():
+    q = EventQueue()
+    head = q.push(1, lambda: None)
+    q.push(7, lambda: None)
+    head.cancel()
+    assert q.peek_time() == 7
+
+
+def test_peek_time_empty_is_none():
+    assert EventQueue().peek_time() is None
+
+
+def test_negative_time_rejected():
+    with pytest.raises(ValueError):
+        EventQueue().push(-1, lambda: None)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=10**9), min_size=1, max_size=200))
+def test_pop_order_is_sorted_property(times):
+    q = EventQueue()
+    for t in times:
+        q.push(t, lambda: None)
+    popped = []
+    while (ev := q.pop()) is not None:
+        popped.append(ev.time)
+    assert popped == sorted(times)
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=1000), min_size=2, max_size=100),
+    st.data(),
+)
+def test_cancellation_never_pops_cancelled(times, data):
+    q = EventQueue()
+    events = [q.push(t, lambda: None) for t in times]
+    to_cancel = data.draw(
+        st.sets(st.integers(min_value=0, max_value=len(events) - 1), max_size=len(events))
+    )
+    for i in to_cancel:
+        events[i].cancel()
+    popped = []
+    while (ev := q.pop()) is not None:
+        popped.append(ev)
+    assert all(not ev.cancelled for ev in popped)
+    assert len(popped) == len(events) - len(to_cancel)

@@ -1,0 +1,82 @@
+"""SSD configuration and Table II preset tests."""
+
+import pytest
+
+from repro.sim.units import KIB, MIB, US
+from repro.ssd.config import SSD_A, SSD_B, SSD_C, SSDConfig
+
+
+def test_table2_ssd_a():
+    assert SSD_A.queue_depth == 128
+    assert SSD_A.write_cache_bytes == 256 * MIB
+    assert SSD_A.cmt_bytes == 2 * MIB
+    assert SSD_A.page_bytes == 16 * KIB
+    assert SSD_A.read_latency_ns == 75 * US
+    assert SSD_A.write_latency_ns == 300 * US
+
+
+def test_table2_ssd_b():
+    assert SSD_B.queue_depth == 512
+    assert SSD_B.read_latency_ns == 2 * US
+    assert SSD_B.write_latency_ns == 100 * US
+
+
+def test_table2_ssd_c():
+    assert SSD_C.queue_depth == 512
+    assert SSD_C.write_cache_bytes == 512 * MIB
+    assert SSD_C.cmt_bytes == 8 * MIB
+    assert SSD_C.page_bytes == 8 * KIB
+    assert SSD_C.read_latency_ns == 30 * US
+    assert SSD_C.write_latency_ns == 200 * US
+
+
+def test_derived_quantities():
+    cfg = SSD_A
+    assert cfg.n_chips == cfg.n_channels * cfg.chips_per_channel
+    assert cfg.capacity_pages == cfg.n_chips * cfg.blocks_per_chip * cfg.pages_per_block
+    assert cfg.capacity_bytes == cfg.capacity_pages * cfg.page_bytes
+
+
+def test_page_transfer_time():
+    # 16 KiB at 0.8 bytes/ns = 20480 ns.
+    assert SSD_A.page_transfer_ns == 20480
+
+
+def test_cq_capacity_derived():
+    assert SSD_A.cq_capacity == 2 * SSD_A.queue_depth
+    explicit = SSD_A.with_overrides(cq_depth=64)
+    assert explicit.cq_capacity == 64
+
+
+def test_pages_for():
+    assert SSD_A.pages_for(1) == 1
+    assert SSD_A.pages_for(16 * KIB) == 1
+    assert SSD_A.pages_for(16 * KIB + 1) == 2
+    assert SSD_A.pages_for(44 * KIB) == 3
+    with pytest.raises(ValueError):
+        SSD_A.pages_for(0)
+
+
+def test_with_overrides_preserves_rest():
+    cfg = SSD_A.with_overrides(queue_depth=32)
+    assert cfg.queue_depth == 32
+    assert cfg.read_latency_ns == SSD_A.read_latency_ns
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        SSD_A.with_overrides(queue_depth=0)
+    with pytest.raises(ValueError):
+        SSD_A.with_overrides(channel_bw_bytes_per_ns=0)
+    with pytest.raises(ValueError):
+        SSD_A.with_overrides(write_cache_policy="mystery")
+    with pytest.raises(ValueError):
+        SSD_A.with_overrides(gc_threshold_free_blocks=0)
+    with pytest.raises(ValueError):
+        SSD_A.with_overrides(gc_threshold_free_blocks=SSD_A.blocks_per_chip)
+    with pytest.raises(ValueError):
+        SSD_A.with_overrides(cq_depth=-1)
+
+
+def test_cmt_entries_positive():
+    assert SSD_A.cmt_entries >= 1

@@ -1,0 +1,177 @@
+"""SSD controller: fetch/QD semantics, completion paths, backpressure, GC."""
+
+import pytest
+
+from repro.nvme.driver import DefaultNvmeDriver
+from repro.sim.engine import Simulator
+from repro.ssd.device import SSD
+from repro.workloads.request import IORequest, OpType
+from tests.conftest import FAST_SSD
+
+
+def make_device(config=FAST_SSD):
+    sim = Simulator()
+    ssd = SSD(sim, config)
+    driver = DefaultNvmeDriver()
+    driver.connect(ssd)
+    return sim, ssd, driver
+
+
+def req(op=OpType.READ, lba=0, size=4096, arrival=0):
+    return IORequest(arrival_ns=arrival, op=op, lba=lba, size_bytes=size)
+
+
+def auto_drain(ssd):
+    ssd.set_cq_listener(lambda _e: ssd.pop_completion())
+
+
+def test_read_completes_and_stamps_lifecycle():
+    sim, ssd, driver = make_device()
+    auto_drain(ssd)
+    r = req()
+    driver.submit(r, now_ns=0)
+    sim.run()
+    assert r.fetch_ns >= 0
+    assert r.device_done_ns > r.fetch_ns
+    assert ssd.controller.commands_completed == 1
+
+
+def test_write_completes_write_through():
+    sim, ssd, driver = make_device()
+    auto_drain(ssd)
+    w = req(op=OpType.WRITE, size=3 * 4096)
+    driver.submit(w, now_ns=0)
+    sim.run()
+    assert w.device_done_ns >= FAST_SSD.write_latency_ns
+    assert ssd.cache.occupied == 0  # all staging space released
+
+
+def test_write_back_completes_at_cache_speed():
+    sim, ssd, driver = make_device(FAST_SSD.with_overrides(write_cache_policy="write_back"))
+    auto_drain(ssd)
+    w = req(op=OpType.WRITE, size=4096)
+    driver.submit(w, now_ns=0)
+    sim.run()
+    # Completion at staging speed, far below the program latency, but the
+    # flush still ran (cache drained).
+    assert w.device_done_ns < FAST_SSD.write_latency_ns
+    assert ssd.cache.occupied == 0
+
+
+def test_qd_limits_inflight():
+    config = FAST_SSD.with_overrides(queue_depth=4)
+    sim, ssd, driver = make_device(config)
+    auto_drain(ssd)
+    for i in range(20):
+        driver.submit(req(lba=i * 100), now_ns=0)
+    # After the doorbell burst, at most QD commands are in flight.
+    assert ssd.controller.slots_used <= 4
+    sim.run()
+    assert ssd.controller.commands_completed == 20
+
+
+def test_multi_page_request_counts_pages():
+    sim, ssd, driver = make_device()
+    auto_drain(ssd)
+    r = req(size=4 * 4096)
+    driver.submit(r, now_ns=0)
+    sim.run()
+    assert r.device_done_ns > 0
+    # 4 pages spread over up to 4 chips: longer than a single page read.
+    assert r.device_latency_ns >= FAST_SSD.read_latency_ns
+
+
+def test_cq_backpressure_holds_slots():
+    """With nobody consuming the CQ, completions stall once it fills."""
+    config = FAST_SSD.with_overrides(queue_depth=4, cq_depth=2)
+    sim, ssd, driver = make_device(config)
+    # NO auto-drain: CQ fills at 2 entries.
+    for i in range(10):
+        driver.submit(req(lba=i * 100), now_ns=0)
+    sim.run()
+    assert len(ssd.controller.cq) == 2
+    assert ssd.controller.commands_completed == 2
+    # Slots stay held by completed-but-unpostable commands.
+    assert ssd.controller.slots_used == 4
+    # Draining the CQ lets the device make progress again.
+    auto_drain(ssd)
+    ssd.pop_completion()
+    sim.run()
+    assert ssd.controller.commands_completed == 10
+
+
+def test_cache_read_hit_skips_flash():
+    sim, ssd, driver = make_device()
+    auto_drain(ssd)
+    w = req(op=OpType.WRITE, lba=0, size=4096)
+    driver.submit(w, now_ns=0)
+    sim.run()
+    flash_before = ssd.backend.completed
+    r = req(op=OpType.READ, lba=0, size=4096)
+    driver.submit(r, now_ns=sim.now)
+    sim.run()
+    assert r.device_done_ns > 0
+    assert ssd.backend.completed == flash_before  # no flash transaction
+    assert ssd.cache.read_hits == 1
+
+
+def test_cmt_miss_issues_mapping_read():
+    config = FAST_SSD.with_overrides(mapping_read_penalty=True)
+    sim, ssd, driver = make_device(config)
+    auto_drain(ssd)
+    driver.submit(req(lba=10_000_000), now_ns=0)
+    sim.run()
+    # Cold CMT: mapping read + data read = 2 backend transactions.
+    assert ssd.backend.completed == 2
+
+
+def test_mapping_penalty_disabled():
+    config = FAST_SSD.with_overrides(mapping_read_penalty=False)
+    sim, ssd, driver = make_device(config)
+    auto_drain(ssd)
+    driver.submit(req(lba=10_000_000), now_ns=0)
+    sim.run()
+    assert ssd.backend.completed == 1
+
+
+def test_write_stalls_when_cache_full():
+    config = FAST_SSD.with_overrides(write_cache_bytes=8192)  # 2 pages
+    sim, ssd, driver = make_device(config)
+    auto_drain(ssd)
+    for i in range(6):
+        driver.submit(req(op=OpType.WRITE, lba=i * 100, size=4096), now_ns=0)
+    assert len(ssd.controller._stalled_writes) > 0
+    sim.run()
+    # Flushes free space; everything eventually completes.
+    assert ssd.controller.commands_completed == 6
+    assert ssd.cache.occupied == 0
+
+
+def test_gc_triggers_under_capacity_pressure():
+    # Tiny chip layout so a modest write stream wraps blocks quickly.
+    config = FAST_SSD.with_overrides(
+        blocks_per_chip=4, pages_per_block=8, gc_threshold_free_blocks=2,
+        write_cache_bytes=1024 * 1024,
+    )
+    sim, ssd, driver = make_device(config)
+    auto_drain(ssd)
+    # Overwrite a small LBA range repeatedly: invalidations create GC food.
+    n = 0
+    for round_ in range(6):
+        for lba in range(0, 16 * 8, 8):
+            driver.submit(req(op=OpType.WRITE, lba=lba, size=4096, arrival=n), now_ns=0)
+            n += 1
+    sim.run()
+    assert ssd.ftl.gc_invocations > 0
+    assert ssd.controller.commands_completed == n
+
+
+def test_completion_log_records_all():
+    sim, ssd, driver = make_device()
+    auto_drain(ssd)
+    for i in range(5):
+        driver.submit(req(lba=i * 1000), now_ns=0)
+    sim.run()
+    assert len(ssd.controller.completion_log) == 5
+    times = [t for t, _ in ssd.controller.completion_log]
+    assert times == sorted(times)

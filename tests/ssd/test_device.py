@@ -1,0 +1,92 @@
+"""SSD facade: stats and throughput series."""
+
+import numpy as np
+import pytest
+
+from repro.nvme.driver import DefaultNvmeDriver
+from repro.sim.engine import Simulator
+from repro.sim.units import GBPS
+from repro.ssd.device import SSD
+from repro.workloads.request import IORequest, OpType
+from tests.conftest import FAST_SSD
+
+
+def run_mixed(n=10):
+    sim = Simulator()
+    ssd = SSD(sim, FAST_SSD)
+    driver = DefaultNvmeDriver()
+    driver.connect(ssd)
+    ssd.set_cq_listener(lambda _e: ssd.pop_completion())
+    for i in range(n):
+        op = OpType.READ if i % 2 == 0 else OpType.WRITE
+        driver.submit(
+            IORequest(arrival_ns=0, op=op, lba=i * 1000, size_bytes=4096), now_ns=0
+        )
+    sim.run()
+    return sim, ssd
+
+
+def test_completed_bytes_split_by_direction():
+    sim, ssd = run_mixed(10)
+    assert ssd.completed_bytes(read=True) == 5 * 4096
+    assert ssd.completed_bytes(read=False) == 5 * 4096
+
+
+def test_completed_bytes_window():
+    sim, ssd = run_mixed(10)
+    # Nothing completes after the run ends.
+    assert ssd.completed_bytes(read=True, start_ns=sim.now + 1) == 0
+    # A window ending at 0 sees nothing either.
+    assert ssd.completed_bytes(read=True, end_ns=0) == 0
+
+
+def test_throughput_gbps_consistency():
+    sim, ssd = run_mixed(10)
+    tput = ssd.throughput_gbps(read=True)
+    expected = 5 * 4096 / sim.now / GBPS
+    assert tput == pytest.approx(expected)
+
+
+def test_throughput_zero_for_empty_window():
+    sim, ssd = run_mixed(2)
+    assert ssd.throughput_gbps(read=True, start_ns=sim.now, end_ns=sim.now) == 0.0
+
+
+def test_throughput_series_bins_sum_to_total():
+    sim, ssd = run_mixed(10)
+    times, gbps = ssd.throughput_series(1000, read=True)
+    total_bytes = (gbps * 1000 * GBPS).sum()
+    assert total_bytes == pytest.approx(5 * 4096, rel=1e-6)
+    assert times.shape == gbps.shape
+
+
+def test_throughput_series_validation():
+    sim, ssd = run_mixed(2)
+    with pytest.raises(ValueError):
+        ssd.throughput_series(0, read=True)
+
+
+def test_cq_listener_fires_per_completion():
+    sim = Simulator()
+    ssd = SSD(sim, FAST_SSD)
+    driver = DefaultNvmeDriver()
+    driver.connect(ssd)
+    seen = []
+
+    def listener(entry):
+        seen.append(entry.request.req_id)
+        ssd.pop_completion()
+
+    ssd.set_cq_listener(listener)
+    for i in range(4):
+        driver.submit(
+            IORequest(arrival_ns=0, op=OpType.READ, lba=i, size_bytes=512), now_ns=0
+        )
+    sim.run()
+    assert len(seen) == 4
+
+
+def test_pop_completion_empty_returns_none():
+    sim = Simulator()
+    ssd = SSD(sim, FAST_SSD)
+    assert ssd.pop_completion() is None

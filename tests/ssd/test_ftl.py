@@ -1,0 +1,178 @@
+"""FTL: CMT behaviour, allocation, invalidation, GC bookkeeping."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ssd.ftl import FTL, CachedMappingTable
+from tests.conftest import FAST_SSD
+
+
+class TestCMT:
+    def make(self, cmt_bytes=4 * 4096):
+        # Capacity: 4 translation pages of 512 entries each (4 KiB pages,
+        # 8 B entries).
+        return CachedMappingTable(cmt_bytes, 4096, 8)
+
+    def test_miss_then_hit(self):
+        cmt = self.make()
+        assert not cmt.lookup(0)
+        assert cmt.lookup(0)
+        assert cmt.hits == 1 and cmt.misses == 1
+
+    def test_same_translation_page_shares_entry(self):
+        cmt = self.make()
+        assert not cmt.lookup(0)
+        # LPN 1 lives in the same 512-entry translation page.
+        assert cmt.lookup(1)
+        assert cmt.lookup(511)
+        assert not cmt.lookup(512)  # next translation page
+
+    def test_lru_eviction(self):
+        cmt = self.make()
+        for tp in range(5):  # 5 translation pages into capacity 4
+            cmt.lookup(tp * 512)
+        assert not cmt.lookup(0)  # evicted (oldest)
+
+    def test_lru_touch_refreshes(self):
+        cmt = self.make()
+        for tp in range(4):
+            cmt.lookup(tp * 512)
+        cmt.lookup(0)  # refresh tp 0
+        cmt.lookup(4 * 512)  # evicts tp 1, not tp 0
+        assert cmt.lookup(0)
+        assert not cmt.lookup(512)
+
+    def test_hit_ratio(self):
+        cmt = self.make()
+        assert cmt.hit_ratio == 0.0
+        cmt.lookup(0)
+        cmt.lookup(0)
+        assert cmt.hit_ratio == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CachedMappingTable(0, 4096, 8)
+
+    @settings(deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=10**7), min_size=1, max_size=300))
+    def test_capacity_never_exceeded_property(self, lpns):
+        cmt = self.make()
+        for lpn in lpns:
+            cmt.lookup(lpn)
+        assert len(cmt) <= cmt.capacity
+
+
+class TestFTL:
+    def make(self):
+        return FTL(FAST_SSD)
+
+    def test_lpn_range(self):
+        ftl = self.make()
+        # 4 KiB pages = 8 sectors each.
+        assert list(ftl.lpn_range(0, 4096)) == [0]
+        assert list(ftl.lpn_range(0, 4097)) == [0, 1]
+        assert list(ftl.lpn_range(8, 4096)) == [1]
+        assert list(ftl.lpn_range(7, 1024)) == [0, 1]  # straddles the boundary
+
+    def test_unmapped_read_deterministic_home(self):
+        ftl = self.make()
+        a = ftl.chip_for_read(1234)
+        assert a == ftl.chip_for_read(1234)
+        assert 0 <= a < FAST_SSD.n_chips
+
+    def test_write_then_read_same_chip(self):
+        ftl = self.make()
+        chip = ftl.allocate_write(77)
+        assert ftl.chip_for_read(77) == chip
+
+    def test_allocation_stripes_round_robin(self):
+        ftl = self.make()
+        chips = [ftl.allocate_write(i) for i in range(FAST_SSD.n_chips)]
+        assert sorted(chips) == list(range(FAST_SSD.n_chips))
+
+    def test_overwrite_invalidates_old_page(self):
+        ftl = self.make()
+        ftl.allocate_write(5)
+        before = ftl.mapped_pages
+        ftl.allocate_write(5)
+        assert ftl.mapped_pages == before  # still one live mapping
+
+
+class TestGC:
+    def fill_chip(self, ftl, chip_index, n_pages):
+        """Write LPNs that round-robin striping places on one chip."""
+        written = []
+        lpn = 0
+        while len(written) < n_pages:
+            chip = ftl.allocate_write(lpn)
+            if chip == chip_index:
+                written.append(lpn)
+            lpn += 1
+        return written
+
+    def test_gc_needed_after_filling_blocks(self):
+        ftl = FTL(FAST_SSD)
+        # Fill pages until the chip runs low on free blocks.
+        pages_to_fill = (FAST_SSD.blocks_per_chip - 1) * FAST_SSD.pages_per_block
+        self.fill_chip(ftl, 0, pages_to_fill)
+        assert ftl.gc_needed(0)
+
+    def test_begin_gc_selects_fully_written_victim(self):
+        ftl = FTL(FAST_SSD)
+        self.fill_chip(ftl, 0, 3 * FAST_SSD.pages_per_block)
+        result = ftl.begin_gc(0)
+        assert result is not None
+        block_id, valid = result
+        assert len(valid) <= FAST_SSD.pages_per_block
+
+    def test_gc_of_invalidated_block_frees_it(self):
+        ftl = FTL(FAST_SSD)
+        written = self.fill_chip(ftl, 0, 3 * FAST_SSD.pages_per_block)
+        # Overwrite every LPN: the old chip-0 pages all become invalid.
+        for lpn in written:
+            ftl.allocate_write(lpn)
+        block_id, valid = ftl.begin_gc(0)
+        assert valid == []  # greedy picks the empty victim
+        free_before = ftl.free_blocks(0)
+        ftl.finish_gc(0, block_id)
+        assert ftl.free_blocks(0) == free_before + 1
+        assert not ftl._chips[0].gc_active
+
+    def test_gc_relocate_moves_valid_pages(self):
+        ftl = FTL(FAST_SSD)
+        self.fill_chip(ftl, 0, 3 * FAST_SSD.pages_per_block)
+        block_id, valid = ftl.begin_gc(0)
+        assert len(valid) > 0
+        for lpn in valid:
+            assert ftl.gc_relocate(lpn, 0, block_id)
+            # Mapping stays on the same chip after relocation.
+            assert ftl.chip_for_read(lpn) == 0
+        ftl.finish_gc(0, block_id)
+        assert not ftl._chips[0].gc_active
+        assert ftl.gc_pages_moved == len(valid)
+
+    def test_gc_relocate_skips_superseded_lpn(self):
+        ftl = FTL(FAST_SSD)
+        self.fill_chip(ftl, 0, 3 * FAST_SSD.pages_per_block)
+        block_id, valid = ftl.begin_gc(0)
+        lpn = valid[0]
+        # A host write supersedes the page mid-GC.
+        ftl.allocate_write(lpn)
+        assert not ftl.gc_relocate(lpn, 0, block_id)
+
+    def test_finish_gc_rejects_nonempty_victim(self):
+        ftl = FTL(FAST_SSD)
+        self.fill_chip(ftl, 0, 3 * FAST_SSD.pages_per_block)
+        block_id, valid = ftl.begin_gc(0)
+        if valid:  # victim still holds valid pages
+            with pytest.raises(RuntimeError):
+                ftl.finish_gc(0, block_id)
+
+    def test_gc_not_retriggered_while_active(self):
+        ftl = FTL(FAST_SSD)
+        pages = (FAST_SSD.blocks_per_chip - 1) * FAST_SSD.pages_per_block
+        self.fill_chip(ftl, 0, pages)
+        assert ftl.gc_needed(0)
+        ftl.begin_gc(0)
+        assert not ftl.gc_needed(0)  # gc_active guards re-entry

@@ -1,0 +1,92 @@
+"""Analytic saturation sanity checks for the flash backend.
+
+These tie the simulated throughput to first-principles bounds so
+regressions in the service model are caught by physics, not just by
+golden numbers.
+"""
+
+import pytest
+
+from repro.experiments.replay import replay_on_device
+from repro.nvme.driver import DefaultNvmeDriver
+from repro.nvme.ssq import SSQDriver
+from repro.sim.units import GBPS
+from repro.workloads.micro import MicroWorkloadConfig, generate_micro_trace
+from tests.conftest import FAST_SSD
+
+
+def pure_trace(op_reads, op_writes, inter=1_000, size=4 * 1024, n=2000, seed=2):
+    wl = MicroWorkloadConfig(inter, size)
+    return generate_micro_trace(wl, n_reads=op_reads * n, n_writes=op_writes * n, seed=seed)
+
+
+#: Mapping reads off: pure service-path physics.
+PHYS_SSD = FAST_SSD.with_overrides(mapping_read_penalty=False)
+
+
+def stage_bound_gbps(latency_ns):
+    """min(chip bound, channel bound) — the binding service stage."""
+    chip = FAST_SSD.n_chips / latency_ns * FAST_SSD.page_bytes
+    channel = FAST_SSD.n_channels * FAST_SSD.channel_bw_bytes_per_ns
+    return min(chip, channel) / GBPS
+
+
+def test_pure_read_saturation_within_stage_bound():
+    trace = pure_trace(1, 0)
+    res = replay_on_device(trace, PHYS_SSD, DefaultNvmeDriver(), drain=False,
+                           measure_start_fraction=0.4)
+    bound = stage_bound_gbps(FAST_SSD.read_latency_ns)
+    assert res.read_tput_gbps <= bound * 1.05
+    # Tandem queueing under finite QD costs throughput, but the device
+    # still reaches a healthy fraction of the binding stage.
+    assert res.read_tput_gbps > bound * 0.25
+
+
+def test_pure_write_saturation_within_stage_bound():
+    trace = pure_trace(0, 1)
+    res = replay_on_device(trace, PHYS_SSD, DefaultNvmeDriver(), drain=False,
+                           measure_start_fraction=0.4)
+    bound = stage_bound_gbps(FAST_SSD.write_latency_ns)
+    assert res.write_tput_gbps <= bound * 1.05
+    assert res.write_tput_gbps > bound * 0.25
+
+
+def test_mapping_penalty_costs_read_throughput():
+    """The CMT-miss double read measurably slows cold random reads."""
+    trace = pure_trace(1, 0)
+    with_penalty = replay_on_device(trace, FAST_SSD, DefaultNvmeDriver(),
+                                    drain=False, measure_start_fraction=0.4)
+    without = replay_on_device(trace, PHYS_SSD, DefaultNvmeDriver(),
+                               drain=False, measure_start_fraction=0.4)
+    assert with_penalty.read_tput_gbps < without.read_tput_gbps
+
+
+def test_balanced_saturation_equalises_directions():
+    """The §III-B w=1 observation: equal throughput under saturation."""
+    trace = pure_trace(1, 1, n=1500)
+    res = replay_on_device(trace, FAST_SSD, SSQDriver(1, 1), drain=False,
+                           measure_start_fraction=0.4)
+    assert res.read_tput_gbps == pytest.approx(res.write_tput_gbps, rel=0.25)
+
+
+def test_mixed_saturation_below_sum_of_pures():
+    """Interference: the mixed aggregate cannot exceed either pure bound
+    combination (each chip alternates, paying both latencies)."""
+    trace = pure_trace(1, 1, n=1500)
+    res = replay_on_device(trace, FAST_SSD, SSQDriver(1, 1), drain=False,
+                           measure_start_fraction=0.4)
+    pair_ns = FAST_SSD.read_latency_ns + FAST_SSD.write_latency_ns
+    pair_rate = FAST_SSD.n_chips / pair_ns  # read+write page pairs per ns
+    per_direction_bound = pair_rate * FAST_SSD.page_bytes / GBPS
+    assert res.read_tput_gbps <= per_direction_bound * 1.15
+    assert res.write_tput_gbps <= per_direction_bound * 1.15
+
+
+def test_unsaturated_throughput_equals_offered_load():
+    wl = MicroWorkloadConfig(100_000, 4 * 1024)  # far below capacity
+    trace = generate_micro_trace(wl, n_reads=400, n_writes=400, seed=3)
+    res = replay_on_device(trace, FAST_SSD, DefaultNvmeDriver(), drain=False,
+                           measure_start_fraction=0.2)
+    offered = 4 * 1024 / 100_000 / GBPS  # per direction
+    assert res.read_tput_gbps == pytest.approx(offered, rel=0.25)
+    assert res.write_tput_gbps == pytest.approx(offered, rel=0.25)

@@ -1,0 +1,103 @@
+"""Write cache: space accounting and residency tracking."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ssd.write_cache import WriteCache
+
+
+def make(capacity=64 * 1024, page=4096):
+    return WriteCache(capacity, page)
+
+
+def test_reserve_release_cycle():
+    c = make()
+    assert c.can_reserve(4096)
+    c.reserve(4096)
+    assert c.occupied == 4096
+    c.release(4096)
+    assert c.occupied == 0
+
+
+def test_reserve_to_capacity_then_refuse():
+    c = make(capacity=8192)
+    c.reserve(8192)
+    assert not c.can_reserve(1)
+    with pytest.raises(RuntimeError):
+        c.reserve(1)
+
+
+def test_release_underflow_rejected():
+    c = make()
+    with pytest.raises(RuntimeError):
+        c.release(1)
+
+
+def test_negative_amounts_rejected():
+    c = make()
+    with pytest.raises(ValueError):
+        c.reserve(-1)
+    with pytest.raises(ValueError):
+        c.release(-1)
+
+
+def test_utilisation():
+    c = make(capacity=100, page=10)
+    c.reserve(25)
+    assert c.utilisation == pytest.approx(0.25)
+
+
+def test_read_hit_after_write():
+    c = make()
+    c.note_write(42)
+    assert c.read_hit(42)
+    assert not c.read_hit(43)
+    assert c.read_hits == 1 and c.read_misses == 1
+
+
+def test_residency_bounded_by_capacity_pages():
+    c = make(capacity=4 * 4096, page=4096)
+    for lpn in range(10):
+        c.note_write(lpn)
+    assert c.resident_pages == 4
+    assert not c.read_hit(0)  # oldest evicted
+    assert c.read_hit(9)
+
+
+def test_residency_lru_refresh():
+    c = make(capacity=2 * 4096, page=4096)
+    c.note_write(1)
+    c.note_write(2)
+    c.note_write(1)  # refresh
+    c.note_write(3)  # evicts 2
+    assert c.read_hit(1)
+    assert not c.read_hit(2)
+
+
+def test_read_hit_refreshes_lru():
+    c = make(capacity=2 * 4096, page=4096)
+    c.note_write(1)
+    c.note_write(2)
+    assert c.read_hit(1)
+    c.note_write(3)  # should evict 2, not 1
+    assert c.read_hit(1)
+    assert not c.read_hit(2)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        WriteCache(0, 4096)
+    with pytest.raises(ValueError):
+        WriteCache(4096, 0)
+
+
+@given(st.lists(st.tuples(st.booleans(), st.integers(min_value=1, max_value=1000)), max_size=200))
+def test_occupancy_never_negative_or_over_capacity_property(ops):
+    c = make(capacity=5000)
+    for is_reserve, amount in ops:
+        if is_reserve and c.can_reserve(amount):
+            c.reserve(amount)
+        elif not is_reserve and amount <= c.occupied:
+            c.release(amount)
+        assert 0 <= c.occupied <= c.capacity

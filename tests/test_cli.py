@@ -1,0 +1,32 @@
+"""CLI smoke tests."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_motivation(capsys):
+    assert main(["motivation"]) == 0
+    out = capsys.readouterr().out
+    assert "Fig. 2" in out
+    assert "SRC" in out
+
+
+def test_synthesize_and_replay_round_trip(tmp_path, capsys):
+    path = tmp_path / "t.csv"
+    assert main(["synthesize", "--profile", "vdi", "--reads", "300",
+                 "--writes", "150", "-o", str(path)]) == 0
+    assert path.exists()
+    assert main(["replay", str(path), "--ssd", "A", "--weight", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "read" in out and "Gbps" in out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])
+
+
+def test_requires_command():
+    with pytest.raises(SystemExit):
+        main([])

@@ -1,0 +1,96 @@
+"""Feature extraction (the Ch vector)."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.features import (
+    CH_FEATURE_NAMES,
+    FEATURE_NAMES,
+    extract_features,
+)
+from repro.workloads.micro import MicroWorkloadConfig, generate_micro_trace
+from repro.workloads.request import IORequest, OpType
+from repro.workloads.traces import Trace
+
+
+def test_feature_order_is_frozen():
+    assert FEATURE_NAMES[-1] == "weight_ratio"
+    assert FEATURE_NAMES[:-1] == CH_FEATURE_NAMES
+    assert "read_flow_speed" in CH_FEATURE_NAMES
+    assert len(set(FEATURE_NAMES)) == len(FEATURE_NAMES)
+
+
+def test_vector_shape_and_order():
+    t = generate_micro_trace(MicroWorkloadConfig(5_000, 8192), n_reads=100, n_writes=100, seed=1)
+    f = extract_features(t)
+    arr = f.to_array()
+    assert arr.shape == (len(CH_FEATURE_NAMES),)
+    assert arr[0] == f.read_write_ratio
+
+
+def test_with_weight_appends_ratio():
+    t = generate_micro_trace(MicroWorkloadConfig(5_000, 8192), n_reads=50, n_writes=50, seed=2)
+    row = extract_features(t).with_weight(4)
+    assert row.shape == (len(FEATURE_NAMES),)
+    assert row[-1] == 4.0
+
+
+def test_with_weight_rejects_below_one():
+    t = generate_micro_trace(MicroWorkloadConfig(5_000, 8192), n_reads=10, n_writes=10, seed=3)
+    with pytest.raises(ValueError):
+        extract_features(t).with_weight(0.5)
+
+
+def test_read_write_ratio():
+    reqs = [
+        IORequest(arrival_ns=i, op=OpType.READ, lba=i, size_bytes=512) for i in range(6)
+    ] + [IORequest(arrival_ns=i, op=OpType.WRITE, lba=100 + i, size_bytes=512) for i in range(3)]
+    f = extract_features(Trace(reqs))
+    assert f.read_write_ratio == pytest.approx(2.0)
+
+
+def test_ratio_with_no_writes_falls_back_to_read_count():
+    reqs = [IORequest(arrival_ns=i, op=OpType.READ, lba=i, size_bytes=512) for i in range(4)]
+    f = extract_features(Trace(reqs))
+    assert f.read_write_ratio == 4.0
+
+
+def test_flow_speed_with_window():
+    # 10 reads of 1000 B in a 10_000 ns window = 1 byte/ns.
+    reqs = [
+        IORequest(arrival_ns=i * 100, op=OpType.READ, lba=i * 10, size_bytes=1000)
+        for i in range(10)
+    ]
+    f = extract_features(Trace(reqs), window_ns=10_000)
+    assert f.read_flow_speed == pytest.approx(1.0)
+    assert f.write_flow_speed == 0.0
+
+
+def test_flow_speed_without_window_uses_span():
+    reqs = [
+        IORequest(arrival_ns=t, op=OpType.READ, lba=t, size_bytes=500)
+        for t in (0, 500, 1000)
+    ]
+    f = extract_features(Trace(reqs))
+    assert f.read_flow_speed == pytest.approx(1500 / 1000)
+
+
+def test_empty_trace_gives_zero_features():
+    f = extract_features(Trace([]))
+    assert np.all(f.to_array() == 0.0)
+
+
+def test_window_validation():
+    with pytest.raises(ValueError):
+        extract_features(Trace([]), window_ns=0)
+
+
+def test_mean_fields_match_workload():
+    cfg = MicroWorkloadConfig(10_000, 32 * 1024, size_align_bytes=512)
+    t = generate_micro_trace(cfg, n_reads=3000, n_writes=3000, seed=4)
+    f = extract_features(t)
+    assert f.read_mean_interarrival_ns == pytest.approx(10_000, rel=0.1)
+    assert f.read_mean_size_bytes == pytest.approx(32 * 1024, rel=0.1)
+    assert f.write_mean_size_bytes == pytest.approx(32 * 1024, rel=0.1)
+    # Exponential inter-arrivals ⇒ SCV ≈ 1.
+    assert f.read_interarrival_scv == pytest.approx(1.0, rel=0.2)

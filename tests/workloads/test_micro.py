@@ -1,0 +1,116 @@
+"""Micro-trace generation: distributions, determinism, alignment."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.micro import MicroWorkloadConfig, generate_micro_trace
+from repro.workloads.request import OpType
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        MicroWorkloadConfig(0, 1000)
+    with pytest.raises(ValueError):
+        MicroWorkloadConfig(1000, 0)
+    with pytest.raises(ValueError):
+        MicroWorkloadConfig(1000, 1000, size_align_bytes=0)
+    with pytest.raises(ValueError):
+        MicroWorkloadConfig(1000, 1000, sequential_fraction=1.5)
+
+
+def test_arrival_flow_speed():
+    cfg = MicroWorkloadConfig(10_000, 20_000)
+    assert cfg.arrival_flow_speed == pytest.approx(2.0)
+
+
+def test_counts_and_ops():
+    cfg = MicroWorkloadConfig(5_000, 8192)
+    t = generate_micro_trace(cfg, n_reads=50, n_writes=30, seed=1)
+    assert len(t) == 80
+    assert len(t.reads()) == 50
+    assert len(t.writes()) == 30
+
+
+def test_determinism():
+    cfg = MicroWorkloadConfig(5_000, 8192)
+    a = generate_micro_trace(cfg, n_reads=40, n_writes=40, seed=3)
+    b = generate_micro_trace(cfg, n_reads=40, n_writes=40, seed=3)
+    assert [(r.arrival_ns, r.lba, r.size_bytes) for r in a] == [
+        (r.arrival_ns, r.lba, r.size_bytes) for r in b
+    ]
+
+
+def test_different_seeds_differ():
+    cfg = MicroWorkloadConfig(5_000, 8192)
+    a = generate_micro_trace(cfg, n_reads=40, n_writes=0, seed=3)
+    b = generate_micro_trace(cfg, n_reads=40, n_writes=0, seed=4)
+    assert [r.arrival_ns for r in a] != [r.arrival_ns for r in b]
+
+
+def test_sizes_aligned_and_positive():
+    cfg = MicroWorkloadConfig(5_000, 10_000, size_align_bytes=4096)
+    t = generate_micro_trace(cfg, n_reads=200, n_writes=0, seed=5)
+    sizes = t.sizes()
+    assert np.all(sizes % 4096 == 0)
+    assert np.all(sizes >= 4096)
+
+
+def test_mean_interarrival_close_to_target():
+    cfg = MicroWorkloadConfig(10_000, 8192)
+    t = generate_micro_trace(cfg, n_reads=3000, n_writes=0, seed=6)
+    mean = t.interarrivals().mean()
+    assert mean == pytest.approx(10_000, rel=0.1)
+
+
+def test_mean_size_close_to_target():
+    cfg = MicroWorkloadConfig(10_000, 32 * 1024, size_align_bytes=512)
+    t = generate_micro_trace(cfg, n_reads=3000, n_writes=0, seed=6)
+    # Alignment rounds up by ~256 on average.
+    assert t.sizes().mean() == pytest.approx(32 * 1024, rel=0.1)
+
+
+def test_interarrival_scv_near_one_for_exponential():
+    cfg = MicroWorkloadConfig(10_000, 8192)
+    t = generate_micro_trace(cfg, n_reads=5000, n_writes=0, seed=8)
+    inter = t.interarrivals().astype(float)
+    scv = inter.var() / inter.mean() ** 2
+    assert scv == pytest.approx(1.0, rel=0.15)
+
+
+def test_sequential_fraction_produces_contiguous_runs():
+    cfg = MicroWorkloadConfig(5_000, 8192, sequential_fraction=1.0)
+    t = generate_micro_trace(cfg, n_reads=20, n_writes=0, seed=9)
+    reqs = sorted(t.requests, key=lambda r: r.arrival_ns)
+    for prev, cur in zip(reqs, reqs[1:]):
+        assert cur.lba == prev.lba_end
+
+
+def test_lbas_within_address_space():
+    cfg = MicroWorkloadConfig(5_000, 8192, address_space_sectors=1000)
+    t = generate_micro_trace(cfg, n_reads=200, n_writes=200, seed=10)
+    assert all(0 <= r.lba < 1000 for r in t)
+
+
+def test_write_config_defaults_to_read_config():
+    cfg = MicroWorkloadConfig(5_000, 8192)
+    t = generate_micro_trace(cfg, None, n_reads=500, n_writes=500, seed=11)
+    r_mean = t.reads().sizes().mean()
+    w_mean = t.writes().sizes().mean()
+    assert r_mean == pytest.approx(w_mean, rel=0.2)
+
+
+def test_empty_generation():
+    cfg = MicroWorkloadConfig(5_000, 8192)
+    assert len(generate_micro_trace(cfg, n_reads=0, n_writes=0)) == 0
+
+
+def test_negative_counts_rejected():
+    cfg = MicroWorkloadConfig(5_000, 8192)
+    with pytest.raises(ValueError):
+        generate_micro_trace(cfg, n_reads=-1)
+
+
+def test_start_offset():
+    cfg = MicroWorkloadConfig(5_000, 8192)
+    t = generate_micro_trace(cfg, n_reads=10, n_writes=0, seed=1, start_ns=1_000_000)
+    assert all(r.arrival_ns >= 1_000_000 for r in t)

@@ -1,0 +1,46 @@
+"""Per-device feature scaling (flash-array view of a target workload)."""
+
+import pytest
+
+from repro.workloads.features import extract_features
+from repro.workloads.micro import MicroWorkloadConfig, generate_micro_trace
+
+
+def features():
+    wl = MicroWorkloadConfig(10_000, 32 * 1024)
+    return extract_features(generate_micro_trace(wl, n_reads=500, n_writes=500, seed=1))
+
+
+def test_identity_for_single_device():
+    f = features()
+    assert f.per_device(1) is f
+
+
+def test_scaling_laws():
+    f = features()
+    g = f.per_device(4)
+    assert g.read_mean_interarrival_ns == pytest.approx(f.read_mean_interarrival_ns * 4)
+    assert g.write_mean_interarrival_ns == pytest.approx(f.write_mean_interarrival_ns * 4)
+    assert g.read_flow_speed == pytest.approx(f.read_flow_speed / 4)
+    assert g.write_flow_speed == pytest.approx(f.write_flow_speed / 4)
+
+
+def test_preserved_fields():
+    f = features()
+    g = f.per_device(3)
+    assert g.read_mean_size_bytes == f.read_mean_size_bytes
+    assert g.write_mean_size_bytes == f.write_mean_size_bytes
+    assert g.read_write_ratio == f.read_write_ratio
+    assert g.read_size_scv == f.read_size_scv
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        features().per_device(0)
+
+
+def test_flow_conservation():
+    """n devices' flow speeds sum back to the target's total."""
+    f = features()
+    g = f.per_device(5)
+    assert g.read_flow_speed * 5 == pytest.approx(f.read_flow_speed)

@@ -1,0 +1,73 @@
+"""Trace profiles and MMPP-based synthesis."""
+
+import pytest
+
+from repro.workloads.profiles import (
+    FUJITSU_VDI,
+    TENCENT_CBS,
+    DirectionProfile,
+    TraceProfile,
+    synthesize_from_profile,
+)
+from repro.workloads.stats import trace_summary
+
+
+def test_builtin_profiles_shape():
+    # §IV-D: VDI is read-intensive with 44 KB reads / 23 KB writes.
+    assert FUJITSU_VDI.read.mean_size_bytes == 44 * 1024
+    assert FUJITSU_VDI.write.mean_size_bytes == 23 * 1024
+    assert FUJITSU_VDI.read.mean_interarrival_ns < FUJITSU_VDI.write.mean_interarrival_ns
+    # CBS is write-heavy.
+    assert TENCENT_CBS.write.mean_interarrival_ns < TENCENT_CBS.read.mean_interarrival_ns
+
+
+def test_direction_profile_validation():
+    with pytest.raises(ValueError):
+        DirectionProfile(0, 1, 0, 1000, 1)
+    with pytest.raises(ValueError):
+        DirectionProfile(1000, -1, 0, 1000, 1)
+
+
+def test_synthesize_counts_and_directions():
+    t = synthesize_from_profile(FUJITSU_VDI, n_reads=300, n_writes=150, seed=1)
+    assert len(t.reads()) == 300
+    assert len(t.writes()) == 150
+
+
+def test_synthesize_matches_profile_statistics():
+    t = synthesize_from_profile(FUJITSU_VDI, n_reads=4000, n_writes=2000, seed=2)
+    s = trace_summary(t)
+    assert s.read_size.mean == pytest.approx(FUJITSU_VDI.read.mean_size_bytes, rel=0.15)
+    assert s.write_size.mean == pytest.approx(FUJITSU_VDI.write.mean_size_bytes, rel=0.15)
+    assert s.read_interarrival.mean == pytest.approx(
+        FUJITSU_VDI.read.mean_interarrival_ns, rel=0.25
+    )
+    # Burstiness survives synthesis: SCV well above Poisson.
+    assert s.read_interarrival.scv > 2.0
+
+
+def test_synthesize_deterministic():
+    a = synthesize_from_profile(TENCENT_CBS, n_reads=50, n_writes=50, seed=3)
+    b = synthesize_from_profile(TENCENT_CBS, n_reads=50, n_writes=50, seed=3)
+    assert [r.arrival_ns for r in a] == [r.arrival_ns for r in b]
+
+
+def test_synthesize_empty():
+    t = synthesize_from_profile(FUJITSU_VDI, n_reads=0, n_writes=0, seed=4)
+    assert len(t) == 0
+
+
+def test_synthesize_validation():
+    with pytest.raises(ValueError):
+        synthesize_from_profile(FUJITSU_VDI, n_reads=-1, n_writes=0)
+
+
+def test_custom_profile():
+    p = TraceProfile(
+        name="custom",
+        read=DirectionProfile(20_000, 2.0, 0.1, 8192, 1.0),
+        write=DirectionProfile(40_000, 2.0, 0.1, 4096, 1.0),
+    )
+    t = synthesize_from_profile(p, n_reads=1000, n_writes=500, seed=5)
+    s = trace_summary(t)
+    assert s.read_size.mean == pytest.approx(8192, rel=0.25)

@@ -1,0 +1,109 @@
+"""Trace statistics: SCV, skewness, autocorrelation, summaries."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.workloads.request import IORequest, OpType
+from repro.workloads.stats import (
+    SeriesSummary,
+    autocorrelation,
+    scv,
+    skewness,
+    trace_summary,
+)
+from repro.workloads.traces import Trace
+
+
+class TestScv:
+    def test_constant_series_is_zero(self):
+        assert scv(np.full(100, 7.0)) == 0.0
+
+    def test_exponential_is_one(self):
+        rng = np.random.default_rng(0)
+        x = rng.exponential(5.0, size=200_000)
+        assert scv(x) == pytest.approx(1.0, rel=0.02)
+
+    def test_degenerate_inputs(self):
+        assert scv(np.array([])) == 0.0
+        assert scv(np.array([3.0])) == 0.0
+        assert scv(np.array([0.0, 0.0])) == 0.0  # zero mean
+
+    def test_known_value(self):
+        x = np.array([1.0, 3.0])  # mean 2, var 1
+        assert scv(x) == pytest.approx(0.25)
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=1e6), min_size=2, max_size=200))
+    def test_nonnegative_property(self, xs):
+        assert scv(np.array(xs)) >= 0.0
+
+    @given(
+        st.lists(st.floats(min_value=0.1, max_value=1e6), min_size=2, max_size=100),
+        st.floats(min_value=0.1, max_value=100),
+    )
+    def test_scale_invariance_property(self, xs, k):
+        x = np.array(xs)
+        assert scv(x * k) == pytest.approx(scv(x), rel=1e-6, abs=1e-9)
+
+
+class TestSkewness:
+    def test_symmetric_is_zero(self):
+        x = np.array([-2.0, -1.0, 0.0, 1.0, 2.0])
+        assert skewness(x) == pytest.approx(0.0, abs=1e-12)
+
+    def test_right_skewed_positive(self):
+        rng = np.random.default_rng(1)
+        assert skewness(rng.exponential(1.0, 100_000)) > 1.5
+
+    def test_degenerate(self):
+        assert skewness(np.array([1.0, 2.0])) == 0.0
+        assert skewness(np.full(10, 3.0)) == 0.0
+
+
+class TestAutocorrelation:
+    def test_iid_near_zero(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=100_000)
+        assert autocorrelation(x, 1) == pytest.approx(0.0, abs=0.02)
+
+    def test_alternating_is_negative(self):
+        x = np.array([1.0, -1.0] * 500)
+        assert autocorrelation(x, 1) == pytest.approx(-1.0, rel=0.01)
+
+    def test_trend_is_positive(self):
+        x = np.arange(1000, dtype=float)
+        assert autocorrelation(x, 1) > 0.99
+
+    def test_lag_validation(self):
+        with pytest.raises(ValueError):
+            autocorrelation(np.arange(10.0), 0)
+
+    def test_degenerate(self):
+        assert autocorrelation(np.array([1.0, 2.0]), 1) == 0.0
+        assert autocorrelation(np.full(100, 5.0), 1) == 0.0
+
+
+class TestSummaries:
+    def test_series_summary_of(self):
+        x = np.array([1.0, 3.0])
+        s = SeriesSummary.of(x)
+        assert s.mean == pytest.approx(2.0)
+        assert s.scv == pytest.approx(0.25)
+
+    def test_series_summary_empty(self):
+        s = SeriesSummary.of(np.array([]))
+        assert s.mean == 0.0 and s.scv == 0.0
+
+    def test_trace_summary_directions(self):
+        reqs = [
+            IORequest(arrival_ns=0, op=OpType.READ, lba=0, size_bytes=1000),
+            IORequest(arrival_ns=10, op=OpType.READ, lba=10, size_bytes=3000),
+            IORequest(arrival_ns=5, op=OpType.WRITE, lba=20, size_bytes=2000),
+        ]
+        summary = trace_summary(Trace(reqs))
+        assert summary.n_requests == 3
+        assert summary.read_ratio == pytest.approx(2 / 3)
+        assert summary.read_size.mean == pytest.approx(2000.0)
+        assert summary.write_size.mean == pytest.approx(2000.0)
+        assert summary.read_interarrival.mean == pytest.approx(10.0)

@@ -1,0 +1,117 @@
+"""Trace container: ordering, selection, persistence, merging."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.workloads.request import IORequest, OpType
+from repro.workloads.traces import Trace, merge_traces
+
+
+def make(arrivals, op=OpType.READ, size=4096):
+    return Trace(
+        IORequest(arrival_ns=t, op=op, lba=i * 100, size_bytes=size)
+        for i, t in enumerate(arrivals)
+    )
+
+
+def test_trace_sorts_by_arrival():
+    t = make([30, 10, 20])
+    assert [r.arrival_ns for r in t] == [10, 20, 30]
+
+
+def test_len_and_getitem():
+    t = make([1, 2, 3])
+    assert len(t) == 3
+    assert t[0].arrival_ns == 1
+
+
+def test_reads_writes_partition():
+    reads = make([1, 3], op=OpType.READ)
+    writes = make([2], op=OpType.WRITE)
+    merged = merge_traces([reads, writes])
+    assert len(merged.reads()) == 2
+    assert len(merged.writes()) == 1
+    assert merged.read_ratio() == pytest.approx(2 / 3)
+
+
+def test_read_ratio_empty_trace():
+    assert Trace([]).read_ratio() == 0.0
+
+
+def test_window_is_half_open():
+    t = make([10, 20, 30])
+    w = t.window(10, 30)
+    assert [r.arrival_ns for r in w] == [10, 20]
+
+
+def test_window_rejects_inverted_bounds():
+    with pytest.raises(ValueError):
+        make([1]).window(10, 5)
+
+
+def test_interarrivals():
+    t = make([10, 25, 45])
+    assert list(t.interarrivals()) == [15, 20]
+    assert make([5]).interarrivals().size == 0
+
+
+def test_duration():
+    assert make([10, 50]).duration_ns == 40
+    assert make([10]).duration_ns == 0
+    assert Trace([]).duration_ns == 0
+
+
+def test_total_bytes():
+    t = make([1, 2], size=1000)
+    assert t.total_bytes() == 2000
+    assert Trace([]).total_bytes() == 0
+
+
+def test_save_load_round_trip(tmp_path):
+    t = merge_traces([make([5, 15], op=OpType.READ), make([10], op=OpType.WRITE, size=8192)])
+    path = tmp_path / "trace.csv"
+    t.save(path)
+    loaded = Trace.load(path)
+    assert len(loaded) == len(t)
+    for a, b in zip(t, loaded):
+        assert (a.arrival_ns, a.op, a.lba, a.size_bytes) == (
+            b.arrival_ns,
+            b.op,
+            b.lba,
+            b.size_bytes,
+        )
+
+
+def test_load_rejects_non_trace_file(tmp_path):
+    path = tmp_path / "bogus.csv"
+    path.write_text("a,b,c\n1,2,3\n")
+    with pytest.raises(ValueError, match="not a trace file"):
+        Trace.load(path)
+
+
+def test_merge_preserves_all_and_sorts():
+    a, b = make([30, 10]), make([20])
+    merged = merge_traces([a, b])
+    assert [r.arrival_ns for r in merged] == [10, 20, 30]
+
+
+@given(st.lists(st.integers(min_value=0, max_value=10**9), min_size=0, max_size=100))
+def test_arrivals_always_sorted_property(arrivals):
+    t = make(arrivals)
+    arr = t.arrivals()
+    assert np.all(np.diff(arr) >= 0)
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=1000), min_size=1, max_size=50),
+    st.integers(min_value=0, max_value=1000),
+    st.integers(min_value=0, max_value=1000),
+)
+def test_window_subset_property(arrivals, a, b):
+    lo, hi = min(a, b), max(a, b)
+    t = make(arrivals)
+    w = t.window(lo, hi)
+    assert all(lo <= r.arrival_ns < hi for r in w)
+    assert len(w) == sum(1 for x in arrivals if lo <= x < hi)
