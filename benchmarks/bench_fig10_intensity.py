@@ -12,8 +12,11 @@ Expected shapes:
 
 import pytest
 
-from benchmarks.common import save_result, trained_tpm
-from repro.experiments.comparison import INTENSITY_LEVELS, intensity_analysis
+from benchmarks.common import bench_workers, save_perf, save_result, trained_tpm
+from repro.experiments.comparison import (
+    INTENSITY_LEVELS,
+    intensity_analysis_with_report,
+)
 from repro.experiments.tables import format_percent, format_table
 from repro.ssd.config import SSD_A
 
@@ -22,14 +25,19 @@ def run_fig10():
     from repro.sim.units import MS
 
     tpm = trained_tpm(SSD_A)
-    return intensity_analysis(
-        tpm, ssd_config=SSD_A, span_ms=45.0, duration_ns=50 * MS
+    return intensity_analysis_with_report(
+        tpm,
+        ssd_config=SSD_A,
+        span_ms=45.0,
+        duration_ns=50 * MS,
+        workers=bench_workers(),
     )
 
 
 @pytest.mark.benchmark(group="fig10")
 def test_fig10_intensity(benchmark):
-    comparisons = benchmark.pedantic(run_fig10, rounds=1, iterations=1)
+    comparisons, report = benchmark.pedantic(run_fig10, rounds=1, iterations=1)
+    benchmark.extra_info["perf"] = save_perf("fig10_intensity", report)
 
     rows = [
         [

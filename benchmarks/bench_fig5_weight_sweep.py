@@ -12,9 +12,9 @@ Paper observations to reproduce (SSD-A, inter-arrival 10–25 µs × size
 import numpy as np
 import pytest
 
-from benchmarks.common import save_result
+from benchmarks.common import bench_workers, save_perf, save_result
 from repro.experiments.tables import format_table
-from repro.experiments.weight_sweep import run_weight_sweep
+from repro.experiments.weight_sweep import run_weight_sweep_with_report
 from repro.sim.units import MS
 from repro.ssd.config import SSD_A
 
@@ -28,18 +28,20 @@ RATIOS = (1, 2, 4, 8, 16)
 
 
 def run_fig5():
-    return run_weight_sweep(
+    return run_weight_sweep_with_report(
         SSD_A,
         interarrivals_ns=INTERARRIVALS,
         sizes_bytes=SIZES,
         weight_ratios=RATIOS,
         duration_ns=50 * MS,
+        workers=bench_workers(),
     )
 
 
 @pytest.mark.benchmark(group="fig5")
 def test_fig5_weight_sweep(benchmark):
-    cells = benchmark.pedantic(run_fig5, rounds=1, iterations=1)
+    cells, report = benchmark.pedantic(run_fig5, rounds=1, iterations=1)
+    benchmark.extra_info["perf"] = save_perf("fig5_weight_sweep", report)
 
     rows = []
     for cell in cells:

@@ -10,7 +10,7 @@ neighbor models beat the linear family.
 
 import pytest
 
-from benchmarks.common import DEFAULT_PLAN, save_result
+from benchmarks.common import DEFAULT_PLAN, bench_workers, save_result
 from repro.core.sampling import TrainingSet, collect_training_set
 from repro.experiments.tables import format_table
 from repro.ml import (
@@ -34,7 +34,7 @@ MODELS = [
 
 
 def run_table1():
-    training = collect_training_set(SSD_A, DEFAULT_PLAN)
+    training = collect_training_set(SSD_A, DEFAULT_PLAN, workers=bench_workers())
     Xtr, Xva, ytr, yva = train_test_split(
         training.X, training.y, train_fraction=0.6, seed=42
     )

@@ -7,10 +7,12 @@ Accuracies 0.89–0.98 — the expected shape is "reliably high (>0.7)
 across every burstiness class".
 """
 
+import zlib
+
 import numpy as np
 import pytest
 
-from benchmarks.common import DEFAULT_PLAN, save_result
+from benchmarks.common import DEFAULT_PLAN, bench_workers, save_result
 from repro.core.sampling import TrainingSet, collect_training_set
 from repro.core.tpm import ThroughputPredictionModel
 from repro.experiments.tables import format_table
@@ -52,12 +54,17 @@ def synthetic_class_traces(size_scv, inter_scv, *, n_traces=3, seed=0):
 
 
 def run_table3():
-    micro = collect_training_set(SSD_A, DEFAULT_PLAN)
+    micro = collect_training_set(SSD_A, DEFAULT_PLAN, workers=bench_workers())
     class_sets = {}
     for label, size_scv, inter_scv in CLASSES:
-        traces = synthetic_class_traces(size_scv, inter_scv, seed=hash(label) % 1000)
+        # zlib.crc32, not hash(): str hashes are PYTHONHASHSEED-randomised,
+        # which made the Table III traces differ between pytest sessions.
+        traces = synthetic_class_traces(
+            size_scv, inter_scv, seed=zlib.crc32(label.encode()) % 1000
+        )
         class_sets[label] = collect_training_set(
-            SSD_A, None, traces=traces, weight_ratios=RATIOS
+            SSD_A, None, traces=traces, weight_ratios=RATIOS,
+            workers=bench_workers(),
         )
 
     accuracies = {}

@@ -8,7 +8,7 @@ in the reliable band.
 
 import pytest
 
-from benchmarks.common import DEFAULT_PLAN, save_result
+from benchmarks.common import DEFAULT_PLAN, bench_workers, save_result
 from repro.core.sampling import TrainingSet, collect_training_set
 from repro.core.tpm import ThroughputPredictionModel
 from repro.experiments.tables import format_table
@@ -19,7 +19,7 @@ from repro.ssd.config import SSD_B, SSD_C
 def run_other_ssds():
     scores = {}
     for config in (SSD_B, SSD_C):
-        ts = collect_training_set(config, DEFAULT_PLAN)
+        ts = collect_training_set(config, DEFAULT_PLAN, workers=bench_workers())
         Xtr, Xva, ytr, yva = train_test_split(
             ts.X, ts.y, train_fraction=0.6, seed=42
         )

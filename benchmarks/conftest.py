@@ -17,12 +17,20 @@ from benchmarks import common  # noqa: E402
 
 
 def pytest_terminal_summary(terminalreporter, exitstatus, config):
-    if not common.SESSION_RESULTS:
-        return
     tr = terminalreporter
-    tr.section("reproduced paper tables and figures")
-    for name, text in common.SESSION_RESULTS:
-        tr.write_line("")
-        tr.write_line(f"===== {name} =====")
-        for line in text.splitlines():
-            tr.write_line(line)
+    if common.SESSION_RESULTS:
+        tr.section("reproduced paper tables and figures")
+        for name, text in common.SESSION_RESULTS:
+            tr.write_line("")
+            tr.write_line(f"===== {name} =====")
+            for line in text.splitlines():
+                tr.write_line(line)
+    if common.SESSION_PERF:
+        tr.section("sweep perf counters (repro.parallel)")
+        for name, perf in common.SESSION_PERF.items():
+            tr.write_line(
+                f"{name}: mode={perf['mode']} workers={perf['workers']} "
+                f"cells={perf['n_cells']} wall={perf['wall_s']}s "
+                f"events/s={perf['events_per_sec']} "
+                f"util={perf['utilization']}"
+            )

@@ -54,6 +54,13 @@ def cmd_motivation(_args) -> int:
     return 0
 
 
+def _nonneg_int(value: str) -> int:
+    n = int(value)
+    if n < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {n}")
+    return n
+
+
 def cmd_sweep(args) -> int:
     config = SSDS[args.ssd]
     cells = run_weight_sweep(
@@ -62,6 +69,7 @@ def cmd_sweep(args) -> int:
         sizes_bytes=(16 * 1024, 40 * 1024),
         weight_ratios=(1, 2, 4, 8),
         duration_ns=args.duration_ms * 1_000_000,
+        workers=args.workers,
     )
     rows = [
         [
@@ -119,6 +127,11 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("sweep", help="small Fig. 5-style weight sweep")
     p.add_argument("--ssd", choices=sorted(SSDS), default="A")
     p.add_argument("--duration-ms", type=int, default=30)
+    p.add_argument(
+        "--workers", type=_nonneg_int, default=1,
+        help="worker processes for the sweep (0 = all cores); "
+        "results are identical for any value",
+    )
     p.set_defaults(fn=cmd_sweep)
 
     p = sub.add_parser("synthesize", help="generate a synthetic trace CSV")

@@ -19,6 +19,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.nvme.ssq import SSQDriver
+from repro.parallel import SweepReport, run_cells
 from repro.ssd.config import SSDConfig
 from repro.workloads.features import FEATURE_NAMES, extract_features
 from repro.workloads.micro import MicroWorkloadConfig, generate_micro_trace
@@ -138,15 +139,81 @@ def sample_trace(
     return x, y
 
 
-def collect_training_set(
+def _micro_sample_cell(
+    config: SSDConfig,
+    plan: SamplingPlan,
+    interarrival_ns: float,
+    size_bytes: float,
+    mix: float,
+    weight_ratio: int,
+) -> dict:
+    """One micro-grid training sample — a sweep worker cell.
+
+    The trace is regenerated inside the worker from the plan's seed
+    (``hash`` of numbers is process-stable, so parallel workers build
+    the identical trace the serial loop would).
+    """
+    read_wl = MicroWorkloadConfig(
+        mean_interarrival_ns=interarrival_ns, mean_size_bytes=size_bytes
+    )
+    write_wl = MicroWorkloadConfig(
+        mean_interarrival_ns=interarrival_ns * mix, mean_size_bytes=size_bytes
+    )
+    trace = generate_micro_trace(
+        read_wl,
+        write_wl,
+        n_reads=plan.requests_for(interarrival_ns),
+        n_writes=plan.requests_for(interarrival_ns * mix),
+        seed=plan.seed + hash((interarrival_ns, size_bytes, mix)) % 10_000,
+    )
+    return _trace_sample_cell(
+        config, trace, weight_ratio, plan.measure_start_fraction
+    )
+
+
+def _trace_sample_cell(
+    config: SSDConfig,
+    trace: Trace,
+    weight_ratio: int,
+    measure_start_fraction: float,
+) -> dict:
+    """One explicit-trace training sample — a sweep worker cell."""
+    from repro.experiments.replay import replay_on_device
+
+    features = extract_features(trace)
+    result = replay_on_device(
+        trace,
+        config,
+        SSQDriver(read_weight=1, write_weight=weight_ratio),
+        drain=False,
+        measure_start_fraction=measure_start_fraction,
+    )
+    return {
+        "x": features.with_weight(weight_ratio),
+        "y": np.array([result.read_tput_gbps, result.write_tput_gbps]),
+        "sim_events": result.sim_events,
+    }
+
+
+def _sample_cell(config: SSDConfig, kind: str, args: tuple) -> dict:
+    """Dispatch a cell spec (module-level so the pool can pickle it)."""
+    if kind == "micro":
+        return _micro_sample_cell(config, *args)
+    return _trace_sample_cell(config, *args)
+
+
+def collect_training_set_with_report(
     config: SSDConfig,
     plan: SamplingPlan | None = None,
     *,
     traces: Sequence[Trace] | None = None,
     weight_ratios: Sequence[int] | None = None,
     progress: Callable[[int, int], None] | None = None,
-) -> TrainingSet:
-    """Build a training set from a micro-trace plan and/or given traces.
+    workers: int | None = 1,
+    timeout_s: float | None = None,
+    retries: int = 1,
+) -> tuple[TrainingSet, SweepReport]:
+    """Build a training set and return the sweep's perf report.
 
     Parameters
     ----------
@@ -160,54 +227,58 @@ def collect_training_set(
         ratio in ``weight_ratios`` (default: the plan's ratios).
     progress:
         Optional ``(done, total)`` callback.
+    workers:
+        Fan the independent (workload, ratio) cells across this many
+        processes (``None`` = all cores); results are bit-identical to
+        the serial run because every cell reseeds from the plan.
     """
     if plan is None and traces is None:
         plan = SamplingPlan()
-    xs: list[np.ndarray] = []
-    ys: list[np.ndarray] = []
     ratios = list(weight_ratios or (plan.weight_ratios if plan else (1, 2, 4, 8)))
+    mf = plan.measure_start_fraction if plan else 0.4
 
-    total = (plan.n_cells() if plan else 0) + len(traces or []) * len(ratios)
-    done = 0
-
+    cells: list[tuple] = []
     if plan is not None:
         for inter in plan.interarrival_ns:
             for size in plan.size_bytes:
                 for mix in plan.read_write_mixes:
-                    read_wl = MicroWorkloadConfig(
-                        mean_interarrival_ns=inter, mean_size_bytes=size
-                    )
-                    write_wl = MicroWorkloadConfig(
-                        mean_interarrival_ns=inter * mix, mean_size_bytes=size
-                    )
-                    n_reads = plan.requests_for(inter)
-                    n_writes = plan.requests_for(inter * mix)
-                    trace = generate_micro_trace(
-                        read_wl,
-                        write_wl,
-                        n_reads=n_reads,
-                        n_writes=n_writes,
-                        seed=plan.seed + hash((inter, size, mix)) % 10_000,
-                    )
                     for w in plan.weight_ratios:
-                        x, y = sample_trace(
-                            trace, config, w,
-                            measure_start_fraction=plan.measure_start_fraction,
+                        cells.append(
+                            (config, "micro", (plan, inter, size, mix, w))
                         )
-                        xs.append(x)
-                        ys.append(y)
-                        done += 1
-                        if progress:
-                            progress(done, total)
-
-    mf = plan.measure_start_fraction if plan else 0.4
     for trace in traces or []:
         for w in ratios:
-            x, y = sample_trace(trace, config, w, measure_start_fraction=mf)
-            xs.append(x)
-            ys.append(y)
-            done += 1
-            if progress:
-                progress(done, total)
+            cells.append((config, "trace", (trace, w, mf)))
 
-    return TrainingSet(X=np.vstack(xs), y=np.vstack(ys))
+    report = run_cells(
+        _sample_cell,
+        cells,
+        workers=workers,
+        timeout_s=timeout_s,
+        retries=retries,
+        progress=progress,
+    )
+    xs = [r["x"] for r in report.results]
+    ys = [r["y"] for r in report.results]
+    return TrainingSet(X=np.vstack(xs), y=np.vstack(ys)), report
+
+
+def collect_training_set(
+    config: SSDConfig,
+    plan: SamplingPlan | None = None,
+    *,
+    traces: Sequence[Trace] | None = None,
+    weight_ratios: Sequence[int] | None = None,
+    progress: Callable[[int, int], None] | None = None,
+    workers: int | None = 1,
+) -> TrainingSet:
+    """Build a training set (see :func:`collect_training_set_with_report`)."""
+    training, _ = collect_training_set_with_report(
+        config,
+        plan,
+        traces=traces,
+        weight_ratios=weight_ratios,
+        progress=progress,
+        workers=workers,
+    )
+    return training

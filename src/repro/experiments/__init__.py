@@ -16,11 +16,16 @@ from repro.experiments.replay import DeviceReplayResult, replay_on_device
 from repro.experiments.metrics import ThroughputSeries, trim_series
 from repro.experiments.runner import (
     BackgroundTraffic,
+    RunMeasurement,
     RunResult,
     TestbedConfig,
     run_testbed,
 )
-from repro.experiments.weight_sweep import WeightSweepCell, run_weight_sweep
+from repro.experiments.weight_sweep import (
+    WeightSweepCell,
+    run_weight_sweep,
+    run_weight_sweep_with_report,
+)
 from repro.experiments.motivation import (
     MotivationOutcome,
     MotivationScenario,
@@ -34,10 +39,13 @@ from repro.experiments.comparison import (
     TABLE4_POINTS,
     IncastPoint,
     IntensityLevel,
+    MicroTraceSpec,
     SchemeComparison,
     compare_schemes,
     incast_analysis,
+    incast_analysis_with_report,
     intensity_analysis,
+    intensity_analysis_with_report,
 )
 from repro.experiments.latency import LatencyReport, LatencySummary, latency_report
 from repro.experiments.tables import format_gbps, format_percent, format_table
@@ -49,10 +57,12 @@ __all__ = [
     "trim_series",
     "BackgroundTraffic",
     "TestbedConfig",
+    "RunMeasurement",
     "RunResult",
     "run_testbed",
     "WeightSweepCell",
     "run_weight_sweep",
+    "run_weight_sweep_with_report",
     "MotivationScenario",
     "MotivationOutcome",
     "no_congestion",
@@ -66,8 +76,11 @@ __all__ = [
     "IntensityLevel",
     "TABLE4_POINTS",
     "INTENSITY_LEVELS",
+    "MicroTraceSpec",
     "incast_analysis",
+    "incast_analysis_with_report",
     "intensity_analysis",
+    "intensity_analysis_with_report",
     "format_table",
     "format_gbps",
     "format_percent",

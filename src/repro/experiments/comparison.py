@@ -18,15 +18,48 @@ from typing import Callable
 
 from repro.core.tpm import ThroughputPredictionModel
 from repro.experiments.runner import RunResult, TestbedConfig, run_testbed
+from repro.parallel import SweepReport, run_cells
 from repro.sim.units import MS, US
 from repro.ssd.config import SSDConfig
 from repro.workloads.micro import MicroWorkloadConfig, generate_micro_trace
 from repro.workloads.traces import Trace
 
 
+@dataclass(frozen=True)
+class MicroTraceSpec:
+    """Picklable recipe for a micro trace (sweep workers rebuild it).
+
+    A closure-based trace factory cannot cross a process boundary; this
+    spec can, and :meth:`build` is deterministic in the seed, so every
+    worker reconstructs the identical workload.
+    """
+
+    read: MicroWorkloadConfig
+    write: MicroWorkloadConfig | None
+    n_reads: int
+    n_writes: int
+    seed: int
+
+    def build(self) -> Trace:
+        return generate_micro_trace(
+            self.read,
+            self.write,
+            n_reads=self.n_reads,
+            n_writes=self.n_writes,
+            seed=self.seed,
+        )
+
+
 @dataclass
 class SchemeComparison:
-    """Paired measurement of the two schemes on one workload."""
+    """Paired measurement of the two schemes on one workload.
+
+    ``dcqcn_only`` / ``dcqcn_src`` are full :class:`RunResult` objects
+    when produced in-process and picklable
+    :class:`repro.experiments.runner.RunMeasurement` objects when a
+    sweep worker produced them; both expose the trimmed accessors the
+    properties below need.
+    """
 
     label: str
     dcqcn_only: RunResult
@@ -47,6 +80,14 @@ class SchemeComparison:
         base = self.only_gbps
         return (self.src_gbps - base) / base if base > 0 else 0.0
 
+    @property
+    def sim_events(self) -> int:
+        """Total simulator events across both runs (perf accounting)."""
+        return int(
+            getattr(self.dcqcn_only, "sim_events", 0)
+            + getattr(self.dcqcn_src, "sim_events", 0)
+        )
+
 
 def compare_schemes(
     trace_factory: Callable[[], Trace],
@@ -64,6 +105,29 @@ def compare_schemes(
     only = run_testbed(trace_factory(), only_cfg, duration_ns=duration_ns)
     src = run_testbed(trace_factory(), src_cfg, tpm=tpm, duration_ns=duration_ns)
     return SchemeComparison(label=label, dcqcn_only=only, dcqcn_src=src)
+
+
+def _comparison_cell(
+    spec: MicroTraceSpec,
+    base_config: TestbedConfig,
+    tpm: ThroughputPredictionModel,
+    label: str,
+    duration_ns: int | None,
+) -> SchemeComparison:
+    """One paired-scheme run — a sweep worker cell.
+
+    Returns a :class:`SchemeComparison` whose members are stripped to
+    picklable :class:`~repro.experiments.runner.RunMeasurement` objects.
+    """
+    cmp = compare_schemes(
+        spec.build, base_config, tpm, label=label, duration_ns=duration_ns
+    )
+    return SchemeComparison(
+        label=cmp.label,
+        dcqcn_only=cmp.dcqcn_only.measurement(),
+        dcqcn_src=cmp.dcqcn_src.measurement(),
+        trim_fraction=cmp.trim_fraction,
+    )
 
 
 # -- Table IV: in-cast ratio analysis ------------------------------------------
@@ -90,7 +154,7 @@ TABLE4_POINTS = (
 )
 
 
-def incast_analysis(
+def incast_analysis_with_report(
     tpm: ThroughputPredictionModel,
     *,
     points: tuple[IncastPoint, ...] = TABLE4_POINTS,
@@ -105,7 +169,10 @@ def incast_analysis(
     link_rate_gbps: float = 40.0,
     congestion: "BackgroundTraffic | None | str" = "default",
     duration_ns: int | None = None,
-) -> list[SchemeComparison]:
+    workers: int | None = 1,
+    timeout_s: float | None = None,
+    retries: int = 1,
+) -> tuple[list[SchemeComparison], SweepReport]:
     """Reproduce Table IV: fixed total traffic, varying in-cast ratio.
 
     The total offered read traffic stays at ``total_read_gbps``
@@ -115,6 +182,10 @@ def incast_analysis(
     inbound load falls as initiators are added (congestion relief — with
     several initiators only the episode's victim is squeezed, so most of
     the workload never sees congestion, as in the paper's 4:4 row).
+
+    Each row is an independent paired run submitted through
+    :mod:`repro.parallel`; ``workers`` fans them across processes with
+    results identical to the serial order.
     """
     from repro.experiments.runner import BackgroundTraffic
 
@@ -124,17 +195,15 @@ def incast_analysis(
         )
     read_inter_ns = mean_read_bytes * 8.0 / total_read_gbps
     write_inter_ns = read_inter_ns / write_fraction_of_read_rate
-    results: list[SchemeComparison] = []
+    spec = MicroTraceSpec(
+        read=MicroWorkloadConfig(read_inter_ns, mean_read_bytes),
+        write=MicroWorkloadConfig(write_inter_ns, mean_write_bytes),
+        n_reads=n_requests,
+        n_writes=int(n_requests * write_fraction_of_read_rate),
+        seed=seed,
+    )
+    cells = []
     for point in points:
-        def make_trace(seed=seed) -> Trace:
-            return generate_micro_trace(
-                MicroWorkloadConfig(read_inter_ns, mean_read_bytes),
-                MicroWorkloadConfig(write_inter_ns, mean_write_bytes),
-                n_reads=n_requests,
-                n_writes=int(n_requests * write_fraction_of_read_rate),
-                seed=seed,
-            )
-
         cfg = TestbedConfig(
             n_initiators=point.n_initiators,
             n_targets=point.n_targets,
@@ -144,9 +213,18 @@ def incast_analysis(
             link_delay_ns=US,
             background=congestion,
         )
-        results.append(
-            compare_schemes(make_trace, cfg, tpm, label=point.label, duration_ns=duration_ns)
-        )
+        cells.append((spec, cfg, tpm, point.label, duration_ns))
+    report = run_cells(
+        _comparison_cell, cells, workers=workers, timeout_s=timeout_s, retries=retries
+    )
+    return list(report.results), report
+
+
+def incast_analysis(
+    tpm: ThroughputPredictionModel, **kwargs
+) -> list[SchemeComparison]:
+    """Table IV rows (see :func:`incast_analysis_with_report`)."""
+    results, _ = incast_analysis_with_report(tpm, **kwargs)
     return results
 
 
@@ -174,7 +252,7 @@ INTENSITY_LEVELS = (
 )
 
 
-def intensity_analysis(
+def intensity_analysis_with_report(
     tpm: ThroughputPredictionModel,
     *,
     levels: tuple[IntensityLevel, ...] = INTENSITY_LEVELS,
@@ -184,7 +262,10 @@ def intensity_analysis(
     seed: int = 31,
     congestion: "BackgroundTraffic | None | str" = "default",
     duration_ns: int | None = None,
-) -> list[SchemeComparison]:
+    workers: int | None = 1,
+    timeout_s: float | None = None,
+    retries: int = 1,
+) -> tuple[list[SchemeComparison], SweepReport]:
     """Reproduce Fig. 10: both schemes at light/moderate/heavy intensity.
 
     Each level runs under the same congestion episode (Fig. 10's runs all
@@ -192,6 +273,7 @@ def intensity_analysis(
     the device queues are deep enough for SRC's WRR to act.  Pass
     ``congestion=None`` for congestion-free runs.  Request counts scale
     with each level's arrival rate so every level spans ``span_ms``.
+    Levels fan across processes via ``workers`` (``None`` = all cores).
     """
     from repro.experiments.runner import BackgroundTraffic
 
@@ -199,16 +281,16 @@ def intensity_analysis(
         congestion = BackgroundTraffic(
             start_ns=8 * MS, end_ns=36 * MS, rate_gbps=10.0, n_hosts=14
         )
-    results: list[SchemeComparison] = []
+    cells = []
     for level in levels:
         n_requests = max(100, int(level.arrivals_per_ms * span_ms))
-
-        def make_trace(level=level, seed=seed, n_requests=n_requests) -> Trace:
-            wl = MicroWorkloadConfig(level.interarrival_ns, level.mean_size_bytes)
-            return generate_micro_trace(
-                wl, n_reads=n_requests, n_writes=n_requests, seed=seed
-            )
-
+        spec = MicroTraceSpec(
+            read=MicroWorkloadConfig(level.interarrival_ns, level.mean_size_bytes),
+            write=None,
+            n_reads=n_requests,
+            n_writes=n_requests,
+            seed=seed,
+        )
         cfg = TestbedConfig(
             n_initiators=1,
             n_targets=2,
@@ -216,7 +298,16 @@ def intensity_analysis(
             ssd_config=ssd_config,
             background=congestion,
         )
-        results.append(
-            compare_schemes(make_trace, cfg, tpm, label=level.label, duration_ns=duration_ns)
-        )
+        cells.append((spec, cfg, tpm, level.label, duration_ns))
+    report = run_cells(
+        _comparison_cell, cells, workers=workers, timeout_s=timeout_s, retries=retries
+    )
+    return list(report.results), report
+
+
+def intensity_analysis(
+    tpm: ThroughputPredictionModel, **kwargs
+) -> list[SchemeComparison]:
+    """Fig. 10 levels (see :func:`intensity_analysis_with_report`)."""
+    results, _ = intensity_analysis_with_report(tpm, **kwargs)
     return results

@@ -33,7 +33,14 @@ class ThroughputSeries:
     def from_events(
         cls, events: list[tuple[int, int]], bin_ns: int, end_ns: int
     ) -> "ThroughputSeries":
-        """Bin (time_ns, nbytes) completion events into a rate series."""
+        """Bin (time_ns, nbytes) completion events into a rate series.
+
+        The measured span is ``[0, end_ns]`` inclusive: a completion at
+        exactly ``end_ns`` (common when the run stops at the last
+        arrival) lands in the final bin rather than being dropped.  When
+        ``end_ns`` is not a bin multiple, the final *partial* bin is
+        normalised by its true width so its rate is not under-reported.
+        """
         if bin_ns <= 0:
             raise ValueError(f"bin width must be positive, got {bin_ns}")
         if end_ns <= 0:
@@ -41,10 +48,12 @@ class ThroughputSeries:
         n_bins = -(-end_ns // bin_ns)
         acc = np.zeros(n_bins)
         for t, nbytes in events:
-            if 0 <= t < end_ns:
-                acc[t // bin_ns] += nbytes
+            if 0 <= t <= end_ns:
+                acc[min(t // bin_ns, n_bins - 1)] += nbytes
         times = np.arange(n_bins, dtype=np.int64) * bin_ns
-        return cls(times_ns=times, gbps=acc / bin_ns / GBPS)
+        widths = np.full(n_bins, bin_ns, dtype=np.int64)
+        widths[-1] = end_ns - (n_bins - 1) * bin_ns
+        return cls(times_ns=times, gbps=acc / widths / GBPS)
 
     def mean(self) -> float:
         return float(self.gbps.mean()) if self.gbps.size else 0.0

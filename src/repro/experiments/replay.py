@@ -29,6 +29,8 @@ class DeviceReplayResult:
     reads_completed: int
     writes_completed: int
     ssd: SSD
+    #: Simulator events dispatched during the replay (perf accounting).
+    sim_events: int = 0
 
     @property
     def aggregated_tput_gbps(self) -> float:
@@ -109,4 +111,5 @@ def replay_on_device(
         reads_completed=reads,
         writes_completed=writes,
         ssd=ssd,
+        sim_events=sim.events_dispatched,
     )

@@ -96,6 +96,36 @@ class TestbedConfig:
 
 
 @dataclass
+class RunMeasurement:
+    """Picklable measurement subset of a :class:`RunResult`.
+
+    Sweep workers return this instead of the full result: a finished
+    ``RunResult`` drags the live object graph (simulator queue with
+    lambda callbacks, NICs, SSDs) which cannot cross a process boundary.
+    """
+
+    duration_ns: int
+    read_series: ThroughputSeries
+    write_series: ThroughputSeries
+    n_pauses: int
+    sim_events: int
+    bin_ns: int = MS
+
+    @property
+    def aggregated_series(self) -> ThroughputSeries:
+        return self.read_series + self.write_series
+
+    def trimmed_read_gbps(self, fraction: float = 0.1) -> float:
+        return trim_series(self.read_series, fraction).mean()
+
+    def trimmed_write_gbps(self, fraction: float = 0.1) -> float:
+        return trim_series(self.write_series, fraction).mean()
+
+    def trimmed_aggregated_gbps(self, fraction: float = 0.1) -> float:
+        return trim_series(self.aggregated_series, fraction).mean()
+
+
+@dataclass
 class RunResult:
     """Measurements from one testbed run."""
 
@@ -113,6 +143,21 @@ class RunResult:
     @property
     def aggregated_series(self) -> ThroughputSeries:
         return self.read_series + self.write_series
+
+    @property
+    def sim_events(self) -> int:
+        return self.sim.events_dispatched
+
+    def measurement(self) -> RunMeasurement:
+        """Strip to the picklable measurements (for sweep workers)."""
+        return RunMeasurement(
+            duration_ns=self.duration_ns,
+            read_series=self.read_series,
+            write_series=self.write_series,
+            n_pauses=len(self.pause_times_ns),
+            sim_events=self.sim.events_dispatched,
+            bin_ns=self.bin_ns,
+        )
 
     def trimmed_read_gbps(self, fraction: float = 0.1) -> float:
         return trim_series(self.read_series, fraction).mean()

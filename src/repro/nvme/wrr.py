@@ -58,6 +58,11 @@ class TokenWRR:
         Does not consume a token — call :meth:`consume` with the type of
         the command actually fetched (which can differ when the
         consistency check placed it in the other queue).
+
+        The §III-A round reset lives *here*: "when the type that should
+        go next has no tokens left, all tokens are reset" — so the reset
+        fires exactly when both classes are dry at choice time, and the
+        returned class always holds at least one token.
         """
         if not read_available and not write_available:
             return None
@@ -67,21 +72,28 @@ class TokenWRR:
             return OpType.WRITE
         # Both available: serve the class with tokens; writes first within
         # a round so that a ratio w yields w writes per read.
-        if self.write_tokens == 0 and self.read_tokens == 0:
+        if self.write_tokens <= 0 and self.read_tokens <= 0:
             self.reset_tokens()
-        if self.write_tokens >= self.read_tokens and self.write_tokens > 0:
+        if self.write_tokens >= self.read_tokens:
+            # write >= read and not both dry implies write_tokens >= 1.
             return OpType.WRITE
-        if self.read_tokens > 0:
-            return OpType.READ
-        return OpType.WRITE
+        return OpType.READ
 
     def consume(self, op: OpType) -> None:
-        """Take one token of ``op``'s class (resets the round when dry)."""
+        """Take one token of ``op``'s class.
+
+        A dry class is never charged below zero and never resets the
+        round here — the reset is :meth:`choose`'s job, so a cross-typed
+        fetch (a command the consistency check parked in the other
+        queue) cannot wipe the other class's remaining budget mid-round.
+        """
         if op is OpType.READ:
-            if self.read_tokens == 0:
-                self.reset_tokens()
-            self.read_tokens -= 1
+            if self.read_tokens > 0:
+                self.read_tokens -= 1
         else:
-            if self.write_tokens == 0:
-                self.reset_tokens()
-            self.write_tokens -= 1
+            if self.write_tokens > 0:
+                self.write_tokens -= 1
+        assert self.read_tokens >= 0 and self.write_tokens >= 0, (
+            f"WRR tokens went negative: read={self.read_tokens} "
+            f"write={self.write_tokens}"
+        )

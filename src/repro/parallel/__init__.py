@@ -1,0 +1,19 @@
+"""Parallel sweep execution (see :mod:`repro.parallel.pool`)."""
+
+from repro.parallel.pool import (
+    CellStats,
+    SweepCellError,
+    SweepReport,
+    cell_seed,
+    resolve_workers,
+    run_cells,
+)
+
+__all__ = [
+    "CellStats",
+    "SweepCellError",
+    "SweepReport",
+    "cell_seed",
+    "resolve_workers",
+    "run_cells",
+]

@@ -12,7 +12,7 @@ Time is measured in integer nanoseconds, sizes in integer bytes; the
 mistakes fail loudly in one place.
 """
 
-from repro.sim.engine import Simulator
+from repro.sim.engine import MaxEventsExceeded, Simulator
 from repro.sim.events import Event, EventQueue
 from repro.sim.rng import make_rng, spawn_rngs
 from repro.sim.units import (
@@ -33,6 +33,7 @@ from repro.sim.units import (
 )
 
 __all__ = [
+    "MaxEventsExceeded",
     "Simulator",
     "Event",
     "EventQueue",

@@ -18,6 +18,32 @@ from typing import Callable
 from repro.sim.events import Event, EventQueue
 
 
+class MaxEventsExceeded(RuntimeError):
+    """:meth:`Simulator.run` hit its ``max_events`` safety valve.
+
+    Raised *after* the limit-hitting event ran, so the simulator's state
+    is partial — ``now`` sits at that event's time and later events are
+    still queued — but fully consistent and open for inspection: the
+    clock, ``events_dispatched``, and the pending queue all reflect
+    exactly what was dispatched.  The attributes carry the same snapshot
+    for handlers that only see the exception.
+    """
+
+    def __init__(
+        self, max_events: int, dispatched: int, pending: int, now: int
+    ) -> None:
+        super().__init__(
+            f"simulation exceeded max_events={max_events} after dispatching "
+            f"{dispatched} events in this run() call ({pending} events still "
+            f"pending at t={now}); possible livelock — simulator state is "
+            f"partial but consistent for inspection"
+        )
+        self.max_events = max_events
+        self.dispatched = dispatched
+        self.pending = pending
+        self.now = now
+
+
 class Simulator:
     """Single-clock discrete-event simulator.
 
@@ -60,8 +86,12 @@ class Simulator:
             clock is advanced to ``until`` itself.  ``None`` runs until
             the queue drains.
         max_events:
-            Safety valve for tests; raises ``RuntimeError`` when hit so a
-            livelocked model fails loudly rather than hanging CI.
+            Safety valve for tests; raises :class:`MaxEventsExceeded` (a
+            ``RuntimeError``) when hit so a livelocked model fails loudly
+            rather than hanging CI.  The simulator is left mid-run —
+            clock advanced, remaining events queued — but consistent, so
+            callers may inspect ``now``, ``pending()``, and
+            ``events_dispatched`` after catching the error.
 
         Returns
         -------
@@ -85,9 +115,8 @@ class Simulator:
             dispatched += 1
             self.events_dispatched += 1
             if max_events is not None and dispatched >= max_events:
-                raise RuntimeError(
-                    f"simulation exceeded max_events={max_events} "
-                    f"(possible livelock at t={self.now})"
+                raise MaxEventsExceeded(
+                    max_events, dispatched, len(self._queue), self.now
                 )
         if until is not None and until > self.now:
             self.now = until

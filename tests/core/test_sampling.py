@@ -112,3 +112,17 @@ class TestCollection:
         trace = generate_micro_trace(wl, n_reads=50, n_writes=50, seed=4)
         with pytest.raises(ValueError):
             sample_trace(trace, FAST_SSD, 0)
+
+    def test_parallel_collection_matches_serial(self):
+        from repro.core.sampling import collect_training_set_with_report
+
+        serial, serial_report = collect_training_set_with_report(
+            FAST_SSD, TINY_PLAN, workers=1
+        )
+        pooled, pool_report = collect_training_set_with_report(
+            FAST_SSD, TINY_PLAN, workers=2
+        )
+        assert np.array_equal(serial.X, pooled.X)
+        assert np.array_equal(serial.y, pooled.y)
+        assert serial_report.n_cells == TINY_PLAN.n_cells()
+        assert serial_report.sim_events == pool_report.sim_events > 0

@@ -68,14 +68,82 @@ def test_set_weights_resets_tokens():
     assert wrr.write_tokens == 5
 
 
-def test_consume_on_dry_type_resets_round():
+def test_consume_on_dry_type_clamps_at_zero():
+    # The round reset belongs to choose (§III-A: "the type that should
+    # go next"); consuming a dry class must not wipe the other class's
+    # remaining budget mid-round.
     wrr = TokenWRR(1, 2)
     wrr.consume(OpType.WRITE)
     wrr.consume(OpType.WRITE)
     assert wrr.write_tokens == 0
-    wrr.consume(OpType.WRITE)  # dry -> round reset then consume
-    assert wrr.write_tokens == 1
-    assert wrr.read_tokens == 1
+    wrr.consume(OpType.WRITE)  # dry -> clamp, no reset
+    assert wrr.write_tokens == 0
+    assert wrr.read_tokens == 1  # read budget survives the cross charge
+
+
+def test_cross_type_consume_preserves_other_budget():
+    # A cross-typed fetch (consistency check parked a write in the read
+    # queue) charges writes; reads keep their tokens and still get their
+    # share of the round.
+    wrr = TokenWRR(2, 2)
+    wrr.consume(OpType.WRITE)
+    wrr.consume(OpType.WRITE)
+    wrr.consume(OpType.WRITE)  # dry write: clamp
+    assert (wrr.read_tokens, wrr.write_tokens) == (2, 0)
+    assert wrr.choose(True, True) is OpType.READ
+    wrr.consume(OpType.READ)
+    assert wrr.choose(True, True) is OpType.READ
+    wrr.consume(OpType.READ)
+    # Both dry now: next choice resets the round.
+    assert wrr.choose(True, True) is OpType.WRITE
+    assert (wrr.read_tokens, wrr.write_tokens) == (2, 2)
+
+
+def test_choose_never_returns_dry_class():
+    wrr = TokenWRR(1, 3)
+    for _ in range(24):
+        op = wrr.choose(True, True)
+        tokens = wrr.read_tokens if op is OpType.READ else wrr.write_tokens
+        assert tokens > 0
+        wrr.consume(op)
+
+
+def test_set_weights_mid_round_starts_fresh_round():
+    wrr = TokenWRR(1, 1)
+    wrr.consume(OpType.WRITE)  # half-way through a 1:1 round
+    wrr.set_weights(1, 3)
+    # The new round honours the new ratio exactly: 3 writes then 1 read.
+    assert drain_round(wrr, 4) == [
+        OpType.WRITE, OpType.WRITE, OpType.WRITE, OpType.READ
+    ]
+
+
+def test_skip_if_empty_leaves_tokens_untouched():
+    # Only one queue has commands: it is served without moving tokens,
+    # so WRR degenerates to plain RR under light load (Fig. 5 flat
+    # bottom-left panels).
+    wrr = TokenWRR(1, 4)
+    for _ in range(10):
+        assert wrr.choose(True, False) is OpType.READ
+    assert (wrr.read_tokens, wrr.write_tokens) == (1, 4)
+    for _ in range(10):
+        assert wrr.choose(False, True) is OpType.WRITE
+    assert (wrr.read_tokens, wrr.write_tokens) == (1, 4)
+
+
+@given(
+    st.integers(min_value=1, max_value=6),
+    st.integers(min_value=1, max_value=6),
+    st.lists(st.sampled_from([OpType.READ, OpType.WRITE]), max_size=60),
+)
+def test_tokens_never_negative_property(rw, ww, ops):
+    # Arbitrary interleavings of cross-typed consumes (no choose guard)
+    # can never drive a token below zero.
+    wrr = TokenWRR(rw, ww)
+    for op in ops:
+        wrr.consume(op)
+        assert wrr.read_tokens >= 0
+        assert wrr.write_tokens >= 0
 
 
 @given(st.integers(min_value=1, max_value=8), st.integers(min_value=1, max_value=8))

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim.engine import Simulator
+from repro.sim.engine import MaxEventsExceeded, Simulator
 from repro.sim.rng import make_rng, spawn_rngs
 
 
@@ -67,6 +67,36 @@ def test_max_events_guards_livelock():
     sim.schedule(1, forever)
     with pytest.raises(RuntimeError, match="max_events"):
         sim.run(max_events=100)
+
+
+def test_max_events_error_reports_partial_state():
+    sim = Simulator()
+
+    def forever():
+        sim.schedule(1, forever)
+        sim.schedule(1, lambda: None)
+
+    sim.schedule(1, forever)
+    with pytest.raises(MaxEventsExceeded) as excinfo:
+        sim.run(max_events=50)
+    err = excinfo.value
+    assert err.max_events == 50
+    assert err.dispatched == 50
+    assert err.now == sim.now  # snapshot matches the live simulator
+    assert err.pending == sim.pending() > 0
+    # The simulator stays usable for inspection.
+    assert sim.events_dispatched == 50
+
+
+def test_simulator_continues_after_max_events_error():
+    sim = Simulator()
+    for i in range(5):
+        sim.schedule(i + 1, lambda: None)
+    with pytest.raises(MaxEventsExceeded):
+        sim.run(max_events=2)
+    # Remaining events are still queued and dispatchable.
+    assert sim.run() == 3
+    assert sim.events_dispatched == 5
 
 
 def test_run_returns_dispatch_count():
