@@ -5,6 +5,10 @@
 * :func:`save_perf` / :func:`bench_workers` — sweep perf counters
   (events/sec, per-cell wall time, worker utilisation) persisted as
   JSON so BENCH_*.json runs can track the parallel-runner speedup;
+* :func:`save_engine_perf` / :func:`load_engine_baseline` /
+  :func:`load_engine_floor` — single-engine throughput numbers
+  (``results/engine_perf.json``) against the checked-in pre-optimisation
+  baseline and regression floor;
 * :func:`trained_tpm` — session-cached TPM training per SSD model (the
   expensive sweep runs once even when several figure benches need it);
 * workload factories matching the §IV descriptions (VDI-like trace, the
@@ -63,6 +67,53 @@ def save_perf(name: str, report: SweepReport) -> dict:
         json.dumps(payload, indent=2) + "\n"
     )
     SESSION_PERF[name] = payload
+    return payload
+
+
+BENCH_DIR = Path(__file__).parent
+
+#: Pre-optimisation engine numbers, captured once on the machine that
+#: ran the PR 2 refactor (see ``results/engine_perf.json`` for the
+#: matching "after" run).
+ENGINE_BASELINE_PATH = BENCH_DIR / "engine_perf_baseline.json"
+
+#: Minimum acceptable throughput — half the *pre-optimisation* baseline,
+#: i.e. generous slack meant to catch order-of-magnitude regressions
+#: (an accidental O(n) scan back in the loop), not machine jitter.
+ENGINE_FLOOR_PATH = BENCH_DIR / "engine_perf_floor.json"
+
+
+def load_engine_baseline() -> dict:
+    """The checked-in pre-optimisation engine throughput numbers."""
+    return json.loads(ENGINE_BASELINE_PATH.read_text())
+
+
+def load_engine_floor() -> dict:
+    """The checked-in events/sec floors for the engine perf guard."""
+    return json.loads(ENGINE_FLOOR_PATH.read_text())
+
+
+def save_engine_perf(current: dict) -> dict:
+    """Persist engine throughput as before/after in ``engine_perf.json``.
+
+    ``current`` maps scenario name (``engine_microbench``,
+    ``incast_cell``) to a :class:`repro.profiling.BenchResult` dict.
+    Returns the full payload (baseline + current + speedups).
+    """
+    baseline = load_engine_baseline()
+    speedup = {}
+    for key, cur in current.items():
+        base = baseline.get(key)
+        if base and base.get("events_per_sec"):
+            speedup[key] = round(cur["events_per_sec"] / base["events_per_sec"], 2)
+    payload = {"baseline": baseline, "current": current, "speedup": speedup}
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "engine_perf.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+    SESSION_PERF["engine"] = {
+        f"{key}_events_per_sec": cur["events_per_sec"] for key, cur in current.items()
+    } | {f"{key}_speedup": s for key, s in speedup.items()}
     return payload
 
 

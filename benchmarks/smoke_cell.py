@@ -1,10 +1,19 @@
-"""CI smoke benchmark: one tiny Fig. 5 sweep, parallel vs serial.
+"""CI smoke benchmark: one tiny Fig. 5 sweep, parallel vs serial,
+plus the engine throughput regression guard.
 
 Runs a single weight-sweep panel twice — once with ``workers=1`` and
 once with ``workers=2`` — and asserts the results are bit-identical,
 which is the determinism contract of :mod:`repro.parallel`.  Prints the
 perf counters of the parallel run so CI logs show events/sec and worker
 utilisation.
+
+Then times the two standard engine scenarios from
+:mod:`repro.profiling.bench`, records before/after numbers in
+``benchmarks/results/engine_perf.json`` (the "before" half is the
+checked-in pre-optimisation baseline), and fails if events/sec drops
+below the checked-in floor — half the pre-optimisation baseline, so
+only an order-of-magnitude regression (e.g. an O(n) scan creeping back
+into the dispatch loop) trips it.
 
 Usage::
 
@@ -15,10 +24,15 @@ from __future__ import annotations
 
 import json
 import sys
+from pathlib import Path
 
 import numpy as np
 
+sys.path.insert(0, str(Path(__file__).parent.parent))
+
+from benchmarks.common import load_engine_floor, save_engine_perf
 from repro.experiments.weight_sweep import run_weight_sweep_with_report
+from repro.profiling.bench import engine_microbench, run_incast_cell
 from repro.sim.units import MS
 from repro.ssd.config import SSD_A
 
@@ -55,7 +69,42 @@ def main() -> int:
 
     print("smoke cell OK: workers=2 bit-identical to workers=1")
     print(json.dumps(report.perf_dict(), indent=2))
-    return 0
+    return engine_guard()
+
+
+def engine_guard() -> int:
+    """Time the standard engine scenarios and enforce the events/sec floor."""
+    current = {
+        "engine_microbench": max(
+            (engine_microbench(n_events=200_000) for _ in range(2)),
+            key=lambda r: r.events_per_sec,
+        ).as_dict(),
+        "incast_cell": max(
+            (run_incast_cell(duration_ns=2 * MS)[0] for _ in range(2)),
+            key=lambda r: r.events_per_sec,
+        ).as_dict(),
+    }
+    payload = save_engine_perf(current)
+    print("engine perf (events/sec, current vs pre-optimisation baseline):")
+    for key, cur in current.items():
+        base = payload["baseline"].get(key, {}).get("events_per_sec", "?")
+        speedup = payload["speedup"].get(key, "?")
+        print(f"  {key}: {cur['events_per_sec']} vs {base} ({speedup}x)")
+
+    floor = load_engine_floor()
+    failed = False
+    for key, cur in current.items():
+        limit = floor.get(f"{key}_events_per_sec")
+        if limit is not None and cur["events_per_sec"] < limit:
+            print(
+                f"FAIL: {key} at {cur['events_per_sec']} events/sec is below "
+                f"the regression floor {limit}",
+                file=sys.stderr,
+            )
+            failed = True
+    if not failed:
+        print("engine perf OK: above the regression floor")
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

@@ -6,6 +6,7 @@
     python -m repro sweep [--ssd A|B|C]   # a small Fig. 5-style sweep
     python -m repro synthesize --profile vdi -o trace.csv
     python -m repro replay trace.csv [--ssd A] [--weight 4]
+    python -m repro profile [--scenario engine|incast|both] [--cprofile]
 
 The full-scale reproductions live in ``benchmarks/`` (pytest-benchmark);
 this CLI exists for interactive exploration at small scale.
@@ -14,6 +15,7 @@ this CLI exists for interactive exploration at small scale.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.experiments.motivation import (
@@ -114,6 +116,50 @@ def cmd_replay(args) -> int:
     return 0
 
 
+def cmd_profile(args) -> int:
+    """Profile the DES engine on the standard scenarios.
+
+    ``engine`` is the pure event-loop microbench (no network model);
+    ``incast`` is the packet-level in-cast cell.  Both run on an
+    :class:`~repro.profiling.InstrumentedSimulator`, so the output shows
+    events/sec, the heap high-water mark, and per-callback-site dispatch
+    counts; ``--cprofile`` adds a function-level cumulative-time report.
+    """
+    from repro.profiling import (
+        InstrumentedSimulator,
+        engine_microbench,
+        run_incast_cell,
+        run_with_cprofile,
+    )
+    from repro.sim.units import US
+
+    scenarios = ("engine", "incast") if args.scenario == "both" else (args.scenario,)
+    payload = {}
+    for scenario in scenarios:
+        sim = InstrumentedSimulator()
+        if scenario == "engine":
+            run = lambda: engine_microbench(n_events=args.events, sim=sim)  # noqa: E731
+        else:
+            run = lambda: run_incast_cell(  # noqa: E731
+                duration_ns=args.duration_us * US, sim=sim
+            )
+        if args.cprofile:
+            _, report = run_with_cprofile(run, top=args.top)
+        else:
+            run()
+            report = None
+        profile = sim.profile()
+        payload[scenario] = profile.as_dict()
+        if not args.json:
+            print(f"--- {scenario} ---")
+            print(profile.format(top=args.top))
+            if report:
+                print(report)
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="SRC paper-reproduction toolkit"
@@ -147,6 +193,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--ssd", choices=sorted(SSDS), default="A")
     p.add_argument("--weight", type=int, default=1)
     p.set_defaults(fn=cmd_replay)
+
+    p = sub.add_parser("profile", help="profile the DES engine hot paths")
+    p.add_argument(
+        "--scenario", choices=("engine", "incast", "both"), default="both",
+        help="pure event-loop microbench, packet-level in-cast cell, or both",
+    )
+    p.add_argument(
+        "--events", type=int, default=200_000,
+        help="events to dispatch in the engine microbench",
+    )
+    p.add_argument(
+        "--duration-us", type=int, default=2_000,
+        help="simulated microseconds for the in-cast cell",
+    )
+    p.add_argument("--top", type=int, default=10, help="callback sites to show")
+    p.add_argument(
+        "--cprofile", action="store_true",
+        help="also run under cProfile and print a cumulative-time report",
+    )
+    p.add_argument("--json", action="store_true", help="emit JSON instead of text")
+    p.set_defaults(fn=cmd_profile)
 
     return parser
 

@@ -15,6 +15,23 @@ Per-flow sender-side rate control:
 The :class:`RateChange` listener hook is the integration point SRC uses:
 every decrease is a *pause* event carrying the demanded sending rate,
 and increases back toward line rate are *retrieval* events (§III-C).
+
+Timer implementation
+--------------------
+The original RP as specified runs *two* always-rescheduling timer events
+per congested flow.  Only one of them — the rate-increase timer — has
+externally visible effects at its firing time (rate changes feed pacing
+and listeners).  Alpha, by contrast, is only ever *read* when the next
+CNP arrives, so its decay is evaluated lazily here: :attr:`alpha` is
+computed from the elapsed time since the last CNP, replaying exactly the
+multiplicative decays the scheduled events would have applied (same
+repeated-multiplication float sequence, so results are bit-identical).
+A decay boundary coinciding exactly with a CNP counts as having fired
+first, matching the event engine's tie-break (the decay event is pushed
+long before the packet-arrival event, so it carries the lower sequence
+number whenever the propagation delay is below ``alpha_timer_ns``).
+Each flow therefore schedules at most one real event — the increase
+timer — and a CNP burst cancels/reschedules one event instead of two.
 """
 
 from __future__ import annotations
@@ -23,6 +40,7 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro.sim.engine import Simulator
+from repro.sim.units import gbps_to_bytes_per_ns
 
 
 @dataclass(frozen=True)
@@ -67,20 +85,74 @@ class RateChange:
 class DCQCNRateControl:
     """RP state for one flow."""
 
+    __slots__ = (
+        "sim",
+        "config",
+        "current_rate_gbps",
+        "target_rate_gbps",
+        "current_bytes_per_ns",
+        "_alpha_value",
+        "_alpha_anchor_ns",
+        "_decay_stop_ns",
+        "_bytes_since_increase",
+        "_timer_stage",
+        "_byte_stage",
+        "_congested",
+        "_timer_event",
+        "listeners",
+        "cnp_count",
+    )
+
     def __init__(self, sim: Simulator, config: DCQCNConfig | None = None) -> None:
         self.sim = sim
         self.config = config or DCQCNConfig()
         self.current_rate_gbps = self.config.line_rate_gbps
         self.target_rate_gbps = self.config.line_rate_gbps
-        self.alpha = self.config.initial_alpha
+        #: Pacing-ready form of ``current_rate_gbps`` (NIC hot path).
+        self.current_bytes_per_ns = gbps_to_bytes_per_ns(self.current_rate_gbps)
+        # Lazy alpha: value as of the anchor instant, plus the window in
+        # which decay boundaries (anchor + k*alpha_timer_ns) still fire.
+        self._alpha_value = self.config.initial_alpha
+        self._alpha_anchor_ns: int | None = None  # None = no decay accruing
+        self._decay_stop_ns: int | None = None  # congestion cleared here
         self._bytes_since_increase = 0
         self._timer_stage = 0
         self._byte_stage = 0
         self._congested = False  # a CNP has been seen since line rate
-        self._alpha_timer_event = None
-        self._increase_timer_event = None
+        self._timer_event = None  # the one real scheduled event per flow
         self.listeners: list[Callable[[RateChange], None]] = []
         self.cnp_count = 0
+
+    # -- lazy alpha --------------------------------------------------------
+    @property
+    def alpha(self) -> float:
+        """Congestion severity estimate, decayed up to the current instant."""
+        return self._alpha_at(self.sim.now)
+
+    def _alpha_at(self, now: int) -> float:
+        anchor = self._alpha_anchor_ns
+        if anchor is None:
+            return self._alpha_value
+        period = self.config.alpha_timer_ns
+        n = (now - anchor) // period
+        if n <= 0:
+            return self._alpha_value
+        stop = self._decay_stop_ns
+        if stop is not None:
+            # Decay events fire at every boundary up to the congestion-
+            # clear instant, plus the one already scheduled past it.
+            cap = (stop - anchor) // period + 1
+            if n > cap:
+                n = cap
+        # Replay the exact repeated multiplication the eager timer
+        # performed — (a*f)*f != a*(f*f) in floats, so no pow() shortcut.
+        value = self._alpha_value
+        factor = 1.0 - self.config.g
+        for _ in range(n):
+            if value == 0.0:
+                break
+            value *= factor
+        return value
 
     # -- listener plumbing -------------------------------------------------
     def _notify(self, decreased: bool) -> None:
@@ -97,48 +169,36 @@ class DCQCNRateControl:
         if rate_gbps == self.current_rate_gbps:
             return
         self.current_rate_gbps = rate_gbps
+        self.current_bytes_per_ns = gbps_to_bytes_per_ns(rate_gbps)
         self._notify(decreased)
 
     # -- CNP reaction ----------------------------------------------------------
     def on_cnp(self) -> None:
         """React to a congestion notification packet."""
         self.cnp_count += 1
+        now = self.sim.now
+        alpha = self._alpha_at(now)  # materialise decays pending since anchor
         self.target_rate_gbps = self.current_rate_gbps
-        self._set_rate(
-            self.current_rate_gbps * (1.0 - self.alpha / 2.0), decreased=True
-        )
-        self.alpha = (1.0 - self.config.g) * self.alpha + self.config.g
+        self._set_rate(self.current_rate_gbps * (1.0 - alpha / 2.0), decreased=True)
+        self._alpha_value = (1.0 - self.config.g) * alpha + self.config.g
+        self._alpha_anchor_ns = now
+        self._decay_stop_ns = None
         self._congested = True
         self._timer_stage = 0
         self._byte_stage = 0
         self._bytes_since_increase = 0
-        self._restart_timers()
-
-    def _restart_timers(self) -> None:
-        for ev_name in ("_alpha_timer_event", "_increase_timer_event"):
-            ev = getattr(self, ev_name)
-            if ev is not None:
-                ev.cancel()
-        self._alpha_timer_event = self.sim.schedule(
-            self.config.alpha_timer_ns, self._alpha_decay
-        )
-        self._increase_timer_event = self.sim.schedule(
+        if self._timer_event is not None:
+            self._timer_event.cancel()
+        self._timer_event = self.sim.schedule(
             self.config.increase_timer_ns, self._timer_tick
         )
-
-    def _alpha_decay(self) -> None:
-        self.alpha *= 1.0 - self.config.g
-        if self._congested:
-            self._alpha_timer_event = self.sim.schedule(
-                self.config.alpha_timer_ns, self._alpha_decay
-            )
 
     def _timer_tick(self) -> None:
         if not self._congested:
             return
         self._timer_stage += 1
         self._increase_rate()
-        self._increase_timer_event = self.sim.schedule(
+        self._timer_event = self.sim.schedule(
             self.config.increase_timer_ns, self._timer_tick
         )
 
@@ -173,6 +233,9 @@ class DCQCNRateControl:
             self.current_rate_gbps >= cfg.line_rate_gbps
             and self.target_rate_gbps >= cfg.line_rate_gbps
         ):
-            # Fully recovered; stop the increase/decay machinery until the
-            # next CNP.
+            # Fully recovered; stop the increase machinery until the next
+            # CNP.  Alpha decay boundaries stop accruing one period after
+            # this instant (the eager implementation had one more decay
+            # event already in flight when congestion cleared).
             self._congested = False
+            self._decay_stop_ns = self.sim.now

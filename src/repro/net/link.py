@@ -6,6 +6,12 @@ queue), serialize at the link rate, then arrive at the receiver after
 the propagation delay.  PFC pauses stop *data* transmission; control
 packets still pass, as PFC operates per traffic class and control
 traffic rides the lossless high-priority class.
+
+Hot-path notes: the serialization-finish and arrival steps are bound
+methods that receive the packet as an event argument — the engine calls
+``callback(packet)`` directly, so no closure is allocated per packet —
+and serialization times are memoised per packet size (MTU-dominated
+traffic hits a single dict entry).
 """
 
 from __future__ import annotations
@@ -28,6 +34,26 @@ class Device(Protocol):
 
 class Link:
     """One direction of a cable."""
+
+    __slots__ = (
+        "sim",
+        "rate_gbps",
+        "delay_ns",
+        "dst",
+        "dst_port",
+        "name",
+        "_bytes_per_ns",
+        "_queue",
+        "_queued_bytes",
+        "_busy",
+        "paused",
+        "on_depart",
+        "bytes_sent",
+        "packets_sent",
+        "_ser_cache",
+        "_finish_cb",
+        "_deliver_cb",
+    )
 
     def __init__(
         self,
@@ -59,6 +85,12 @@ class Link:
         self.on_depart: Callable[[Packet], None] | None = None
         self.bytes_sent = 0
         self.packets_sent = 0
+        #: size -> serialization ns memo (one entry for MTU traffic).
+        self._ser_cache: dict[int, int] = {}
+        # Bound methods cached once: scheduling them with the packet as
+        # an event argument replaces the two per-packet closures.
+        self._finish_cb = self._finish
+        self._deliver_cb = self._deliver
 
     # -- queue state -----------------------------------------------------
     @property
@@ -80,7 +112,11 @@ class Link:
         self._try_start()
 
     def serialization_ns(self, size_bytes: int) -> int:
-        return max(1, int(size_bytes / self._bytes_per_ns + 0.5))
+        ns = self._ser_cache.get(size_bytes)
+        if ns is None:
+            ns = max(1, int(size_bytes / self._bytes_per_ns + 0.5))
+            self._ser_cache[size_bytes] = ns
+        return ns
 
     def _try_start(self) -> None:
         if self._busy or not self._queue:
@@ -90,20 +126,22 @@ class Link:
         packet = self._queue.popleft()
         self._queued_bytes -= packet.size_bytes
         self._busy = True
-        ser = self.serialization_ns(packet.size_bytes)
+        self.sim.schedule(
+            self.serialization_ns(packet.size_bytes), self._finish_cb, packet
+        )
 
-        def finish() -> None:
-            self._busy = False
-            self.bytes_sent += packet.size_bytes
-            self.packets_sent += 1
-            if self.on_depart is not None:
-                self.on_depart(packet)
-            self.sim.schedule(
-                self.delay_ns, lambda: self.dst.receive(packet, self.dst_port)
-            )
-            self._try_start()
+    def _finish(self, packet: Packet) -> None:
+        """Serialization done: hand off to propagation, start the next."""
+        self._busy = False
+        self.bytes_sent += packet.size_bytes
+        self.packets_sent += 1
+        if self.on_depart is not None:
+            self.on_depart(packet)
+        self.sim.schedule(self.delay_ns, self._deliver_cb, packet)
+        self._try_start()
 
-        self.sim.schedule(ser, finish)
+    def _deliver(self, packet: Packet) -> None:
+        self.dst.receive(packet, self.dst_port)
 
     # -- PFC -----------------------------------------------------------------
     def pause(self) -> None:

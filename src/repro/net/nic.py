@@ -11,6 +11,13 @@ Receive side implements the DCQCN notification point: an ECN-marked
 data packet triggers a CNP back to the sender, rate-limited to one per
 ``cnp_interval_ns`` per flow.  Multi-packet messages are reassembled and
 delivered to the attached endpoint with their payload.
+
+Hot-path notes: the NIC keeps an index of *backlogged* flows (those
+with queued bytes) so a link departure re-pumps only flows that can
+actually send, instead of scanning every flow ever created.  Flows are
+pumped in flow-id (creation) order — the same order the full scan used —
+which keeps event sequencing, and therefore whole simulations,
+bit-identical.
 """
 
 from __future__ import annotations
@@ -24,7 +31,6 @@ from repro.net.dcqcn import DCQCNConfig, DCQCNRateControl, RateChange
 from repro.net.link import Link
 from repro.net.packet import CONTROL_PACKET_BYTES, Packet, PacketKind
 from repro.sim.engine import Simulator
-from repro.sim.units import gbps_to_bytes_per_ns
 
 
 @dataclass(frozen=True)
@@ -52,7 +58,7 @@ _flow_ids = itertools.count()
 _message_ids = itertools.count()
 
 
-@dataclass
+@dataclass(slots=True)
 class _Message:
     id: int
     dst: str
@@ -64,6 +70,19 @@ class _Message:
 class Flow:
     """One sender-side flow (QP): message queue + DCQCN pacing."""
 
+    __slots__ = (
+        "id",
+        "nic",
+        "dst",
+        "rate_control",
+        "_messages",
+        "queued_bytes",
+        "_next_send_ns",
+        "_pump_event",
+        "_pump_cb",
+        "bytes_sent",
+    )
+
     def __init__(self, nic: "NIC", dst: str) -> None:
         self.id = next(_flow_ids)
         self.nic = nic
@@ -73,6 +92,7 @@ class Flow:
         self.queued_bytes = 0
         self._next_send_ns = 0
         self._pump_event = None
+        self._pump_cb = self.pump  # cached bound method for rescheduling
         self.bytes_sent = 0
 
     def enqueue(self, size_bytes: int, payload: Any) -> None:
@@ -86,28 +106,36 @@ class Flow:
             )
         )
         self.queued_bytes += size_bytes
+        self.nic._backlogged[self.id] = self
         self.pump()
 
     # -- pacing ---------------------------------------------------------
     def pump(self) -> None:
         """Send segments while allowed; reschedules itself as needed."""
-        sim = self.nic.sim
+        nic = self.nic
+        sim = nic.sim
         if self._pump_event is not None:
             self._pump_event.cancel()
             self._pump_event = None
-        while self._messages:
+        messages = self._messages
+        link = nic.link
+        config = nic.config
+        mtu = config.mtu_bytes
+        max_backlog = config.max_link_backlog_packets
+        rate_control = self.rate_control
+        while messages:
             if sim.now < self._next_send_ns:
-                self._pump_event = sim.schedule_at(self._next_send_ns, self.pump)
+                self._pump_event = sim.schedule_at(self._next_send_ns, self._pump_cb)
                 return
-            if self.nic.link.queued_packets >= self.nic.config.max_link_backlog_packets:
+            if link.queued_packets >= max_backlog:
                 return  # re-pumped when the link drains
-            msg = self._messages[0]
-            seg = min(self.nic.config.mtu_bytes, msg.size_bytes - msg.sent_bytes)
+            msg = messages[0]
+            seg = min(mtu, msg.size_bytes - msg.sent_bytes)
             msg.sent_bytes += seg
             last = msg.sent_bytes >= msg.size_bytes
             packet = Packet(
                 kind=PacketKind.DATA,
-                src=self.nic.name,
+                src=nic.name,
                 dst=self.dst,
                 size_bytes=seg,
                 flow_id=self.id,
@@ -116,16 +144,17 @@ class Flow:
                 last_of_message=last,
                 payload=msg.payload if last else None,
             )
-            self.nic.link.send(packet)
+            link.send(packet)
             self.bytes_sent += seg
             self.queued_bytes -= seg
-            self.nic._txq_used -= seg
-            self.rate_control.on_bytes_sent(seg)
-            gap = seg / gbps_to_bytes_per_ns(self.rate_control.current_rate_gbps)
+            nic._txq_used -= seg
+            rate_control.on_bytes_sent(seg)
+            gap = seg / rate_control.current_bytes_per_ns
             self._next_send_ns = sim.now + max(1, int(gap + 0.5))
             if last:
-                self._messages.popleft()
-            self.nic._notify_txq_drain()
+                messages.popleft()
+            nic._notify_txq_drain()
+        nic._backlogged.pop(self.id, None)
 
 
 class NIC:
@@ -138,6 +167,8 @@ class NIC:
         self.link: Link | None = None  # uplink, set by the topology builder
         self.flows: dict[str, Flow] = {}
         self._flows_by_id: dict[int, Flow] = {}
+        #: flow id -> flow, for every flow with queued bytes (pump index).
+        self._backlogged: dict[int, Flow] = {}
         self._txq_used = 0
         self._reassembly: dict[int, int] = {}
         self._last_cnp_ns: dict[int, int] = {}
@@ -152,15 +183,34 @@ class NIC:
         self.pfc_pause_log: list[int] = []
         self.bytes_received = 0
         self.messages_delivered = 0
+        #: Most partially-reassembled messages ever held at once.
+        self.reassembly_high_water = 0
 
     # -- wiring -------------------------------------------------------------
     def attach_uplink(self, link: Link) -> None:
         self.link = link
-        link.on_depart = lambda _pkt: self._pump_all()
+        link.on_depart = self._on_uplink_depart
 
-    def _pump_all(self) -> None:
-        for flow in self.flows.values():
-            if flow.queued_bytes:
+    def _on_uplink_depart(self, _packet: Packet) -> None:
+        self._pump_backlogged()
+
+    def _pump_backlogged(self) -> None:
+        """Pump every flow with queued bytes, in flow-creation order.
+
+        Sorted-by-id iteration over a snapshot: pumping can drain flows
+        (removing them) and synchronous TXQ-drain listeners can enqueue
+        into new ones (adding them) while we walk.
+        """
+        backlogged = self._backlogged
+        if not backlogged:
+            return
+        if len(backlogged) == 1:
+            for flow in tuple(backlogged.values()):
+                flow.pump()
+            return
+        for flow_id in sorted(backlogged):
+            flow = backlogged.get(flow_id)
+            if flow is not None:
                 flow.pump()
 
     def flow_to(self, dst: str) -> Flow:
@@ -213,37 +263,51 @@ class NIC:
         )
 
     # -- receive ---------------------------------------------------------------
+    @property
+    def reassembly_pending(self) -> int:
+        """Messages currently awaiting more segments."""
+        return len(self._reassembly)
+
     def receive(self, packet: Packet, in_port: int) -> None:
-        if packet.kind in (PacketKind.PAUSE, PacketKind.RESUME):
+        kind = packet.kind
+        if kind is PacketKind.DATA:
+            self.bytes_received += packet.size_bytes
+            if packet.ecn_marked:
+                self._maybe_send_cnp(packet)
+            reassembly = self._reassembly
+            got = reassembly.pop(packet.message_id, 0) + packet.size_bytes
+            if packet.last_of_message or got >= packet.message_bytes:
+                # The message is over — either byte-complete or its final
+                # segment arrived.  Delivering (rather than accumulating)
+                # on ``last_of_message`` also clears stale partial state
+                # when a message id is re-sent, so ``_reassembly`` cannot
+                # leak entries that no future packet would complete.
+                self.messages_delivered += 1
+                if self.endpoint is not None:
+                    self.endpoint(packet.payload, packet.src, packet.message_bytes)
+            else:
+                reassembly[packet.message_id] = got
+                if len(reassembly) > self.reassembly_high_water:
+                    self.reassembly_high_water = len(reassembly)
+            return
+        if kind in (PacketKind.PAUSE, PacketKind.RESUME):
             if self.link is not None:
-                if packet.kind is PacketKind.PAUSE:
+                if kind is PacketKind.PAUSE:
                     self.pfc_pause_log.append(self.sim.now)
                     self.link.pause()
                 else:
                     self.link.resume()
             return
-        if packet.kind is PacketKind.CNP:
+        if kind is PacketKind.CNP:
             self.cnp_log.append(self.sim.now)
             flow = self._flows_by_id.get(packet.flow_id)
             if flow is not None:
                 flow.rate_control.on_cnp()
             return
-        if packet.kind is PacketKind.ACK:
+        if kind is PacketKind.ACK:
             if self.endpoint is not None:
                 self.endpoint(packet.payload, packet.src, packet.size_bytes)
             return
-        # DATA
-        self.bytes_received += packet.size_bytes
-        if packet.ecn_marked:
-            self._maybe_send_cnp(packet)
-        got = self._reassembly.get(packet.message_id, 0) + packet.size_bytes
-        if got >= packet.message_bytes:
-            self._reassembly.pop(packet.message_id, None)
-            self.messages_delivered += 1
-            if self.endpoint is not None:
-                self.endpoint(packet.payload, packet.src, packet.message_bytes)
-        else:
-            self._reassembly[packet.message_id] = got
 
     def _maybe_send_cnp(self, packet: Packet) -> None:
         last = self._last_cnp_ns.get(packet.flow_id, -(10**12))

@@ -24,13 +24,18 @@ CONTROL_PACKET_BYTES = 64
 _packet_ids = itertools.count()
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
     """One packet on the wire.
 
     ``message_id`` / ``message_bytes`` / ``last_of_message`` let the
     receiving NIC reassemble multi-packet messages; ``payload`` carries
     an opaque fabric-level object on the message's last packet.
+
+    ``slots=True`` keeps the per-packet footprint small — simulations
+    allocate one of these per MTU segment, so no ``__dict__``.
+    ``_ingress_port`` is switch-internal scratch space (the ingress port
+    a buffered packet entered through, for PFC byte accounting).
     """
 
     kind: PacketKind
@@ -44,11 +49,11 @@ class Packet:
     last_of_message: bool = False
     payload: Any = None
     pkt_id: int = field(default_factory=lambda: next(_packet_ids))
+    _ingress_port: int | None = None
+    #: Precomputed ``kind is not DATA`` — read on every link hop.
+    is_control: bool = field(init=False, default=False)
 
     def __post_init__(self) -> None:
         if self.size_bytes <= 0:
             raise ValueError(f"packet size must be positive, got {self.size_bytes}")
-
-    @property
-    def is_control(self) -> bool:
-        return self.kind is not PacketKind.DATA
+        self.is_control = self.kind is not PacketKind.DATA

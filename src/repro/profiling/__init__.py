@@ -1,0 +1,178 @@
+"""Opt-in engine instrumentation: events/sec, callback sites, cProfile.
+
+The plain :class:`repro.sim.engine.Simulator` keeps its dispatch loop
+free of bookkeeping; this module provides the instrumented counterpart
+for performance work:
+
+* :class:`InstrumentedSimulator` — a drop-in ``Simulator`` whose ``run``
+  additionally counts dispatches per callback site (``__qualname__``),
+  measures wall-clock time, and snapshots the heap high-water mark.
+  Slower than the plain engine; use it to find hot callbacks, not to
+  produce results.
+* :class:`EngineProfile` — the summary produced by
+  :meth:`InstrumentedSimulator.profile`, JSON-ready via ``as_dict``.
+* :func:`run_with_cprofile` — run any callable under :mod:`cProfile`
+  and get back its result plus a cumulative-time report, for drilling
+  below callback granularity into the engine itself.
+* :mod:`repro.profiling.bench` — the standard scenarios
+  (:func:`engine_microbench`, :func:`run_incast_cell`) that
+  ``benchmarks/smoke_cell.py`` and the ``repro profile`` CLI subcommand
+  time.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import heapq
+import io
+import pstats
+import time as _time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.profiling.bench import (
+    BenchResult,
+    build_incast_cell,
+    engine_microbench,
+    incast_outputs,
+    run_incast_cell,
+)
+from repro.sim.engine import MaxEventsExceeded, Simulator
+
+__all__ = [
+    "BenchResult",
+    "EngineProfile",
+    "InstrumentedSimulator",
+    "build_incast_cell",
+    "engine_microbench",
+    "incast_outputs",
+    "run_incast_cell",
+    "run_with_cprofile",
+]
+
+
+@dataclass
+class EngineProfile:
+    """Aggregate engine statistics from an instrumented run."""
+
+    events_dispatched: int = 0
+    wall_s: float = 0.0
+    heap_high_water: int = 0
+    sim_end_ns: int = 0
+    #: callback ``__qualname__`` -> dispatch count.
+    site_counts: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def events_per_sec(self) -> float:
+        return self.events_dispatched / self.wall_s if self.wall_s > 0 else 0.0
+
+    def top_sites(self, n: int = 10) -> list[tuple[str, int]]:
+        """The ``n`` most-dispatched callback sites, descending."""
+        return sorted(self.site_counts.items(), key=lambda kv: (-kv[1], kv[0]))[:n]
+
+    def as_dict(self) -> dict:
+        return {
+            "events_dispatched": self.events_dispatched,
+            "wall_s": round(self.wall_s, 6),
+            "events_per_sec": round(self.events_per_sec),
+            "heap_high_water": self.heap_high_water,
+            "sim_end_ns": self.sim_end_ns,
+            "site_counts": dict(self.top_sites(len(self.site_counts))),
+        }
+
+    def format(self, top: int = 10) -> str:
+        lines = [
+            f"events dispatched : {self.events_dispatched}",
+            f"wall time         : {self.wall_s:.3f} s",
+            f"events/sec        : {self.events_per_sec:,.0f}",
+            f"heap high-water   : {self.heap_high_water}",
+            f"sim end           : {self.sim_end_ns} ns",
+            "top callback sites:",
+        ]
+        total = max(1, self.events_dispatched)
+        for name, count in self.top_sites(top):
+            lines.append(f"  {count:>10}  {100.0 * count / total:5.1f}%  {name}")
+        return "\n".join(lines)
+
+
+class InstrumentedSimulator(Simulator):
+    """A :class:`Simulator` that accounts every dispatch.
+
+    The run loop mirrors the plain engine's (same pop order, same
+    ``until``/``max_events`` semantics — simulations are bit-identical)
+    but additionally tallies per-callback-site counts and wall time.
+    """
+
+    def __init__(self, *, trace: bool = False) -> None:
+        super().__init__(trace=trace)
+        self.site_counts: dict[str, int] = {}
+        self.run_wall_s: float = 0.0
+
+    def run(self, until: int | None = None, max_events: int | None = None) -> int:
+        queue = self._queue
+        heap = queue._heap
+        heappop = heapq.heappop
+        trace = self._trace
+        site_counts = self.site_counts
+        dispatched = 0
+        t0 = _time.perf_counter()
+        try:
+            while heap:
+                time, _seq, ev = heap[0]
+                if ev.cancelled:
+                    heappop(heap)
+                    queue._dead -= 1
+                    continue
+                if until is not None and time > until:
+                    break
+                heappop(heap)
+                ev._queue = None
+                queue._live -= 1
+                self.now = time
+                callback = ev.callback
+                name = getattr(callback, "__qualname__", None) or repr(callback)
+                site_counts[name] = site_counts.get(name, 0) + 1
+                if trace:
+                    self.dispatch_log.append((time, name))
+                args = ev.args
+                if args:
+                    callback(*args)
+                else:
+                    callback()
+                dispatched += 1
+                if max_events is not None and dispatched >= max_events:
+                    raise MaxEventsExceeded(
+                        max_events, dispatched, queue._live, self.now
+                    )
+        finally:
+            self.events_dispatched += dispatched
+            self.run_wall_s += _time.perf_counter() - t0
+        if until is not None and until > self.now:
+            self.now = until
+        return dispatched
+
+    def profile(self) -> EngineProfile:
+        """Snapshot the statistics accumulated so far."""
+        return EngineProfile(
+            events_dispatched=self.events_dispatched,
+            wall_s=self.run_wall_s,
+            heap_high_water=self._queue.high_water,
+            sim_end_ns=self.now,
+            site_counts=dict(self.site_counts),
+        )
+
+
+def run_with_cprofile(
+    fn: Callable[[], Any], *, top: int = 25, sort: str = "cumulative"
+) -> tuple[Any, str]:
+    """Run ``fn`` under :mod:`cProfile`; return ``(result, report_text)``.
+
+    Complements :class:`InstrumentedSimulator`: site counts say *which
+    callbacks* dominate, the cProfile report says *where inside them*
+    (and inside the engine) the time goes.
+    """
+    profiler = cProfile.Profile()
+    result = profiler.runcall(fn)
+    buf = io.StringIO()
+    pstats.Stats(profiler, stream=buf).strip_dirs().sort_stats(sort).print_stats(top)
+    return result, buf.getvalue()

@@ -1,0 +1,207 @@
+"""Standard engine workloads for profiling and perf regression guards.
+
+Two deterministic scenarios, used by ``benchmarks/smoke_cell.py``, the
+``repro profile`` CLI subcommand, and the golden-trace test:
+
+* :func:`engine_microbench` — pure event-loop throughput: self-
+  rescheduling callback chains with a sprinkle of cancellations, no
+  network or SSD model in the way.  This is the headline "events/sec"
+  number for the DES core itself.
+* :func:`build_incast_cell` / :func:`run_incast_cell` — a small
+  packet-level in-cast: ``n_senders`` hosts blast messages at one
+  receiver through a star switch, overloading the receiver downlink so
+  ECN marking, CNPs, and DCQCN rate control all engage.  It exercises
+  every network hot path (link serialization, NIC pacing, DCQCN timers)
+  and is the scenario the golden dispatch trace is recorded from.
+
+Both are seed-free and RNG-stable (the only randomness is the switch's
+seeded ECN draw), so a run is exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass
+
+from repro.net.nic import NICConfig
+from repro.net.topology import Network, build_star
+from repro.sim.engine import Simulator
+from repro.sim.units import US
+
+
+@dataclass
+class BenchResult:
+    """Timing of one benchmark scenario."""
+
+    events: int
+    wall_s: float
+    sim_end_ns: int
+
+    @property
+    def events_per_sec(self) -> float:
+        return self.events / self.wall_s if self.wall_s > 0 else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "events": self.events,
+            "wall_s": round(self.wall_s, 6),
+            "events_per_sec": round(self.events_per_sec),
+            "sim_end_ns": self.sim_end_ns,
+        }
+
+
+# -- pure engine microbench -------------------------------------------------
+
+class _Chain:
+    """A self-rescheduling callback chain with periodic cancellations.
+
+    Every ``tick`` reschedules itself ``step_ns`` ahead; every fourth
+    tick also schedules a decoy event and cancels it, exercising the
+    cancellation path the same way DCQCN's cancel-and-reschedule
+    pattern does.
+    """
+
+    __slots__ = ("sim", "step_ns", "remaining", "ticks")
+
+    def __init__(self, sim: Simulator, step_ns: int, remaining: int) -> None:
+        self.sim = sim
+        self.step_ns = step_ns
+        self.remaining = remaining
+        self.ticks = 0
+
+    def tick(self) -> None:
+        self.ticks += 1
+        self.remaining -= 1
+        if self.remaining <= 0:
+            return
+        if self.ticks % 4 == 0:
+            decoy = self.sim.schedule(self.step_ns * 2, self._decoy)
+            decoy.cancel()
+        self.sim.schedule(self.step_ns, self.tick)
+
+    def _decoy(self) -> None:  # pragma: no cover - always cancelled
+        raise AssertionError("cancelled decoy event must never fire")
+
+
+def engine_microbench(
+    *, n_events: int = 200_000, n_chains: int = 16, sim: Simulator | None = None
+) -> BenchResult:
+    """Dispatch ``n_events`` through interleaved callback chains.
+
+    ``n_chains`` concurrent chains with co-prime-ish steps keep the heap
+    populated (so pushes/pops pay real sift costs) rather than degenerate
+    single-event ping-pong.
+    """
+    if n_events < n_chains:
+        raise ValueError("need at least one event per chain")
+    sim = sim or Simulator()
+    per_chain = n_events // n_chains
+    for i in range(n_chains):
+        chain = _Chain(sim, step_ns=7 + 2 * i, remaining=per_chain)
+        sim.schedule(1 + i, chain.tick)
+    t0 = _time.perf_counter()
+    dispatched = sim.run()
+    wall = _time.perf_counter() - t0
+    return BenchResult(events=dispatched, wall_s=wall, sim_end_ns=sim.now)
+
+
+# -- packet-level incast cell -----------------------------------------------
+
+class _Feeder:
+    """Keeps one sender's TXQ loaded with fixed-size messages."""
+
+    __slots__ = ("sim", "nic", "dst", "message_bytes", "gap_ns", "end_ns")
+
+    def __init__(self, sim, nic, dst, message_bytes, gap_ns, end_ns) -> None:
+        self.sim = sim
+        self.nic = nic
+        self.dst = dst
+        self.message_bytes = message_bytes
+        self.gap_ns = gap_ns
+        self.end_ns = end_ns
+
+    def feed(self) -> None:
+        if self.sim.now >= self.end_ns:
+            return
+        self.nic.send_message(self.dst, self.message_bytes)
+        self.sim.schedule(self.gap_ns, self.feed)
+
+
+def build_incast_cell(
+    *,
+    n_senders: int = 3,
+    duration_ns: int = 200 * US,
+    message_bytes: int = 32 * 1024,
+    trace: bool = False,
+    sim: Simulator | None = None,
+) -> tuple[Simulator, Network]:
+    """Wire the in-cast scenario and schedule its feeders (do not run).
+
+    Each sender offers line rate toward ``r0``; with ``n_senders`` > 1
+    the receiver downlink is oversubscribed, the switch queue crosses
+    the ECN Kmin, and DCQCN engages on every sender flow.
+    """
+    if n_senders < 1:
+        raise ValueError("need at least one sender")
+    sim = sim or Simulator(trace=trace)
+    names = [f"s{i}" for i in range(n_senders)] + ["r0"]
+    net = build_star(sim, names, rate_gbps=40.0, delay_ns=US)
+    # Offered load per sender == line rate: gap = bytes / (40 Gbps in B/ns).
+    gap_ns = max(1, int(message_bytes / 5.0))
+    for i in range(n_senders):
+        feeder = _Feeder(
+            sim, net.hosts[f"s{i}"], "r0", message_bytes, gap_ns, duration_ns
+        )
+        sim.schedule_at(i, feeder.feed)  # staggered by 1 ns for determinism
+    return sim, net
+
+
+def run_incast_cell(
+    *,
+    n_senders: int = 3,
+    duration_ns: int = 200 * US,
+    message_bytes: int = 32 * 1024,
+    trace: bool = False,
+    sim: Simulator | None = None,
+) -> tuple[BenchResult, Simulator, Network]:
+    """Run the in-cast cell to ``duration_ns`` plus drain margin."""
+    sim, net = build_incast_cell(
+        n_senders=n_senders,
+        duration_ns=duration_ns,
+        message_bytes=message_bytes,
+        trace=trace,
+        sim=sim,
+    )
+    t0 = _time.perf_counter()
+    dispatched = sim.run(until=duration_ns + 50 * US)
+    wall = _time.perf_counter() - t0
+    return BenchResult(events=dispatched, wall_s=wall, sim_end_ns=sim.now), sim, net
+
+
+def incast_outputs(net: Network) -> dict:
+    """Externally visible outcomes of an in-cast run (for golden tests)."""
+    receiver = net.hosts["r0"]
+    senders = {
+        name: nic for name, nic in net.hosts.items() if name != "r0"
+    }
+    return {
+        "bytes_received": receiver.bytes_received,
+        "messages_delivered": receiver.messages_delivered,
+        "cnps_sent_per_sender": {
+            name: len(nic.cnp_log) for name, nic in sorted(senders.items())
+        },
+        "final_rate_gbps": {
+            name: flow.rate_control.current_rate_gbps
+            for name, nic in sorted(senders.items())
+            for flow in [nic.flows["r0"]]
+            if "r0" in nic.flows
+        },
+        "cnp_counts": {
+            name: nic.flows["r0"].rate_control.cnp_count
+            for name, nic in sorted(senders.items())
+            if "r0" in nic.flows
+        },
+        "switch_ecn_marks": net.switches["sw0"].ecn_marks,
+        "switch_forwarded": net.switches["sw0"].packets_forwarded,
+        "switch_dropped": net.switches["sw0"].packets_dropped,
+    }

@@ -1,67 +1,145 @@
 """Event primitives for the discrete-event engine.
 
-An :class:`Event` couples a firing time with a zero-argument callback.
-:class:`EventQueue` is a binary heap keyed on ``(time, seq)`` — the
-monotonically increasing sequence number makes ordering deterministic for
-events scheduled at the same instant, which in turn makes every
-simulation in the library exactly reproducible for a fixed seed.
+An :class:`Event` couples a firing time with a callback (plus optional
+pre-bound arguments).  :class:`EventQueue` is a binary heap of plain
+``(time, seq, Event)`` tuples — the monotonically increasing sequence
+number makes ordering deterministic for events scheduled at the same
+instant, which in turn makes every simulation in the library exactly
+reproducible for a fixed seed.
+
+The tuple heap is the hot-path representation: CPython compares the
+leading ``int`` of a tuple far faster than it dispatches a dataclass's
+generated ``__lt__``, and the :class:`Event` handle itself (``__slots__``,
+no ordering protocol) exists only so callers can cancel or inspect a
+scheduled callback.
+
+Cancellation is lazy (cancelled entries stay in the heap and are
+skipped when they surface) but *accounted*: a live-event counter makes
+``len()`` O(1), and when dead entries outnumber live ones the heap is
+compacted in place, so cancel-and-reschedule patterns (DCQCN timers,
+NIC pacing) cannot bloat the heap.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
-from dataclasses import dataclass, field
-from typing import Callable
+from typing import Any, Callable
+
+#: Compaction triggers only above this many dead entries (small heaps
+#: never pay the rebuild) and only when dead entries outnumber live ones.
+_COMPACT_MIN_DEAD = 64
 
 
-@dataclass(order=True)
 class Event:
-    """A scheduled callback.
+    """Handle for a scheduled callback.
 
-    Events compare by ``(time, seq)`` so heap order is total and
-    deterministic.  ``cancelled`` supports O(1) lazy deletion: cancelled
-    events stay in the heap but are skipped when popped.
+    Supports O(1) lazy deletion via :meth:`cancel`: the entry stays in
+    the heap but is skipped when popped.  The handle carries the queue's
+    live/dead accounting back-reference while pending; it is detached on
+    pop so a late ``cancel()`` on an already-dispatched event is a no-op.
     """
 
-    time: int
-    seq: int
-    callback: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "_queue")
+
+    def __init__(
+        self,
+        time: int,
+        seq: int,
+        callback: Callable[..., None],
+        args: tuple,
+        queue: "EventQueue | None",
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+        self._queue = queue
 
     def cancel(self) -> None:
         """Mark the event so the engine skips it when it reaches the top."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        queue = self._queue
+        if queue is not None:
+            queue._live -= 1
+            queue._dead += 1
+            if (
+                queue._dead >= _COMPACT_MIN_DEAD
+                and queue._dead * 2 > len(queue._heap)
+            ):
+                queue._compact()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        name = getattr(self.callback, "__qualname__", repr(self.callback))
+        return f"<Event t={self.time} seq={self.seq} {name} {state}>"
 
 
 class EventQueue:
-    """A deterministic min-heap of :class:`Event` objects."""
+    """A deterministic min-heap of ``(time, seq, Event)`` tuples."""
+
+    __slots__ = ("_heap", "_seq", "_live", "_dead", "high_water")
 
     def __init__(self) -> None:
-        self._heap: list[Event] = []
-        self._counter = itertools.count()
+        self._heap: list[tuple[int, int, Event]] = []
+        self._seq = 0
+        self._live = 0  # pending, non-cancelled events
+        self._dead = 0  # cancelled entries still sitting in the heap
+        #: Largest raw heap size ever reached (profiling reads this).
+        self.high_water = 0
 
     def __len__(self) -> int:
-        return sum(1 for ev in self._heap if not ev.cancelled)
+        return self._live
 
-    def push(self, time: int, callback: Callable[[], None]) -> Event:
-        """Schedule ``callback`` at absolute ``time`` and return its handle."""
+    def push(self, time: int, callback: Callable[..., None], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` at absolute ``time``; return its handle."""
         if time < 0:
             raise ValueError(f"event time must be non-negative, got {time}")
-        ev = Event(time=time, seq=next(self._counter), callback=callback)
-        heapq.heappush(self._heap, ev)
+        seq = self._seq
+        self._seq = seq + 1
+        ev = Event(time, seq, callback, args, self)
+        heap = self._heap
+        heapq.heappush(heap, (time, seq, ev))
+        self._live += 1
+        if len(heap) > self.high_water:
+            self.high_water = len(heap)
         return ev
 
     def pop(self) -> Event | None:
         """Pop the earliest non-cancelled event, or ``None`` if drained."""
-        while self._heap:
-            ev = heapq.heappop(self._heap)
-            if not ev.cancelled:
-                return ev
+        heap = self._heap
+        while heap:
+            ev = heapq.heappop(heap)[2]
+            if ev.cancelled:
+                self._dead -= 1
+                continue
+            ev._queue = None
+            self._live -= 1
+            return ev
         return None
 
     def peek_time(self) -> int | None:
         """Firing time of the next live event without removing it."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0].time if self._heap else None
+        heap = self._heap
+        while heap:
+            entry = heap[0]
+            if entry[2].cancelled:
+                heapq.heappop(heap)
+                self._dead -= 1
+                continue
+            return entry[0]
+        return None
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify, in place.
+
+        In-place (``heap[:] =``) so the engine's loop-local alias of the
+        heap list stays valid even when a callback cancels enough events
+        to trigger compaction mid-run.
+        """
+        heap = self._heap
+        heap[:] = [entry for entry in heap if not entry[2].cancelled]
+        heapq.heapify(heap)
+        self._dead = 0

@@ -1,0 +1,122 @@
+"""Golden dispatch-trace test: the optimised engine is bit-identical.
+
+The golden file was recorded from the *pre-optimisation* engine (the
+``order=True`` dataclass heap, per-packet link closures, and real DCQCN
+alpha-decay timer events) running the standard in-cast cell from
+:mod:`repro.profiling.bench` with ``trace=True``.  This test replays the
+same cell on the current engine and asserts the full ``(time, callback)``
+dispatch log — and therefore every simulation output downstream of it —
+is unchanged.
+
+Two normalisations make the comparison survive the refactor without
+weakening it:
+
+* callback *names* are mapped to stable tags (the link's per-packet
+  closures became bound methods; same dispatch, new ``__qualname__``);
+* ``DCQCNRateControl._alpha_decay`` dispatches are dropped: alpha decay
+  is now evaluated lazily from elapsed time instead of via scheduled
+  events.  Those events only ever mutated the (sender-private) alpha
+  estimate, never packet timing, so removing them cannot reorder
+  anything else — which is exactly what the remaining log proves.
+
+The golden file stores a SHA-256 of the canonical normalised log plus
+per-tag counts, head/tail excerpts, and the run's externally visible
+outputs, so a mismatch pinpoints *which* callback class diverged.
+
+Regenerate (only when intentionally changing simulation behaviour)::
+
+    PYTHONPATH=src python tests/net/test_golden_trace.py --regen
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from repro.profiling.bench import incast_outputs, run_incast_cell
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "incast_trace.json"
+
+#: Scenario parameters — fixed forever for this golden file.
+CELL = dict(n_senders=3, duration_ns=600_000, message_bytes=32 * 1024)
+
+#: Callback-qualname normalisation: pre- and post-refactor names of the
+#: same dispatch map to one stable tag.
+NORMALIZE = {
+    # Link: per-packet closures (old) -> bound methods (new).
+    "Link._try_start.<locals>.finish": "link.finish",
+    "Link._try_start.<locals>.finish.<locals>.<lambda>": "link.deliver",
+    "Link._finish": "link.finish",
+    "Link._deliver": "link.deliver",
+    # DCQCN rate-increase timer keeps firing as a real event.
+    "DCQCNRateControl._timer_tick": "dcqcn.timer_tick",
+}
+
+#: Dispatches with no externally visible effect, removed by the lazy-
+#: alpha optimisation (see module docstring).
+DROP = {"DCQCNRateControl._alpha_decay"}
+
+
+def normalized_log(dispatch_log: list[tuple[int, str]]) -> list[tuple[int, str]]:
+    out = []
+    for t, name in dispatch_log:
+        if name in DROP:
+            continue
+        out.append((t, NORMALIZE.get(name, name)))
+    return out
+
+
+def capture() -> dict:
+    """Run the golden cell and summarise its normalised dispatch log."""
+    _, sim, net = run_incast_cell(trace=True, **CELL)
+    log = normalized_log(sim.dispatch_log)
+    canonical = "\n".join(f"{t} {name}" for t, name in log)
+    counts: dict[str, int] = {}
+    for _, name in log:
+        counts[name] = counts.get(name, 0) + 1
+    return {
+        "cell": CELL,
+        "sha256": hashlib.sha256(canonical.encode()).hexdigest(),
+        "n_events": len(log),
+        "per_tag_counts": dict(sorted(counts.items())),
+        "first_50": [[t, n] for t, n in log[:50]],
+        "last_50": [[t, n] for t, n in log[-50:]],
+        "sim_end_ns": sim.now,
+        "outputs": incast_outputs(net),
+    }
+
+
+def test_incast_dispatch_trace_matches_golden():
+    golden = json.loads(GOLDEN_PATH.read_text())
+    got = capture()
+
+    # Most diagnostic comparisons first, strongest (the hash) last.
+    assert got["cell"] == golden["cell"], "scenario drifted; see module docstring"
+    assert got["outputs"] == golden["outputs"]
+    assert got["per_tag_counts"] == golden["per_tag_counts"]
+    assert got["n_events"] == golden["n_events"]
+    assert got["first_50"] == golden["first_50"]
+    assert got["last_50"] == golden["last_50"]
+    assert got["sha256"] == golden["sha256"]
+
+
+def test_incast_trace_is_deterministic_across_runs():
+    """Two fresh runs of the cell produce byte-identical traces."""
+    a = capture()
+    b = capture()
+    assert a == b
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regen" not in sys.argv:
+        sys.exit("pass --regen to overwrite the golden file")
+    GOLDEN_PATH.parent.mkdir(exist_ok=True)
+    data = capture()
+    GOLDEN_PATH.write_text(json.dumps(data, indent=1) + "\n")
+    print(
+        f"wrote {GOLDEN_PATH}: {data['n_events']} events, "
+        f"sha256={data['sha256'][:16]}..."
+    )

@@ -153,3 +153,52 @@ def test_messages_delivered_counter():
     net.hosts["a"].send_message("b", 100)
     sim.run()
     assert net.hosts["b"].messages_delivered == 2
+
+
+def _data(src, dst, *, size, message_id, message_bytes, last=False):
+    from repro.net.packet import Packet, PacketKind
+
+    return Packet(
+        kind=PacketKind.DATA, src=src, dst=dst, size_bytes=size,
+        message_id=message_id, message_bytes=message_bytes, last_of_message=last,
+    )
+
+
+def test_resent_message_id_does_not_leak_reassembly_state():
+    # A message id arrives partially (no last segment), then the message
+    # is re-sent as a single packet carrying ``last_of_message``.  Before
+    # the fix, delivery was keyed on byte-completeness alone: the lone
+    # re-sent packet (1000 of 3000 accumulated... plus the stale 1000)
+    # never summed to ``message_bytes``, so nothing was delivered and the
+    # partial entry for id 7 leaked forever.
+    sim, net = pair()
+    b = net.hosts["b"]
+    b.receive(_data("a", "b", size=1000, message_id=7, message_bytes=3000), 0)
+    assert b.reassembly_pending == 1
+    b.receive(_data("a", "b", size=1000, message_id=7, message_bytes=3000, last=True), 0)
+    assert b.messages_delivered == 1
+    assert b.reassembly_pending == 0  # nothing left behind
+
+
+def test_last_of_message_always_clears_partial_state():
+    # Even a short re-send (fewer bytes than message_bytes) must clear
+    # the pending entry once its last segment arrives.
+    sim, net = pair()
+    b = net.hosts["b"]
+    b.receive(_data("a", "b", size=500, message_id=3, message_bytes=9000), 0)
+    b.receive(_data("a", "b", size=500, message_id=3, message_bytes=9000, last=True), 0)
+    assert b.messages_delivered == 1
+    assert b.reassembly_pending == 0
+
+
+def test_reassembly_high_water_counts_concurrent_partials():
+    sim, net = pair()
+    b = net.hosts["b"]
+    for mid in range(4):
+        b.receive(_data("a", "b", size=100, message_id=mid, message_bytes=1000), 0)
+    assert b.reassembly_pending == 4
+    assert b.reassembly_high_water == 4
+    for mid in range(4):
+        b.receive(_data("a", "b", size=900, message_id=mid, message_bytes=1000, last=True), 0)
+    assert b.reassembly_pending == 0
+    assert b.reassembly_high_water == 4  # high-water latches the peak

@@ -156,3 +156,49 @@ class TestRng:
 
     def test_spawn_zero_ok(self):
         assert spawn_rngs(0, 0) == []
+
+
+def test_schedule_passes_extra_args_to_callback():
+    sim = Simulator()
+    seen = []
+    sim.schedule(5, seen.append, "a")
+    sim.schedule_at(9, lambda x, y: seen.append(x + y), 1, 2)
+    sim.run()
+    assert seen == ["a", 3]
+
+
+def test_trace_mode_records_args_dispatches():
+    sim = Simulator(trace=True)
+
+    def named(_tag):
+        pass
+
+    sim.schedule(5, named, "t")
+    sim.run()
+    assert sim.dispatch_log == [(5, named.__qualname__)]
+
+
+def test_dispatch_order_identical_across_runs_with_cancellations():
+    def build():
+        sim = Simulator(trace=True)
+        pending = []
+
+        def churn(i):
+            # Cancel-and-reschedule like DCQCN timers do; enough volume
+            # to cross the queue's compaction threshold mid-run.
+            for ev in pending:
+                ev.cancel()
+            pending.clear()
+            for j in range(3):
+                pending.append(sim.schedule(10 + j, noop, i))
+            if i < 60:
+                sim.schedule(5, churn, i + 1)
+
+        def noop(_i):
+            pass
+
+        sim.schedule(1, churn, 0)
+        sim.run()
+        return sim.dispatch_log
+
+    assert build() == build()

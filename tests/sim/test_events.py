@@ -91,3 +91,76 @@ def test_cancellation_never_pops_cancelled(times, data):
         popped.append(ev)
     assert all(not ev.cancelled for ev in popped)
     assert len(popped) == len(events) - len(to_cancel)
+
+
+def test_push_with_args_binds_them_to_the_event():
+    q = EventQueue()
+    seen = []
+    q.push(5, lambda a, b: seen.append((a, b)), "x", 2)
+    ev = q.pop()
+    ev.callback(*ev.args)
+    assert seen == [("x", 2)]
+
+
+def test_cancel_after_pop_is_a_noop():
+    q = EventQueue()
+    q.push(1, lambda: None)
+    ev = q.pop()
+    ev.cancel()  # already dispatched; must not corrupt the counters
+    assert len(q) == 0
+    q.push(2, lambda: None)
+    assert len(q) == 1
+
+
+def test_double_cancel_counts_once():
+    q = EventQueue()
+    ev = q.push(1, lambda: None)
+    q.push(2, lambda: None)
+    ev.cancel()
+    ev.cancel()
+    assert len(q) == 1
+    assert q.pop().time == 2
+    assert q.pop() is None
+
+
+def test_compaction_removes_dead_entries_from_the_heap():
+    q = EventQueue()
+    events = [q.push(t, lambda: None) for t in range(200)]
+    for ev in events[:150]:
+        ev.cancel()
+    # Dead entries crossed the compaction threshold along the way, so
+    # the raw heap must have been rebuilt: it cannot still hold all 150
+    # cancelled entries, and what remains is live + the sub-threshold
+    # dead tail.
+    assert len(q) == 50
+    assert len(q._heap) < 150
+    assert len(q._heap) - q._dead == 50
+    popped = []
+    while (ev := q.pop()) is not None:
+        popped.append(ev.time)
+    assert popped == list(range(150, 200))
+
+
+def test_compaction_preserves_same_time_insertion_order():
+    q = EventQueue()
+    order = []
+    keep = []
+    for i in range(100):
+        keep.append(q.push(7, lambda i=i: order.append(i)))
+        q.push(7, lambda: None).cancel()  # interleave dead entries
+    # Force well past the compaction threshold.
+    for _ in range(50):
+        q.push(7, lambda: None).cancel()
+    while (ev := q.pop()) is not None:
+        ev.callback(*ev.args)
+    assert order == list(range(100))
+
+
+def test_high_water_tracks_raw_heap_size():
+    q = EventQueue()
+    for t in range(10):
+        q.push(t, lambda: None)
+    for _ in range(10):
+        q.pop()
+    assert q.high_water == 10
+    assert len(q) == 0

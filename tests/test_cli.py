@@ -30,3 +30,25 @@ def test_unknown_command_rejected():
 def test_requires_command():
     with pytest.raises(SystemExit):
         main([])
+
+
+def test_profile_engine_json(capsys):
+    import json
+
+    assert main(["profile", "--scenario", "engine", "--events", "3000",
+                 "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    # Slightly under the target is fine: the microbench cancels decoy
+    # events, which are scheduled but never dispatched.
+    assert payload["engine"]["events_dispatched"] >= 2500
+    assert payload["engine"]["events_per_sec"] > 0
+    assert payload["engine"]["site_counts"]
+
+
+def test_profile_incast_text_output(capsys):
+    assert main(["profile", "--scenario", "incast", "--duration-us", "100",
+                 "--top", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "--- incast ---" in out
+    assert "events/sec" in out
+    assert "top callback sites:" in out
