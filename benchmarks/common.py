@@ -117,6 +117,45 @@ def save_engine_perf(current: dict) -> dict:
     return payload
 
 
+#: Maximum acceptable slowdown of the sanitizer-enabled incast cell
+#: relative to the plain run.  The sanitizer's per-event invariant sweep
+#: (queue depths, byte conservation, WRR token bounds) is O(components),
+#: so ~2x is expected on the small smoke cell; 2.5x leaves headroom for
+#: machine jitter while still catching an accidentally quadratic check.
+SANITIZER_OVERHEAD_BUDGET = 2.5
+
+
+def save_sanitizer_perf(off: dict, on: dict) -> dict:
+    """Persist sanitizer-on vs -off incast numbers as JSON.
+
+    ``off``/``on`` are :class:`repro.profiling.BenchResult` dicts of the
+    same scenario.  Returns the payload, including the slowdown ratio
+    checked against :data:`SANITIZER_OVERHEAD_BUDGET`.
+    """
+    ratio = (
+        off["events_per_sec"] / on["events_per_sec"]
+        if on.get("events_per_sec")
+        else float("inf")
+    )
+    payload = {
+        "scenario": "incast_cell",
+        "sanitize_off": off,
+        "sanitize_on": on,
+        "slowdown": round(ratio, 3),
+        "budget": SANITIZER_OVERHEAD_BUDGET,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "sanitizer_overhead.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+    SESSION_PERF["sanitizer"] = {
+        "events_per_sec_off": off["events_per_sec"],
+        "events_per_sec_on": on["events_per_sec"],
+        "slowdown": payload["slowdown"],
+    }
+    return payload
+
+
 #: Training sweep used for every TPM in the benchmark suite: the Fig. 5
 #: axes (10–25 µs, 10–44 KB) extended with two lighter inter-arrival
 #: points (40/60 µs) so the model sees both saturated and unsaturated

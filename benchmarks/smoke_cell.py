@@ -15,9 +15,17 @@ below the checked-in floor — half the pre-optimisation baseline, so
 only an order-of-magnitude regression (e.g. an O(n) scan creeping back
 into the dispatch loop) trips it.
 
+With ``--sanitizer`` it instead measures the runtime DES sanitizer's
+overhead: the incast cell runs sanitize-off and sanitize-on, the outputs
+must match bit-for-bit (the sanitizer only observes), zero invariant
+violations may fire, and the slowdown must stay within
+``benchmarks.common.SANITIZER_OVERHEAD_BUDGET``.  Both numbers land in
+``benchmarks/results/sanitizer_overhead.json``.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/smoke_cell.py
+    PYTHONPATH=src python benchmarks/smoke_cell.py --sanitizer
 """
 
 from __future__ import annotations
@@ -30,9 +38,15 @@ import numpy as np
 
 sys.path.insert(0, str(Path(__file__).parent.parent))
 
-from benchmarks.common import load_engine_floor, save_engine_perf
+from benchmarks.common import (
+    SANITIZER_OVERHEAD_BUDGET,
+    load_engine_floor,
+    save_engine_perf,
+    save_sanitizer_perf,
+)
 from repro.experiments.weight_sweep import run_weight_sweep_with_report
-from repro.profiling.bench import engine_microbench, run_incast_cell
+from repro.profiling.bench import engine_microbench, incast_outputs, run_incast_cell
+from repro.sim.engine import Simulator
 from repro.sim.units import MS
 from repro.ssd.config import SSD_A
 
@@ -107,5 +121,49 @@ def engine_guard() -> int:
     return 1 if failed else 0
 
 
+def sanitizer_guard() -> int:
+    """Measure sanitizer overhead on the incast cell and enforce the budget.
+
+    Best-of-2 for each mode (first run pays warm-up), outputs compared
+    between one off run and one on run — the sanitizer must be a pure
+    observer.  A :class:`repro.analysis.SanitizerError` escaping here is
+    a real invariant violation and fails the guard loudly.
+    """
+    def best_of_2(sanitize: bool):
+        results = []
+        outputs = None
+        for _ in range(2):
+            bench, _, net = run_incast_cell(
+                duration_ns=2 * MS, sim=Simulator(sanitize=sanitize)
+            )
+            results.append(bench)
+            outputs = incast_outputs(net)
+        return max(results, key=lambda r: r.events_per_sec), outputs
+
+    off, off_outputs = best_of_2(False)
+    on, on_outputs = best_of_2(True)
+
+    if off_outputs != on_outputs:
+        print("FAIL: sanitizer-on incast outputs diverged from plain run",
+              file=sys.stderr)
+        print(f"  off: {off_outputs}", file=sys.stderr)
+        print(f"  on:  {on_outputs}", file=sys.stderr)
+        return 1
+
+    payload = save_sanitizer_perf(off.as_dict(), on.as_dict())
+    print("sanitizer overhead (incast cell, zero violations):")
+    print(json.dumps(payload, indent=2))
+    if payload["slowdown"] > SANITIZER_OVERHEAD_BUDGET:
+        print(
+            f"FAIL: sanitizer slowdown {payload['slowdown']}x exceeds the "
+            f"{SANITIZER_OVERHEAD_BUDGET}x budget",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"sanitizer overhead OK: {payload['slowdown']}x <= "
+          f"{SANITIZER_OVERHEAD_BUDGET}x budget")
+    return 0
+
+
 if __name__ == "__main__":
-    sys.exit(main())
+    sys.exit(sanitizer_guard() if "--sanitizer" in sys.argv[1:] else main())

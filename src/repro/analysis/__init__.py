@@ -1,0 +1,50 @@
+"""Static and runtime analysis for the simulation core.
+
+Two halves guard the repo's bit-identical-replay guarantee:
+
+* :mod:`repro.analysis.simlint` — an AST determinism linter (``repro
+  lint``, rules SIM001–SIM005) that rejects wall-clock access,
+  out-of-band randomness, unordered set iteration, missing
+  ``__slots__`` on manifest hot-path classes, and swallowed exceptions
+  in the simulation packages;
+* :mod:`repro.analysis.sanitizer` — a runtime invariant checker
+  (``Simulator(sanitize=True)`` / ``REPRO_SANITIZE=1``) that verifies
+  clock monotonicity, queue-depth non-negativity, NIC byte
+  conservation, WRR token bounds, and FTL mapping consistency on every
+  dispatched event.
+
+See DESIGN.md §6 ("Determinism & sanitizer contract").
+"""
+
+from __future__ import annotations
+
+from repro.analysis.manifest import SIM_PACKAGES, SLOTS_MANIFEST
+from repro.analysis.sanitizer import (
+    Sanitizer,
+    SanitizerError,
+    SanitizingSimulator,
+    env_sanitize_enabled,
+    ftl_mapping_violation,
+)
+from repro.analysis.simlint import (
+    RULES,
+    Violation,
+    format_violations,
+    lint_file,
+    lint_paths,
+)
+
+__all__ = [
+    "RULES",
+    "SIM_PACKAGES",
+    "SLOTS_MANIFEST",
+    "Sanitizer",
+    "SanitizerError",
+    "SanitizingSimulator",
+    "Violation",
+    "env_sanitize_enabled",
+    "format_violations",
+    "ftl_mapping_violation",
+    "lint_file",
+    "lint_paths",
+]

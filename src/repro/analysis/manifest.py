@@ -1,0 +1,48 @@
+"""Manifests consumed by the determinism linter (:mod:`repro.analysis.simlint`).
+
+Centralising *which* packages are simulation code and *which* classes
+sit on the per-event hot path keeps the lint rules data-driven: adding a
+new hot-path type (or a new simulation package) means editing a tuple
+here, not a rule implementation.
+"""
+
+from __future__ import annotations
+
+#: Packages whose modules run *inside* the simulated clock.  Wall-clock
+#: reads (SIM001), out-of-band randomness (SIM002), unordered iteration
+#: (SIM003), and swallowed exceptions (SIM005) in these packages can
+#: silently break the bit-identical-replay guarantee the golden-trace
+#: and parallel==serial tests rely on.
+SIM_PACKAGES: tuple[str, ...] = (
+    "repro.sim",
+    "repro.net",
+    "repro.ssd",
+    "repro.nvme",
+    "repro.fabric",
+    "repro.core",
+    "repro.workloads",
+)
+
+#: Packages where randomness is still required to flow through
+#: :mod:`repro.sim.rng` even though they run outside the simulated clock
+#: (their draws feed deterministic experiment results).
+RNG_EXTRA_PACKAGES: tuple[str, ...] = (
+    "repro.ml",
+    "repro.experiments",
+)
+
+#: Modules allowed to touch ``numpy.random`` constructors directly —
+#: the single chokepoint every other module must import from.
+RNG_EXEMPT_MODULES: tuple[str, ...] = ("repro.sim.rng",)
+
+#: Hot-path classes that must declare ``__slots__`` (directly or via
+#: ``@dataclass(slots=True)``): one instance per packet / event / flow /
+#: page transaction, so a stray ``__dict__`` costs real memory and
+#: dispatch-loop speed (SIM004).  Maps module name -> required classes.
+SLOTS_MANIFEST: dict[str, tuple[str, ...]] = {
+    "repro.sim.events": ("Event", "EventQueue"),
+    "repro.net.packet": ("Packet",),
+    "repro.net.nic": ("Flow", "_Message"),
+    "repro.ssd.transactions": ("PageTransaction",),
+    "repro.ssd.controller": ("CompletionEntry", "_Inflight"),
+}

@@ -1,0 +1,330 @@
+"""Runtime DES sanitizer: dispatch-time invariant checks (opt-in).
+
+The static linter (:mod:`repro.analysis.simlint`) catches patterns that
+*could* break determinism; this module catches state that already *has*
+gone wrong, the moment it happens.  Enable it with
+``Simulator(sanitize=True)`` or ``REPRO_SANITIZE=1`` (which upgrades
+every plainly-constructed :class:`~repro.sim.engine.Simulator` in the
+process, so whole existing scenarios run sanitized unchanged).
+
+Checked invariants, per dispatched event:
+
+* **event-time-monotonic** — the clock never moves backwards between
+  dispatches (a corrupted heap or hand-pushed entry fails loudly);
+* **queue-depth** — link queued bytes, switch buffered/ingress bytes,
+  and NIC TXQ usage never go negative (and TXQ never exceeds capacity);
+* **byte-conservation** — every DATA byte a NIC receives is either
+  delivered in a reassembled message or still pending reassembly
+  (``bytes_received == reassembly_bytes_delivered + Σ partial``);
+* **wrr-tokens** — TokenWRR balances stay within ``[0, weight]``
+  (the PR 1 clamp-at-zero semantics);
+* **ftl-mapping** — after every GC erase, the forward map and the
+  per-block reverse maps agree exactly (checked via a wrapper around
+  :meth:`repro.ssd.ftl.FTL.finish_gc`, since a full walk is O(mapped
+  pages) and only GC restructures the map).
+
+Violations raise :class:`SanitizerError` carrying the invariant name,
+the simulated time, and the offending event's callback site label (the
+same ``__qualname__`` labels :mod:`repro.profiling` reports), so a
+failure reads like ``[queue-depth] at t=1840ns during Link._finish: ...``.
+
+The sanitizer never schedules events or draws randomness, so a
+sanitized run is bit-identical to a plain one — the overhead budget
+(``<= 2.5x`` on the incast cell) is enforced by
+``benchmarks/smoke_cell.py`` and recorded in ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import TYPE_CHECKING
+
+from repro.profiling import site_label
+from repro.sim.engine import MaxEventsExceeded, Simulator
+
+if TYPE_CHECKING:
+    from repro.net.link import Link
+    from repro.net.nic import NIC
+    from repro.net.switch import Switch
+    from repro.nvme.wrr import TokenWRR
+    from repro.ssd.ftl import FTL
+
+__all__ = ["SanitizerError", "Sanitizer", "SanitizingSimulator", "ftl_mapping_violation"]
+
+
+class SanitizerError(RuntimeError):
+    """A runtime invariant of the simulation was violated.
+
+    Attributes
+    ----------
+    invariant:
+        Short invariant name (``queue-depth``, ``byte-conservation``, ...).
+    detail:
+        Human-readable description of the violated state.
+    time_ns / site:
+        Simulated time and callback site label of the offending event;
+        filled in by the dispatch loop when the violation is detected
+        outside it (e.g. the FTL GC hook).
+    """
+
+    def __init__(
+        self,
+        invariant: str,
+        detail: str,
+        *,
+        time_ns: int | None = None,
+        site: str | None = None,
+    ) -> None:
+        super().__init__(detail)
+        self.invariant = invariant
+        self.detail = detail
+        self.time_ns = time_ns
+        self.site = site
+
+    def __str__(self) -> str:
+        at = f" at t={self.time_ns}ns" if self.time_ns is not None else ""
+        during = f" during {self.site}" if self.site else ""
+        return f"[{self.invariant}]{at}{during}: {self.detail}"
+
+
+def ftl_mapping_violation(ftl: "FTL") -> str | None:
+    """Full forward/reverse FTL map consistency walk; None when clean."""
+    chips = ftl._chips
+    for lpn, (chip_index, block_id, page) in ftl._map.items():
+        if not 0 <= chip_index < len(chips):
+            return f"lpn {lpn} maps to nonexistent chip {chip_index}"
+        block = chips[chip_index].blocks.get(block_id)
+        if block is None:
+            return f"lpn {lpn} maps to erased/unknown block {block_id} on chip {chip_index}"
+        if block.page_lpn.get(page) != lpn:
+            return (
+                f"lpn {lpn} maps to (chip={chip_index}, block={block_id}, "
+                f"page={page}) but the block records lpn "
+                f"{block.page_lpn.get(page)} there"
+            )
+    for chip in chips:
+        for block in chip.blocks.values():
+            for page, lpn in block.page_lpn.items():
+                if ftl._map.get(lpn) != (chip.chip_index, block.id, page):
+                    return (
+                        f"block {block.id} on chip {chip.chip_index} claims valid "
+                        f"lpn {lpn} at page {page} but the map says "
+                        f"{ftl._map.get(lpn)}"
+                    )
+    return None
+
+
+class Sanitizer:
+    """Registry of tracked components plus their per-event check functions.
+
+    Components self-register at construction time when their simulator
+    carries a sanitizer (``sim.sanitizer is not None``); tests can also
+    register objects directly.  Checks are grouped by component type so
+    the dispatch loop pays a handful of Python calls per event, each a
+    tight loop over a homogeneous list.
+    """
+
+    __slots__ = ("_links", "_switches", "_nics", "_wrrs", "_ftls", "events_checked")
+
+    def __init__(self) -> None:
+        self._links: list[Link] = []
+        self._switches: list[Switch] = []
+        self._nics: list[NIC] = []
+        self._wrrs: list[tuple[str, TokenWRR]] = []
+        self._ftls: list[FTL] = []
+        self.events_checked = 0
+
+    # -- registration ---------------------------------------------------
+    def track_link(self, link: "Link") -> None:
+        self._links.append(link)
+
+    def track_switch(self, switch: "Switch") -> None:
+        self._switches.append(switch)
+
+    def track_nic(self, nic: "NIC") -> None:
+        self._nics.append(nic)
+
+    def track_wrr(self, wrr: "TokenWRR", *, name: str = "TokenWRR") -> None:
+        self._wrrs.append((name, wrr))
+
+    def track_ftl(self, ftl: "FTL") -> None:
+        """Wrap ``ftl.finish_gc`` with a full mapping-consistency walk."""
+        self._ftls.append(ftl)
+        original = ftl.finish_gc
+
+        def checked_finish_gc(chip_index: int, block_id: int) -> None:
+            original(chip_index, block_id)
+            detail = ftl_mapping_violation(ftl)
+            if detail is not None:
+                raise SanitizerError(
+                    "ftl-mapping", f"after GC erase of block {block_id}: {detail}"
+                )
+
+        ftl.finish_gc = checked_finish_gc  # type: ignore[method-assign]
+
+    # -- per-event checks ------------------------------------------------
+    def check(self) -> tuple[str, str] | None:
+        """Run every cheap invariant; ``(invariant, detail)`` or None."""
+        self.events_checked += 1
+        for link in self._links:
+            if link._queued_bytes < 0:
+                return (
+                    "queue-depth",
+                    f"link {link.name} queued_bytes went negative "
+                    f"({link._queued_bytes})",
+                )
+        for switch in self._switches:
+            if switch._buffered_bytes < 0:
+                return (
+                    "queue-depth",
+                    f"switch {switch.name} buffered_bytes went negative "
+                    f"({switch._buffered_bytes})",
+                )
+            for port, level in switch._ingress_bytes.items():
+                if level < 0:
+                    return (
+                        "queue-depth",
+                        f"switch {switch.name} ingress port {port} byte account "
+                        f"went negative ({level})",
+                    )
+        for nic in self._nics:
+            used = nic._txq_used
+            if used < 0 or used > nic.config.txq_capacity_bytes:
+                return (
+                    "queue-depth",
+                    f"NIC {nic.name} TXQ usage {used} outside "
+                    f"[0, {nic.config.txq_capacity_bytes}]",
+                )
+            pending = sum(nic._reassembly.values())
+            expected = nic.reassembly_bytes_delivered + pending
+            if nic.bytes_received != expected:
+                return (
+                    "byte-conservation",
+                    f"NIC {nic.name} received {nic.bytes_received} B but "
+                    f"delivered {nic.reassembly_bytes_delivered} B with "
+                    f"{pending} B pending reassembly "
+                    f"({nic.bytes_received - expected:+d} B unaccounted)",
+                )
+            for flow in nic.flows.values():
+                if flow.queued_bytes < 0:
+                    return (
+                        "queue-depth",
+                        f"flow {nic.name}->{flow.dst} queued_bytes went "
+                        f"negative ({flow.queued_bytes})",
+                    )
+        for name, wrr in self._wrrs:
+            if not (0 <= wrr.read_tokens <= wrr.read_weight):
+                return (
+                    "wrr-tokens",
+                    f"{name} read tokens {wrr.read_tokens} outside "
+                    f"[0, {wrr.read_weight}]",
+                )
+            if not (0 <= wrr.write_tokens <= wrr.write_weight):
+                return (
+                    "wrr-tokens",
+                    f"{name} write tokens {wrr.write_tokens} outside "
+                    f"[0, {wrr.write_weight}]",
+                )
+        return None
+
+    def check_ftls(self) -> tuple[str, str] | None:
+        """On-demand full FTL walk (also runs inside the GC hook)."""
+        for ftl in self._ftls:
+            detail = ftl_mapping_violation(ftl)
+            if detail is not None:
+                return ("ftl-mapping", detail)
+        return None
+
+
+class SanitizingSimulator(Simulator):
+    """A :class:`Simulator` whose dispatch loop checks invariants.
+
+    The loop mirrors the plain engine's (same pop order, same ``until``
+    and ``max_events`` semantics), so a sanitized run is bit-identical;
+    it additionally verifies clock monotonicity before each dispatch and
+    runs every registered component check after each callback, raising
+    :class:`SanitizerError` annotated with the offending event's site.
+    """
+
+    def __init__(self, *, trace: bool = False, sanitize: bool | None = None) -> None:
+        super().__init__(trace=trace)
+        self.sanitizer = Sanitizer()
+        self._last_dispatch_ns = 0
+
+    def run(self, until: int | None = None, max_events: int | None = None) -> int:
+        queue = self._queue
+        heap = queue._heap
+        heappop = heapq.heappop
+        trace = self._trace
+        sanitizer = self.sanitizer
+        check = sanitizer.check
+        dispatched = 0
+        try:
+            while heap:
+                time, _seq, ev = heap[0]
+                if ev.cancelled:
+                    heappop(heap)
+                    queue._dead -= 1
+                    continue
+                if until is not None and time > until:
+                    break
+                heappop(heap)
+                ev._queue = None
+                queue._live -= 1
+                callback = ev.callback
+                if time < self._last_dispatch_ns:
+                    raise SanitizerError(
+                        "event-time-monotonic",
+                        f"event scheduled at t={time} dispatched after "
+                        f"t={self._last_dispatch_ns} — the clock moved backwards",
+                        time_ns=time,
+                        site=site_label(callback),
+                    )
+                self._last_dispatch_ns = time
+                self.now = time
+                if trace:
+                    self.dispatch_log.append((time, site_label(callback)))
+                args = ev.args
+                try:
+                    if args:
+                        callback(*args)
+                    else:
+                        callback()
+                except SanitizerError as err:
+                    # Deferred-origin violations (e.g. the FTL GC hook)
+                    # get the dispatch context stamped on the way out.
+                    if err.site is None:
+                        err.site = site_label(callback)
+                    if err.time_ns is None:
+                        err.time_ns = time
+                    raise
+                failure = check()
+                if failure is not None:
+                    invariant, detail = failure
+                    raise SanitizerError(
+                        invariant, detail, time_ns=time, site=site_label(callback)
+                    )
+                dispatched += 1
+                if max_events is not None and dispatched >= max_events:
+                    raise MaxEventsExceeded(
+                        max_events, dispatched, queue._live, self.now
+                    )
+        finally:
+            self.events_dispatched += dispatched
+        if until is not None and until > self.now:
+            self.now = until
+        return dispatched
+
+    def check_now(self) -> None:
+        """Run every invariant check immediately (outside dispatch)."""
+        failure = self.sanitizer.check() or self.sanitizer.check_ftls()
+        if failure is not None:
+            invariant, detail = failure
+            raise SanitizerError(invariant, detail, time_ns=self.now)
+
+
+def env_sanitize_enabled(value: str | None) -> bool:
+    """Interpret the ``REPRO_SANITIZE`` environment value."""
+    if value is None:
+        return False
+    return value.strip().lower() not in ("", "0", "false", "no", "off")

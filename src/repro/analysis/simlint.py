@@ -1,0 +1,458 @@
+"""simlint — AST-based determinism linter for the simulation packages.
+
+The DES core guarantees bit-identical replay (golden dispatch traces,
+``workers=N`` == ``workers=1`` sweeps) only as long as every module
+upholds a handful of invariants that nothing in CPython enforces.  This
+linter turns them into checkable rules, using only :mod:`ast`:
+
+``SIM001``
+    No wall-clock access in simulation packages: importing :mod:`time`
+    or :mod:`datetime` there means some code path can observe host time,
+    which is never reproducible.  Wall-clock *measurement* belongs in
+    :mod:`repro.profiling` / :mod:`repro.parallel`, which are exempt.
+``SIM002``
+    All randomness flows through :mod:`repro.sim.rng`
+    (:func:`~repro.sim.rng.make_rng` / :func:`~repro.sim.rng.spawn_rngs`).
+    Importing :mod:`random` or calling ``np.random.*`` constructors
+    anywhere else creates an unseeded (or separately-seeded) stream that
+    breaks cross-component stream independence.
+``SIM003``
+    No iteration over ``set`` values or ``dict.keys()`` calls in
+    simulation modules: set order is salted per process, so iterating
+    one inside an event callback reorders scheduling between runs.
+    Iterate a ``sorted(...)`` snapshot instead (the NIC backlogged-flow
+    pump is the reference pattern).
+``SIM004``
+    Classes listed in :data:`repro.analysis.manifest.SLOTS_MANIFEST`
+    (one instance per packet/event/flow/transaction) must declare
+    ``__slots__`` — directly or via ``@dataclass(slots=True)``.
+``SIM005``
+    No bare ``except:`` and no exception handler whose body is only
+    ``pass``/``...`` in simulation packages: a swallowed exception in a
+    dispatch path leaves the model silently corrupted mid-run.
+
+Files map to module names from their ``src/`` path; files outside
+``src/`` (lint-rule fixtures, scratch scripts) can opt in with a
+``# simlint: package=repro.net.foo`` directive near the top.  Individual
+lines are suppressed with ``# simlint: ignore[SIM001]`` (comma-list or
+``*`` for all rules).
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.analysis.manifest import (
+    RNG_EXEMPT_MODULES,
+    RNG_EXTRA_PACKAGES,
+    SIM_PACKAGES,
+    SLOTS_MANIFEST,
+)
+
+__all__ = ["RULES", "Violation", "lint_file", "lint_paths", "format_violations"]
+
+#: Rule code -> one-line description (the ``repro lint`` help text).
+RULES: dict[str, str] = {
+    "SIM001": "no wall-clock (time/datetime) access in simulation packages",
+    "SIM002": "randomness must flow through repro.sim.rng, not random/np.random",
+    "SIM003": "no iteration over sets or dict.keys() in simulation modules",
+    "SIM004": "hot-path classes in the manifest must declare __slots__",
+    "SIM005": "no bare except or swallowed exceptions in simulation packages",
+    "SIM999": "file does not parse",
+}
+
+_PACKAGE_DIRECTIVE = re.compile(r"#\s*simlint:\s*package=([\w.]+)")
+_IGNORE_DIRECTIVE = re.compile(r"#\s*simlint:\s*ignore\[([\w\s,*]+)\]")
+
+_WALLCLOCK_MODULES = ("time", "datetime")
+_NUMPY_ALIASES = ("np", "numpy")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One lint finding."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def as_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+def _in_packages(module: str, packages: Iterable[str]) -> bool:
+    return any(module == p or module.startswith(p + ".") for p in packages)
+
+
+def module_name_of(path: Path, source: str) -> str | None:
+    """The dotted repro module a file belongs to, or None.
+
+    Resolution order: a ``# simlint: package=...`` directive anywhere in
+    the file wins (fixtures), then the ``.../src/repro/...`` path shape.
+    """
+    m = _PACKAGE_DIRECTIVE.search(source)
+    if m:
+        return m.group(1)
+    parts = path.resolve().parts
+    for anchor in range(len(parts) - 1, -1, -1):
+        if parts[anchor] == "src" and anchor + 1 < len(parts):
+            mod = ".".join(parts[anchor + 1 :])
+            if mod.endswith(".py"):
+                mod = mod[: -len(".py")]
+            if mod.endswith(".__init__"):
+                mod = mod[: -len(".__init__")]
+            if mod.startswith("repro"):
+                return mod
+    return None
+
+
+def _suppressed_rules(source: str) -> dict[int, frozenset[str]]:
+    """Line number -> rules suppressed on that line."""
+    out: dict[int, frozenset[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        m = _IGNORE_DIRECTIVE.search(line)
+        if m:
+            rules = frozenset(r.strip() for r in m.group(1).split(",") if r.strip())
+            out[lineno] = rules
+    return out
+
+
+def _dotted(node: ast.expr) -> str | None:
+    """``a.b.c`` attribute chains as a string; None for anything else."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+# -- SIM001 / SIM002: imports and calls --------------------------------------
+
+def _check_imports_and_calls(
+    tree: ast.AST, module: str, emit
+) -> None:
+    sim_scope = _in_packages(module, SIM_PACKAGES)
+    rng_scope = (
+        _in_packages(module, SIM_PACKAGES + RNG_EXTRA_PACKAGES)
+        and module not in RNG_EXEMPT_MODULES
+    )
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                root = alias.name.split(".")[0]
+                if sim_scope and root in _WALLCLOCK_MODULES:
+                    emit(
+                        "SIM001", node,
+                        f"simulation module {module} imports {alias.name!r}; "
+                        "use the simulated clock (Simulator.now), not wall time",
+                    )
+                if rng_scope and root == "random":
+                    emit(
+                        "SIM002", node,
+                        f"{module} imports {alias.name!r}; derive randomness from "
+                        "repro.sim.rng.make_rng/spawn_rngs instead",
+                    )
+        elif isinstance(node, ast.ImportFrom):
+            root = (node.module or "").split(".")[0]
+            if sim_scope and root in _WALLCLOCK_MODULES:
+                emit(
+                    "SIM001", node,
+                    f"simulation module {module} imports from {node.module!r}; "
+                    "use the simulated clock (Simulator.now), not wall time",
+                )
+            if rng_scope and root == "random":
+                emit(
+                    "SIM002", node,
+                    f"{module} imports from {node.module!r}; derive randomness "
+                    "from repro.sim.rng.make_rng/spawn_rngs instead",
+                )
+        elif isinstance(node, ast.Call):
+            name = _dotted(node.func)
+            if not name:
+                continue
+            if rng_scope and _is_numpy_random_call(name):
+                emit(
+                    "SIM002", node,
+                    f"direct numpy.random call {name!r}; route it through "
+                    "repro.sim.rng (make_rng/spawn_rngs)",
+                )
+
+
+def _is_numpy_random_call(dotted: str) -> bool:
+    parts = dotted.split(".")
+    return len(parts) >= 3 and parts[0] in _NUMPY_ALIASES and parts[1] == "random"
+
+
+# -- SIM003: unordered iteration ---------------------------------------------
+
+class _SetNames(ast.NodeVisitor):
+    """Collects names/attributes assigned set-typed values in a module."""
+
+    def __init__(self) -> None:
+        self.names: set[str] = set()
+
+    def _target_key(self, target: ast.expr) -> str | None:
+        # Attributes are tracked only on ``self`` — matching bare attribute
+        # names across unrelated objects produces false positives.
+        if isinstance(target, ast.Name):
+            return target.id
+        if (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+        ):
+            return f"self.{target.attr}"
+        return None
+
+    @staticmethod
+    def _is_set_value(value: ast.expr | None) -> bool:
+        if value is None:
+            return False
+        if isinstance(value, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(value, ast.Call) and isinstance(value.func, ast.Name):
+            return value.func.id in ("set", "frozenset")
+        return False
+
+    @staticmethod
+    def _is_set_annotation(annotation: ast.expr) -> bool:
+        base = annotation.value if isinstance(annotation, ast.Subscript) else annotation
+        if isinstance(base, ast.Name):
+            return base.id in ("set", "frozenset", "Set", "FrozenSet", "AbstractSet")
+        if isinstance(base, ast.Attribute):
+            return base.attr in ("Set", "FrozenSet", "AbstractSet")
+        return False
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if self._is_set_value(node.value):
+            for target in node.targets:
+                key = self._target_key(target)
+                if key:
+                    self.names.add(key)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if self._is_set_value(node.value) or self._is_set_annotation(node.annotation):
+            key = self._target_key(node.target)
+            if key:
+                self.names.add(key)
+        self.generic_visit(node)
+
+
+def _check_unordered_iteration(tree: ast.AST, emit) -> None:
+    collector = _SetNames()
+    collector.visit(tree)
+    set_names = collector.names
+
+    def flag_iter(iter_node: ast.expr) -> None:
+        if isinstance(iter_node, (ast.Set, ast.SetComp)):
+            emit("SIM003", iter_node, "iterating a set literal; iterate sorted(...)")
+            return
+        if isinstance(iter_node, ast.Call):
+            if isinstance(iter_node.func, ast.Name) and iter_node.func.id in (
+                "set",
+                "frozenset",
+            ):
+                emit(
+                    "SIM003", iter_node,
+                    "iterating a set(...) construction; iterate sorted(...)",
+                )
+            elif (
+                isinstance(iter_node.func, ast.Attribute)
+                and iter_node.func.attr == "keys"
+                and not iter_node.args
+            ):
+                emit(
+                    "SIM003", iter_node,
+                    "iterating .keys(); iterate the dict (insertion order) or "
+                    "sorted(...) when order must be id-stable",
+                )
+            return
+        key: str | None = None
+        if isinstance(iter_node, ast.Name):
+            key = iter_node.id
+        elif (
+            isinstance(iter_node, ast.Attribute)
+            and isinstance(iter_node.value, ast.Name)
+            and iter_node.value.id == "self"
+        ):
+            key = f"self.{iter_node.attr}"
+        if key is not None and key in set_names:
+            emit(
+                "SIM003", iter_node,
+                f"iterating set-typed {key!r}; set order is salted per process — "
+                "iterate sorted(...) instead",
+            )
+
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            flag_iter(node.iter)
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)):
+            for gen in node.generators:
+                flag_iter(gen.iter)
+
+
+# -- SIM004: __slots__ manifest ----------------------------------------------
+
+def _class_declares_slots(node: ast.ClassDef) -> bool:
+    for stmt in node.body:
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name) and target.id == "__slots__":
+                    return True
+        elif isinstance(stmt, ast.AnnAssign):
+            if isinstance(stmt.target, ast.Name) and stmt.target.id == "__slots__":
+                return True
+    for deco in node.decorator_list:
+        if isinstance(deco, ast.Call):
+            name = _dotted(deco.func)
+            if name and name.split(".")[-1] == "dataclass":
+                for kw in deco.keywords:
+                    if (
+                        kw.arg == "slots"
+                        and isinstance(kw.value, ast.Constant)
+                        and kw.value.value is True
+                    ):
+                        return True
+    return False
+
+
+def _check_slots_manifest(tree: ast.AST, module: str, emit) -> None:
+    required = SLOTS_MANIFEST.get(module)
+    if not required:
+        return
+    classes = {
+        node.name: node for node in ast.walk(tree) if isinstance(node, ast.ClassDef)
+    }
+    for name in required:
+        node = classes.get(name)
+        if node is None:
+            emit(
+                "SIM004", tree,
+                f"manifest class {module}.{name} not found — update "
+                "repro.analysis.manifest.SLOTS_MANIFEST if it moved",
+            )
+        elif not _class_declares_slots(node):
+            emit(
+                "SIM004", node,
+                f"hot-path class {name} must declare __slots__ "
+                "(directly or via @dataclass(slots=True))",
+            )
+
+
+# -- SIM005: exception hygiene -----------------------------------------------
+
+def _check_exception_hygiene(tree: ast.AST, emit) -> None:
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        if node.type is None:
+            emit(
+                "SIM005", node,
+                "bare except: in a simulation package; catch specific exceptions",
+            )
+        if all(
+            isinstance(stmt, ast.Pass)
+            or (
+                isinstance(stmt, ast.Expr)
+                and isinstance(stmt.value, ast.Constant)
+                and stmt.value.value is Ellipsis
+            )
+            for stmt in node.body
+        ):
+            emit(
+                "SIM005", node,
+                "exception handler swallows errors (body is pass/...); a fault "
+                "in a dispatch path must not silently corrupt the model",
+            )
+
+
+# -- driver -------------------------------------------------------------------
+
+def lint_source(source: str, path: Path) -> list[Violation]:
+    """Lint one file's source; returns findings (possibly empty)."""
+    display = str(path)
+    try:
+        tree = ast.parse(source, filename=display)
+    except SyntaxError as exc:
+        return [
+            Violation(
+                "SIM999", display, exc.lineno or 0, exc.offset or 0,
+                f"file does not parse: {exc.msg}",
+            )
+        ]
+    module = module_name_of(path, source)
+    if module is None:
+        return []
+    suppressed = _suppressed_rules(source)
+    violations: list[Violation] = []
+
+    def emit(rule: str, node, message: str) -> None:
+        line = getattr(node, "lineno", 0)
+        col = getattr(node, "col_offset", 0)
+        rules_here = suppressed.get(line, frozenset())
+        if rule in rules_here or "*" in rules_here:
+            return
+        violations.append(Violation(rule, display, line, col, message))
+
+    _check_imports_and_calls(tree, module, emit)
+    if _in_packages(module, SIM_PACKAGES):
+        _check_unordered_iteration(tree, emit)
+        _check_exception_hygiene(tree, emit)
+    _check_slots_manifest(tree, module, emit)
+    violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+    return violations
+
+
+def lint_file(path: Path) -> list[Violation]:
+    return lint_source(path.read_text(), path)
+
+
+def _iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            yield from sorted(
+                p
+                for p in path.rglob("*.py")
+                if "__pycache__" not in p.parts
+            )
+        elif path.suffix == ".py":
+            yield path
+
+
+def lint_paths(paths: Iterable[str | Path]) -> list[Violation]:
+    """Lint every ``.py`` file under ``paths`` (files or directories)."""
+    violations: list[Violation] = []
+    for path in _iter_python_files(paths):
+        violations.extend(lint_file(path))
+    return violations
+
+
+def format_violations(violations: list[Violation], *, fmt: str = "text") -> str:
+    if fmt == "json":
+        return json.dumps([v.as_dict() for v in violations], indent=2)
+    if not violations:
+        return "simlint: no violations"
+    lines = [v.format() for v in violations]
+    lines.append(f"simlint: {len(violations)} violation(s)")
+    return "\n".join(lines)

@@ -7,6 +7,7 @@
     python -m repro synthesize --profile vdi -o trace.csv
     python -m repro replay trace.csv [--ssd A] [--weight 4]
     python -m repro profile [--scenario engine|incast|both] [--cprofile]
+    python -m repro lint src [--format json]   # determinism linter
 
 The full-scale reproductions live in ``benchmarks/`` (pytest-benchmark);
 this CLI exists for interactive exploration at small scale.
@@ -160,6 +161,19 @@ def cmd_profile(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    """Run the simulation-determinism linter (see repro.analysis.simlint).
+
+    Exit status is the number of violations (capped at argparse's usual
+    0/1 semantics: 0 = clean, 1 = violations found, 2 = usage error).
+    """
+    from repro.analysis.simlint import format_violations, lint_paths
+
+    violations = lint_paths(args.paths)
+    print(format_violations(violations, fmt=args.format))
+    return 1 if violations else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="SRC paper-reproduction toolkit"
@@ -214,6 +228,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--json", action="store_true", help="emit JSON instead of text")
     p.set_defaults(fn=cmd_profile)
+
+    p = sub.add_parser(
+        "lint", help="run the simulation-determinism linter (SIM001-SIM005)"
+    )
+    p.add_argument(
+        "paths", nargs="+", help="files or directories to lint (e.g. src)"
+    )
+    p.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="violation report format",
+    )
+    p.set_defaults(fn=cmd_lint)
 
     return parser
 

@@ -14,7 +14,7 @@ congestion-then-relief timeline.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 import numpy as np
@@ -22,8 +22,9 @@ import numpy as np
 from repro.experiments.metrics import ThroughputSeries, trim_series
 
 if TYPE_CHECKING:  # imported lazily at runtime to avoid a package cycle
-    from repro.core.controller import SRCController
+    from repro.core.controller import BlockRateController, SRCController
     from repro.core.tpm import ThroughputPredictionModel
+    from repro.nvme.block_sched import BlockLayerThrottle
 from repro.fabric.initiator import Initiator
 from repro.fabric.target import Target
 from repro.net.nic import NICConfig
@@ -135,7 +136,7 @@ class RunResult:
     pause_times_ns: list[int]
     initiators: list[Initiator]
     targets: list[Target]
-    controllers: list[SRCController]
+    controllers: list[SRCController | BlockRateController]
     network: Network
     sim: Simulator
     bin_ns: int = MS
@@ -178,7 +179,9 @@ class RunResult:
         return np.arange(n_bins, dtype=np.int64) * MS, counts
 
 
-def _make_driver(config: TestbedConfig, sim: Simulator):
+def _make_driver(
+    config: TestbedConfig, sim: Simulator
+) -> "SSQDriver | DefaultNvmeDriver | BlockLayerThrottle":
     if config.driver == "ssq":
         return SSQDriver(read_weight=1, write_weight=1)
     if config.driver == "block":
@@ -230,7 +233,7 @@ def run_testbed(
         ssd_config = SSD_A
 
     targets: list[Target] = []
-    controllers: list[SRCController] = []
+    controllers: list[SRCController | BlockRateController] = []
     for name in tgt_names:
         ssds = [SSD(sim, ssd_config) for _ in range(config.ssds_per_target)]
         drivers = [_make_driver(config, sim) for _ in range(config.ssds_per_target)]
@@ -239,23 +242,24 @@ def run_testbed(
         if config.src_enabled and config.driver == "ssq":
             from repro.core.controller import SRCController
 
-            controller = SRCController(
+            assert tpm is not None  # validated on entry
+            src_controller = SRCController(
                 tpm,
                 window_ns=config.src_window_ns,
                 min_adjust_interval_ns=config.src_min_interval_ns,
                 line_rate_gbps=config.link_rate_gbps,
             )
-            controller.attach(target, sim)
-            controllers.append(controller)
+            src_controller.attach(target, sim)
+            controllers.append(src_controller)
         elif config.src_enabled and config.driver == "block":
             from repro.core.controller import BlockRateController
 
-            controller = BlockRateController(
+            block_controller = BlockRateController(
                 min_adjust_interval_ns=config.src_min_interval_ns,
                 line_rate_gbps=config.link_rate_gbps,
             )
-            controller.attach(target, sim)
-            controllers.append(controller)
+            block_controller.attach(target, sim)
+            controllers.append(block_controller)
 
     initiators = [Initiator(sim, net.hosts[name]) for name in init_names]
 

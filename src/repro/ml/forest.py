@@ -13,6 +13,7 @@ import numpy as np
 
 from repro.ml.base import check_X, check_Xy
 from repro.ml.tree import DecisionTreeRegressor
+from repro.sim.rng import spawn_rngs
 
 
 class RandomForestRegressor:
@@ -58,12 +59,10 @@ class RandomForestRegressor:
         self._single_output = y.ndim == 1
         y2 = y.reshape(-1, 1) if self._single_output else y
         self._n_features = X.shape[1]
-        seq = np.random.SeedSequence(self.seed)
-        children = seq.spawn(self.n_estimators)
+        rngs = spawn_rngs(self.seed, self.n_estimators)
         self.trees_ = []
         n = X.shape[0]
-        for child in children:
-            rng = np.random.default_rng(child)
+        for rng in rngs:
             if self.bootstrap:
                 idx = rng.integers(0, n, size=n)
                 Xb, yb = X[idx], y2[idx]

@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.ml.base import Regressor
 from repro.ml.metrics import r2_score
+from repro.sim.rng import make_rng
 
 
 def train_test_split(
@@ -38,7 +39,7 @@ def train_test_split(
         raise ValueError(f"X has {n} rows but y has {y.shape[0]}")
     if n < 2:
         raise ValueError("need at least 2 samples to split")
-    rng = np.random.default_rng(seed)
+    rng = make_rng(seed)
     perm = rng.permutation(n)
     n_train = min(max(int(round(n * train_fraction)), 1), n - 1)
     tr, va = perm[:n_train], perm[n_train:]
@@ -59,7 +60,7 @@ class KFold:
             raise ValueError(
                 f"cannot make {self.n_splits} folds from {n_samples} samples"
             )
-        rng = np.random.default_rng(self.seed)
+        rng = make_rng(self.seed)
         perm = rng.permutation(n_samples)
         folds = np.array_split(perm, self.n_splits)
         for i in range(self.n_splits):

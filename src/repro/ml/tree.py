@@ -18,6 +18,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.ml.base import check_X, check_Xy
+from repro.sim.rng import make_rng
 
 
 @dataclass
@@ -91,7 +92,7 @@ class DecisionTreeRegressor:
         y2 = y.reshape(-1, 1) if self._single_output else y
         self._n_features = X.shape[1]
         self._importance_raw = np.zeros(self._n_features)
-        self._rng = np.random.default_rng(self.seed)
+        self._rng = make_rng(self.seed)
         self._root = self._build(X, y2, depth=0)
         return self
 

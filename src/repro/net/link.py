@@ -91,6 +91,8 @@ class Link:
         # an event argument replaces the two per-packet closures.
         self._finish_cb = self._finish
         self._deliver_cb = self._deliver
+        if sim.sanitizer is not None:
+            sim.sanitizer.track_link(self)
 
     # -- queue state -----------------------------------------------------
     @property

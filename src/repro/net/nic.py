@@ -185,6 +185,11 @@ class NIC:
         self.messages_delivered = 0
         #: Most partially-reassembled messages ever held at once.
         self.reassembly_high_water = 0
+        #: DATA bytes accounted to delivered messages (reassembly byte-
+        #: conservation: received == delivered + pending partials).
+        self.reassembly_bytes_delivered = 0
+        if sim.sanitizer is not None:
+            sim.sanitizer.track_nic(self)
 
     # -- wiring -------------------------------------------------------------
     def attach_uplink(self, link: Link) -> None:
@@ -283,6 +288,7 @@ class NIC:
                 # when a message id is re-sent, so ``_reassembly`` cannot
                 # leak entries that no future packet would complete.
                 self.messages_delivered += 1
+                self.reassembly_bytes_delivered += got
                 if self.endpoint is not None:
                     self.endpoint(packet.payload, packet.src, packet.message_bytes)
             else:

@@ -73,6 +73,8 @@ class Switch:
         self.ecn_marks = 0
         self.pauses_sent = 0
         self._buffered_bytes = 0
+        if sim.sanitizer is not None:
+            sim.sanitizer.track_switch(self)
 
     # -- wiring (topology builder) -----------------------------------------
     def add_port(self, link: Link, neighbor_name: str) -> int:

@@ -57,6 +57,10 @@ class SSQDriver:
         """Bind to a device; submissions will ring its doorbell."""
         self._doorbell = device.doorbell
         device.attach_driver(self)
+        sim = getattr(device, "sim", None)
+        sanitizer = getattr(sim, "sanitizer", None)
+        if sanitizer is not None:
+            sanitizer.track_wrr(self.wrr, name="SSQDriver.wrr")
 
     # -- weight control (SRC's knob) -----------------------------------------
     def set_weights(self, read_weight: int, write_weight: int, *, now_ns: int = 0) -> None:

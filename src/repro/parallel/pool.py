@@ -35,7 +35,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import Future, ProcessPoolExecutor
 from concurrent.futures import TimeoutError as _FutureTimeout
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
@@ -259,12 +259,16 @@ def run_cells(
     mode = "serial"
     start_index = 0
     executor: ProcessPoolExecutor | None = None
+    futures: list[Future[tuple[Any, float]]] = []
     if n_workers > 1 and n > 1:
         try:
             executor = _make_executor(min(n_workers, n))
             futures = [executor.submit(_run_cell, fn, c) for c in cell_list]
         except (OSError, ValueError, ImportError, PermissionError):
+            if executor is not None:
+                executor.shutdown(wait=False, cancel_futures=True)
             executor = None  # pool unavailable: graceful serial fallback
+            futures = []
 
     if executor is not None:
         mode = "pool"

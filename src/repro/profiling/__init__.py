@@ -48,7 +48,13 @@ __all__ = [
     "incast_outputs",
     "run_incast_cell",
     "run_with_cprofile",
+    "site_label",
 ]
+
+
+def site_label(callback: Callable[..., Any]) -> str:
+    """Stable label for a callback site (the profiling/sanitizer key)."""
+    return getattr(callback, "__qualname__", None) or repr(callback)
 
 
 @dataclass
@@ -130,7 +136,7 @@ class InstrumentedSimulator(Simulator):
                 queue._live -= 1
                 self.now = time
                 callback = ev.callback
-                name = getattr(callback, "__qualname__", None) or repr(callback)
+                name = site_label(callback)
                 site_counts[name] = site_counts.get(name, 0) + 1
                 if trace:
                     self.dispatch_log.append((time, name))

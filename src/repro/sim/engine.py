@@ -17,9 +17,13 @@ traversal per event.
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable
+import os
+from typing import TYPE_CHECKING, Any, Callable
 
 from repro.sim.events import Event, EventQueue
+
+if TYPE_CHECKING:
+    from repro.analysis.sanitizer import Sanitizer
 
 
 class MaxEventsExceeded(RuntimeError):
@@ -57,9 +61,35 @@ class Simulator:
         When true, every dispatched event is appended to
         :attr:`dispatch_log` as ``(time, callback_qualname)`` — useful in
         tests, far too slow for real runs.
+    sanitize:
+        When true (or when the ``REPRO_SANITIZE`` environment variable
+        is set and ``sanitize`` is left as ``None``), constructing
+        ``Simulator(...)`` transparently yields a
+        :class:`repro.analysis.sanitizer.SanitizingSimulator`, whose
+        dispatch loop checks runtime invariants (clock monotonicity,
+        queue depths, byte conservation, ...) and raises
+        :class:`~repro.analysis.sanitizer.SanitizerError` on violation.
+        The sanitized run is bit-identical to a plain one, just slower.
     """
 
-    def __init__(self, *, trace: bool = False) -> None:
+    #: Set by :class:`~repro.analysis.sanitizer.SanitizingSimulator`;
+    #: components register themselves here when it is not ``None``.
+    sanitizer: "Sanitizer | None" = None
+
+    def __new__(cls, *args: Any, **kwargs: Any) -> "Simulator":
+        if cls is Simulator:
+            sanitize = kwargs.get("sanitize")
+            if sanitize is None:
+                from repro.analysis.sanitizer import env_sanitize_enabled
+
+                sanitize = env_sanitize_enabled(os.environ.get("REPRO_SANITIZE"))
+            if sanitize:
+                from repro.analysis.sanitizer import SanitizingSimulator
+
+                return object.__new__(SanitizingSimulator)
+        return object.__new__(cls)
+
+    def __init__(self, *, trace: bool = False, sanitize: bool | None = None) -> None:
         self.now: int = 0
         self._queue = EventQueue()
         self._trace = trace

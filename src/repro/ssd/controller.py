@@ -39,7 +39,7 @@ class SubmissionSource(Protocol):
     def has_pending(self) -> bool: ...
 
 
-@dataclass
+@dataclass(slots=True)
 class CompletionEntry:
     """One CQ entry."""
 
@@ -47,7 +47,7 @@ class CompletionEntry:
     posted_ns: int
 
 
-@dataclass
+@dataclass(slots=True)
 class _Inflight:
     request: IORequest
     pages_outstanding: int

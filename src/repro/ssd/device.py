@@ -30,6 +30,8 @@ class SSD:
         self.ftl = FTL(config)
         self.cache = WriteCache(config.write_cache_bytes, config.page_bytes)
         self.controller = SSDController(sim, config, self.backend, self.ftl, self.cache)
+        if sim.sanitizer is not None:
+            sim.sanitizer.track_ftl(self.ftl)
 
     # -- host-facing surface ------------------------------------------------
     def attach_driver(self, driver: SubmissionSource) -> None:

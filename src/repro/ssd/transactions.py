@@ -27,7 +27,7 @@ class TxnKind(enum.Enum):
 _txn_ids = itertools.count()
 
 
-@dataclass
+@dataclass(slots=True)
 class PageTransaction:
     """One page-granularity flash operation.
 

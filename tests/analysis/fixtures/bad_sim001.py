@@ -1,0 +1,8 @@
+"""Fixture: SIM001 — wall-clock access inside a simulation package."""
+# simlint: package=repro.sim.fake_clock
+
+import time
+
+
+def stamp() -> float:
+    return time.perf_counter()

@@ -1,0 +1,11 @@
+"""Fixture: SIM002 — unmanaged randomness in a simulation package."""
+# simlint: package=repro.net.fake_rng
+
+import random
+
+import numpy as np
+
+
+def draw() -> float:
+    rng = np.random.default_rng(0)
+    return rng.random() + random.random()

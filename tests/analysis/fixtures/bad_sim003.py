@@ -1,0 +1,12 @@
+"""Fixture: SIM003 — iterating salted-order containers in sim code."""
+# simlint: package=repro.net.fake_iter
+
+
+def drain(table: dict) -> int:
+    ready = {3, 1, 2}
+    total = 0
+    for flow_id in ready:
+        total += flow_id
+    for key in table.keys():
+        total += key
+    return total

@@ -1,0 +1,7 @@
+"""Fixture: SIM004 — a manifest-listed hot-path class without __slots__."""
+# simlint: package=repro.net.packet
+
+
+class Packet:
+    def __init__(self, size_bytes: int) -> None:
+        self.size_bytes = size_bytes

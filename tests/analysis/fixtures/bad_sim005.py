@@ -1,0 +1,9 @@
+"""Fixture: SIM005 — a dispatch path swallowing exceptions."""
+# simlint: package=repro.sim.fake_dispatch
+
+
+def dispatch(callback) -> None:
+    try:
+        callback()
+    except:  # noqa: E722
+        pass

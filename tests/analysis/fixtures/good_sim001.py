@@ -1,0 +1,6 @@
+"""Fixture: SIM001 clean — only the simulated clock is observed."""
+# simlint: package=repro.sim.fake_clock
+
+
+def stamp(sim) -> int:
+    return sim.now

@@ -1,0 +1,9 @@
+"""Fixture: SIM002 clean — randomness derived through repro.sim.rng."""
+# simlint: package=repro.net.fake_rng
+
+from repro.sim.rng import make_rng
+
+
+def draw(seed: int) -> float:
+    rng = make_rng(seed)
+    return float(rng.random())

@@ -1,0 +1,12 @@
+"""Fixture: SIM003 clean — sorted snapshots and insertion-order dicts."""
+# simlint: package=repro.net.fake_iter
+
+
+def drain(table: dict) -> int:
+    ready = {3, 1, 2}
+    total = 0
+    for flow_id in sorted(ready):
+        total += flow_id
+    for key in table:  # dict iteration keeps insertion order
+        total += key
+    return total

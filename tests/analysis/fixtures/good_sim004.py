@@ -1,0 +1,9 @@
+"""Fixture: SIM004 clean — the manifest class declares __slots__."""
+# simlint: package=repro.net.packet
+
+
+class Packet:
+    __slots__ = ("size_bytes",)
+
+    def __init__(self, size_bytes: int) -> None:
+        self.size_bytes = size_bytes

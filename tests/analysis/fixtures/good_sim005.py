@@ -1,0 +1,9 @@
+"""Fixture: SIM005 clean — specific exception, loud failure."""
+# simlint: package=repro.sim.fake_dispatch
+
+
+def dispatch(callback) -> None:
+    try:
+        callback()
+    except ValueError as exc:
+        raise RuntimeError("callback failed mid-dispatch") from exc

@@ -1,0 +1,238 @@
+"""Runtime DES sanitizer: activation, invariant detection, transparency.
+
+The sanitizer must (a) engage via ``Simulator(sanitize=True)`` or
+``REPRO_SANITIZE=1``, (b) catch each class of corrupted state with a
+structured :class:`SanitizerError` naming the offending event's site,
+and (c) be a pure observer — a sanitized run is bit-identical to a
+plain one.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.sanitizer import (
+    Sanitizer,
+    SanitizerError,
+    SanitizingSimulator,
+    env_sanitize_enabled,
+    ftl_mapping_violation,
+)
+from repro.net.topology import build_star
+from repro.nvme.wrr import TokenWRR
+from repro.profiling import InstrumentedSimulator
+from repro.profiling.bench import incast_outputs, run_incast_cell
+from repro.sim.engine import MaxEventsExceeded, Simulator
+from repro.sim.units import US
+from repro.ssd.ftl import FTL
+from tests.conftest import FAST_SSD
+
+
+# -- activation ---------------------------------------------------------------
+
+def test_sanitize_kwarg_promotes_construction(monkeypatch):
+    monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+    assert type(Simulator()) is Simulator
+    assert type(Simulator(sanitize=False)) is Simulator
+    sim = Simulator(sanitize=True)
+    assert isinstance(sim, SanitizingSimulator)
+    assert sim.sanitizer is not None
+
+
+def test_env_variable_promotes_construction(monkeypatch):
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    assert isinstance(Simulator(), SanitizingSimulator)
+    # An explicit kwarg beats the environment.
+    assert type(Simulator(sanitize=False)) is Simulator
+    monkeypatch.setenv("REPRO_SANITIZE", "0")
+    assert type(Simulator()) is Simulator
+
+
+def test_subclasses_are_never_promoted(monkeypatch):
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    sim = InstrumentedSimulator()
+    assert type(sim) is InstrumentedSimulator
+    assert sim.sanitizer is None
+
+
+@pytest.mark.parametrize(
+    "value,expected",
+    [
+        (None, False), ("", False), ("0", False), ("false", False),
+        ("no", False), ("off", False), (" OFF ", False),
+        ("1", True), ("true", True), ("yes", True), ("2", True),
+    ],
+)
+def test_env_sanitize_enabled(value, expected):
+    assert env_sanitize_enabled(value) is expected
+
+
+# -- invariant detection ------------------------------------------------------
+
+def _tick(sim, depth=50):
+    """A benign self-rescheduling callback to keep the run alive."""
+    state = {"n": depth}
+
+    def tick() -> None:
+        state["n"] -= 1
+        if state["n"] > 0:
+            sim.schedule(10, tick)
+
+    sim.schedule(1, tick)
+
+
+def test_monotonicity_violation_is_caught():
+    sim = Simulator(sanitize=True)
+    _tick(sim)
+
+    def corrupt() -> None:
+        # Push an event into the past behind the engine's back — the
+        # scheduling API itself refuses, which is exactly why a corrupted
+        # heap must be caught at dispatch time.
+        sim._queue.push(3, lambda: None)
+
+    sim.schedule(100, corrupt)
+    with pytest.raises(SanitizerError) as ei:
+        sim.run()
+    assert ei.value.invariant == "event-time-monotonic"
+    assert "[event-time-monotonic]" in str(ei.value)
+
+
+def test_negative_link_queue_is_caught():
+    sim = Simulator(sanitize=True)
+    net = build_star(sim, ["a", "b"], rate_gbps=40.0, delay_ns=US)
+    assert sim.sanitizer._links, "links did not self-register"
+    net.hosts["a"].send_message("b", 4096)
+
+    def corrupt() -> None:
+        sim.sanitizer._links[0]._queued_bytes = -5
+
+    sim.schedule(200, corrupt)
+    with pytest.raises(SanitizerError) as ei:
+        sim.run()
+    assert ei.value.invariant == "queue-depth"
+    assert ei.value.site and "corrupt" in ei.value.site
+    assert ei.value.time_ns == 200
+
+
+def test_byte_conservation_violation_is_caught():
+    sim = Simulator(sanitize=True)
+    net = build_star(sim, ["a", "b"], rate_gbps=40.0, delay_ns=US)
+    receiver = net.hosts["b"]
+    net.hosts["a"].send_message("b", 64 * 1024)
+
+    def corrupt() -> None:
+        receiver.bytes_received += 1
+
+    sim.schedule(5 * US, corrupt)
+    with pytest.raises(SanitizerError) as ei:
+        sim.run()
+    assert ei.value.invariant == "byte-conservation"
+    assert "unaccounted" in ei.value.detail
+
+
+def test_wrr_token_bounds_are_caught():
+    sim = Simulator(sanitize=True)
+    wrr = TokenWRR(1, 4)
+    sim.sanitizer.track_wrr(wrr, name="test.wrr")
+    _tick(sim, depth=5)
+    sim.schedule(20, lambda: setattr(wrr, "read_tokens", 7))
+    with pytest.raises(SanitizerError) as ei:
+        sim.run()
+    assert ei.value.invariant == "wrr-tokens"
+    assert "test.wrr" in ei.value.detail
+
+
+def test_check_now_outside_dispatch():
+    sim = Simulator(sanitize=True)
+    sim.check_now()  # nothing tracked: clean
+    wrr = TokenWRR(2, 2)
+    sim.sanitizer.track_wrr(wrr)
+    wrr.write_tokens = -1
+    with pytest.raises(SanitizerError):
+        sim.check_now()
+
+
+# -- FTL mapping consistency --------------------------------------------------
+
+def _written_ftl() -> FTL:
+    ftl = FTL(FAST_SSD)
+    # Two passes over the same LPNs: the second invalidates the first's
+    # pages, leaving fully-written victim blocks for GC to reclaim.
+    span = 4 * FAST_SSD.pages_per_block
+    for _ in range(2):
+        for lpn in range(span):
+            ftl.allocate_write(lpn)
+    return ftl
+
+
+def test_ftl_mapping_walk_detects_forward_reverse_mismatch():
+    ftl = _written_ftl()
+    assert ftl_mapping_violation(ftl) is None
+    lpn, (chip, block, page) = next(iter(ftl._map.items()))
+    ftl._map[lpn] = (chip, block, page + 1000)
+    assert ftl_mapping_violation(ftl) is not None
+
+
+def test_gc_hook_raises_on_corrupted_map():
+    ftl = _written_ftl()
+    sanitizer = Sanitizer()
+    sanitizer.track_ftl(ftl)
+
+    victim = None
+    for chip_index in range(FAST_SSD.n_chips):
+        got = ftl.begin_gc(chip_index)
+        if got is not None:
+            victim = (chip_index, *got)
+            break
+    assert victim is not None, "no GC victim despite full blocks"
+    chip_index, block_id, valid_lpns = victim
+    for lpn in valid_lpns:
+        ftl.gc_relocate(lpn, chip_index, block_id)
+
+    lpn, (chip, block, page) = next(iter(ftl._map.items()))
+    ftl._map[lpn] = (chip, block, page + 1000)
+    with pytest.raises(SanitizerError) as ei:
+        ftl.finish_gc(chip_index, block_id)
+    assert ei.value.invariant == "ftl-mapping"
+
+
+def test_gc_hook_is_clean_on_correct_gc():
+    ftl = _written_ftl()
+    sanitizer = Sanitizer()
+    sanitizer.track_ftl(ftl)
+    victim = None
+    for chip_index in range(FAST_SSD.n_chips):
+        got = ftl.begin_gc(chip_index)
+        if got is not None:
+            victim = (chip_index, *got)
+            break
+    assert victim is not None
+    chip_index, block_id, valid_lpns = victim
+    for lpn in valid_lpns:
+        ftl.gc_relocate(lpn, chip_index, block_id)
+    ftl.finish_gc(chip_index, block_id)  # must not raise
+    assert ftl_mapping_violation(ftl) is None
+
+
+# -- transparency -------------------------------------------------------------
+
+def test_sanitized_incast_is_bit_identical_and_clean():
+    plain, plain_sim, plain_net = run_incast_cell(
+        duration_ns=200 * US, sim=Simulator(trace=True)
+    )
+    checked, checked_sim, checked_net = run_incast_cell(
+        duration_ns=200 * US, sim=Simulator(trace=True, sanitize=True)
+    )
+    assert plain_sim.dispatch_log == checked_sim.dispatch_log
+    assert incast_outputs(plain_net) == incast_outputs(checked_net)
+    assert plain.events == checked.events
+    assert checked_sim.sanitizer.events_checked == checked.events
+
+
+def test_max_events_valve_still_works_sanitized():
+    sim = Simulator(sanitize=True)
+    _tick(sim, depth=100)
+    with pytest.raises(MaxEventsExceeded):
+        sim.run(max_events=5)
+    assert sim.events_dispatched == 5
