@@ -156,6 +156,46 @@ def save_sanitizer_perf(off: dict, on: dict) -> dict:
     return payload
 
 
+#: Maximum acceptable slowdown of the incast cell with the fault
+#: machinery attached but *no faults scheduled* (empty plan armed,
+#: watchdog installed).  A dormant injector adds zero events and the
+#: per-packet hooks are single is-None checks, so the honest cost is
+#: ~1.0x; 1.1x tolerates machine jitter while catching any accidental
+#: per-event work sneaking into the hooks.
+FAULT_HOOK_OVERHEAD_BUDGET = 1.1
+
+
+def save_faults_perf(off: dict, on: dict) -> dict:
+    """Persist hooks-off vs hooks-on (dormant) incast numbers as JSON.
+
+    ``off``/``on`` are :class:`repro.profiling.BenchResult` dicts of the
+    same scenario.  Returns the payload, including the slowdown ratio
+    checked against :data:`FAULT_HOOK_OVERHEAD_BUDGET`.
+    """
+    ratio = (
+        off["events_per_sec"] / on["events_per_sec"]
+        if on.get("events_per_sec")
+        else float("inf")
+    )
+    payload = {
+        "scenario": "incast_cell",
+        "hooks_off": off,
+        "hooks_on_dormant": on,
+        "slowdown": round(ratio, 3),
+        "budget": FAULT_HOOK_OVERHEAD_BUDGET,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "faults_overhead.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+    SESSION_PERF["faults"] = {
+        "events_per_sec_off": off["events_per_sec"],
+        "events_per_sec_on": on["events_per_sec"],
+        "slowdown": payload["slowdown"],
+    }
+    return payload
+
+
 #: Training sweep used for every TPM in the benchmark suite: the Fig. 5
 #: axes (10–25 µs, 10–44 KB) extended with two lighter inter-arrival
 #: points (40/60 µs) so the model sees both saturated and unsaturated

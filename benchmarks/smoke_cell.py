@@ -22,10 +22,19 @@ violations may fire, and the slowdown must stay within
 ``benchmarks.common.SANITIZER_OVERHEAD_BUDGET``.  Both numbers land in
 ``benchmarks/results/sanitizer_overhead.json``.
 
+With ``--faults`` it measures the fault-injection hooks' overhead when
+*no faults are scheduled*: the incast cell runs bare and with a dormant
+injector (empty plan armed, stuck-I/O watchdog installed).  Event counts
+and outputs must be identical — a dormant injector adds zero events —
+and the slowdown must stay within
+``benchmarks.common.FAULT_HOOK_OVERHEAD_BUDGET``.  Numbers land in
+``benchmarks/results/faults_overhead.json``.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/smoke_cell.py
     PYTHONPATH=src python benchmarks/smoke_cell.py --sanitizer
+    PYTHONPATH=src python benchmarks/smoke_cell.py --faults
 """
 
 from __future__ import annotations
@@ -39,9 +48,11 @@ import numpy as np
 sys.path.insert(0, str(Path(__file__).parent.parent))
 
 from benchmarks.common import (
+    FAULT_HOOK_OVERHEAD_BUDGET,
     SANITIZER_OVERHEAD_BUDGET,
     load_engine_floor,
     save_engine_perf,
+    save_faults_perf,
     save_sanitizer_perf,
 )
 from repro.experiments.weight_sweep import run_weight_sweep_with_report
@@ -165,5 +176,72 @@ def sanitizer_guard() -> int:
     return 0
 
 
+def faults_guard() -> int:
+    """Measure the dormant fault machinery's overhead on the incast cell.
+
+    Best-of-3 per mode (the cell is only ~20 ms of wall time, so a
+    single noisy run can fake a 2x slowdown); the hooks-on leg arms an
+    *empty* fault plan and
+    installs the stuck-I/O watchdog, so any extra cost is pure hook
+    overhead: the per-packet is-None checks and the quiescence callback.
+    Event counts and outputs must match exactly between the legs.
+    """
+    import time as _time
+
+    from repro.faults import FaultInjector, FaultPlan, StuckIOWatchdog
+    from repro.profiling.bench import BenchResult, build_incast_cell
+    from repro.sim.units import US
+
+    duration_ns = 2 * MS
+
+    def timed_cell(with_hooks: bool):
+        sim, net = build_incast_cell(duration_ns=duration_ns)
+        if with_hooks:
+            FaultInjector(sim, FaultPlan()).attach_network(net).arm()
+            StuckIOWatchdog().install(sim)
+        t0 = _time.perf_counter()
+        dispatched = sim.run(until=duration_ns + 50 * US)
+        wall = _time.perf_counter() - t0
+        bench = BenchResult(events=dispatched, wall_s=wall, sim_end_ns=sim.now)
+        return bench, incast_outputs(net)
+
+    def best_of_3(with_hooks: bool):
+        runs = [timed_cell(with_hooks) for _ in range(3)]
+        outputs = runs[-1][1]
+        return max((r[0] for r in runs), key=lambda r: r.events_per_sec), outputs
+
+    off, off_outputs = best_of_3(False)
+    on, on_outputs = best_of_3(True)
+
+    if off.events != on.events or off_outputs != on_outputs:
+        print("FAIL: dormant fault machinery changed the run", file=sys.stderr)
+        print(f"  events off={off.events} on={on.events}", file=sys.stderr)
+        print(f"  outputs off: {off_outputs}", file=sys.stderr)
+        print(f"  outputs on:  {on_outputs}", file=sys.stderr)
+        return 1
+
+    payload = save_faults_perf(off.as_dict(), on.as_dict())
+    print("fault-hook overhead (incast cell, empty plan, identical events):")
+    print(json.dumps(payload, indent=2))
+    if payload["slowdown"] > FAULT_HOOK_OVERHEAD_BUDGET:
+        print(
+            f"FAIL: fault-hook slowdown {payload['slowdown']}x exceeds the "
+            f"{FAULT_HOOK_OVERHEAD_BUDGET}x budget",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"fault-hook overhead OK: {payload['slowdown']}x <= "
+          f"{FAULT_HOOK_OVERHEAD_BUDGET}x budget")
+    return 0
+
+
+def dispatch(argv: list[str]) -> int:
+    if "--sanitizer" in argv:
+        return sanitizer_guard()
+    if "--faults" in argv:
+        return faults_guard()
+    return main()
+
+
 if __name__ == "__main__":
-    sys.exit(sanitizer_guard() if "--sanitizer" in sys.argv[1:] else main())
+    sys.exit(dispatch(sys.argv[1:]))

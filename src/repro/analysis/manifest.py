@@ -21,6 +21,7 @@ SIM_PACKAGES: tuple[str, ...] = (
     "repro.fabric",
     "repro.core",
     "repro.workloads",
+    "repro.faults",
 )
 
 #: Packages where randomness is still required to flow through
@@ -43,6 +44,7 @@ SLOTS_MANIFEST: dict[str, tuple[str, ...]] = {
     "repro.sim.events": ("Event", "EventQueue"),
     "repro.net.packet": ("Packet",),
     "repro.net.nic": ("Flow", "_Message"),
+    "repro.net.reliability": ("FlowReliability", "_Segment"),
     "repro.ssd.transactions": ("PageTransaction",),
     "repro.ssd.controller": ("CompletionEntry", "_Inflight"),
 }

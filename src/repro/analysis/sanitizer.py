@@ -14,8 +14,15 @@ Checked invariants, per dispatched event:
 * **queue-depth** — link queued bytes, switch buffered/ingress bytes,
   and NIC TXQ usage never go negative (and TXQ never exceeds capacity);
 * **byte-conservation** — every DATA byte a NIC receives is either
-  delivered in a reassembled message or still pending reassembly
-  (``bytes_received == reassembly_bytes_delivered + Σ partial``);
+  delivered in a reassembled message, still pending reassembly, or
+  explicitly discarded (CRC failure, go-back-N dedup, partial-message
+  eviction): ``bytes_received == reassembly_bytes_delivered + Σ partial
+  + reassembly_bytes_discarded``;
+* **reliability-bounds** — per-flow go-back-N state stays sane: never
+  more unacked segments than the window, ``base_seq <= next_seq``, the
+  current RTO inside ``[rto_ns, rto_max_ns]`` (backoff can neither
+  undershoot the base nor escape the ceiling), and the retransmit queue
+  never larger than the unacked window it was copied from;
 * **wrr-tokens** — TokenWRR balances stay within ``[0, weight]``
   (the PR 1 clamp-at-zero semantics);
 * **ftl-mapping** — after every GC erase, the forward map and the
@@ -196,13 +203,18 @@ class Sanitizer:
                     f"[0, {nic.config.txq_capacity_bytes}]",
                 )
             pending = sum(nic._reassembly.values())
-            expected = nic.reassembly_bytes_delivered + pending
+            expected = (
+                nic.reassembly_bytes_delivered
+                + pending
+                + nic.reassembly_bytes_discarded
+            )
             if nic.bytes_received != expected:
                 return (
                     "byte-conservation",
                     f"NIC {nic.name} received {nic.bytes_received} B but "
                     f"delivered {nic.reassembly_bytes_delivered} B with "
-                    f"{pending} B pending reassembly "
+                    f"{pending} B pending and "
+                    f"{nic.reassembly_bytes_discarded} B discarded "
                     f"({nic.bytes_received - expected:+d} B unaccounted)",
                 )
             for flow in nic.flows.values():
@@ -211,6 +223,36 @@ class Sanitizer:
                         "queue-depth",
                         f"flow {nic.name}->{flow.dst} queued_bytes went "
                         f"negative ({flow.queued_bytes})",
+                    )
+                rel = flow._rel
+                if rel is None:
+                    continue
+                if len(rel.unacked) > rel.config.window_packets:
+                    return (
+                        "reliability-bounds",
+                        f"flow {nic.name}->{flow.dst} holds "
+                        f"{len(rel.unacked)} unacked segments, window is "
+                        f"{rel.config.window_packets}",
+                    )
+                if rel.base_seq > rel.next_seq:
+                    return (
+                        "reliability-bounds",
+                        f"flow {nic.name}->{flow.dst} base_seq "
+                        f"{rel.base_seq} beyond next_seq {rel.next_seq}",
+                    )
+                if not rel.config.rto_ns <= rel.rto_current_ns <= rel.config.rto_max_ns:
+                    return (
+                        "reliability-bounds",
+                        f"flow {nic.name}->{flow.dst} RTO "
+                        f"{rel.rto_current_ns} outside "
+                        f"[{rel.config.rto_ns}, {rel.config.rto_max_ns}]",
+                    )
+                if len(rel.retransmit_queue) > len(rel.unacked):
+                    return (
+                        "reliability-bounds",
+                        f"flow {nic.name}->{flow.dst} retransmit queue "
+                        f"({len(rel.retransmit_queue)}) larger than the "
+                        f"unacked window ({len(rel.unacked)})",
                     )
         for name, wrr in self._wrrs:
             if not (0 <= wrr.read_tokens <= wrr.read_weight):
@@ -313,6 +355,8 @@ class SanitizingSimulator(Simulator):
             self.events_dispatched += dispatched
         if until is not None and until > self.now:
             self.now = until
+        if self.watchdog is not None and not heap:
+            self.watchdog(self)
         return dispatched
 
     def check_now(self) -> None:

@@ -8,6 +8,7 @@
     python -m repro replay trace.csv [--ssd A] [--weight 4]
     python -m repro profile [--scenario engine|incast|both] [--cprofile]
     python -m repro lint src [--format json]   # determinism linter
+    python -m repro faults [--cell chaos] [--seed 7]   # chaos matrix
 
 The full-scale reproductions live in ``benchmarks/`` (pytest-benchmark);
 this CLI exists for interactive exploration at small scale.
@@ -161,6 +162,73 @@ def cmd_profile(args) -> int:
     return 0
 
 
+def cmd_faults(args) -> int:
+    """Run the deterministic chaos matrix (see repro.experiments.faults).
+
+    Each cell injects one fault class (or all of them) against both
+    contention policies with the full recovery path armed; a wedged
+    cell is reported as a failure, not silently dropped.  Exit status
+    is 1 when any cell failed or left wedged I/Os.
+    """
+    from repro.experiments.faults import POLICIES, fault_matrix, run_chaos_matrix
+    from repro.sim.units import MS
+
+    duration_ns = args.duration_ms * MS
+    cells = (
+        tuple(fault_matrix(duration_ns, seed=args.seed))
+        if args.cell == "all"
+        else (args.cell,)
+    )
+    outcomes, report = run_chaos_matrix(
+        cells, POLICIES, seed=args.seed, duration_ns=duration_ns,
+        workers=args.workers,
+    )
+    if args.json:
+        payload = {
+            "outcomes": [o.as_dict() for o in outcomes if o is not None],
+            "failures": [
+                {"index": f.index, "error": f.error, "attempts": f.attempts}
+                for f in report.failures
+            ],
+            "perf": report.perf_dict(),
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        rows = [
+            [
+                o.cell, o.policy, o.completed, o.failed, o.wedged,
+                f"{o.goodput_gbps:.2f}",
+                f"{o.p99_read_us:.0f}", f"{o.p99_write_us:.0f}",
+                f"{o.recovery_us:.0f}",
+                o.retries_sent, o.retransmits,
+                o.packets_lost + o.packets_corrupted + o.packets_dropped_down,
+            ]
+            for o in outcomes
+            if o is not None
+        ]
+        print(format_table(
+            ["cell", "policy", "ok", "fail", "wedged", "goodput",
+             "p99r us", "p99w us", "recov us", "retries", "rtx", "pkt faults"],
+            rows,
+            title=f"chaos matrix (seed {args.seed}, {args.duration_ms} ms/cell)",
+        ))
+        for failure in report.failures:
+            cell_name, policy = outcomes_grid_label(cells, POLICIES, failure.index)
+            print(
+                f"FAILED cell {cell_name}/{policy} after "
+                f"{failure.attempts} attempt(s): {failure.error}"
+            )
+    bad = bool(report.failures) or any(o and o.wedged for o in outcomes)
+    return 1 if bad else 0
+
+
+def outcomes_grid_label(
+    cells: tuple[str, ...], policies: tuple[str, ...], index: int
+) -> tuple[str, str]:
+    """Map a flat sweep index back to its (cell, policy) grid label."""
+    return cells[index // len(policies)], policies[index % len(policies)]
+
+
 def cmd_lint(args) -> int:
     """Run the simulation-determinism linter (see repro.analysis.simlint).
 
@@ -228,6 +296,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--json", action="store_true", help="emit JSON instead of text")
     p.set_defaults(fn=cmd_profile)
+
+    p = sub.add_parser(
+        "faults", help="run the deterministic chaos matrix (SRC vs static)"
+    )
+    p.add_argument(
+        "--cell", default="all",
+        choices=("all", "baseline", "loss", "flap", "die", "chaos"),
+        help="which fault cell to run (default: the whole matrix)",
+    )
+    p.add_argument("--seed", type=int, default=0, help="fault-plan seed")
+    p.add_argument("--duration-ms", type=int, default=20)
+    p.add_argument(
+        "--workers", type=_nonneg_int, default=1,
+        help="worker processes (0 = all cores); results are identical "
+        "for any value",
+    )
+    p.add_argument("--json", action="store_true", help="emit JSON instead of text")
+    p.set_defaults(fn=cmd_faults)
 
     p = sub.add_parser(
         "lint", help="run the simulation-determinism linter (SIM001-SIM005)"

@@ -25,8 +25,9 @@ if TYPE_CHECKING:  # imported lazily at runtime to avoid a package cycle
     from repro.core.controller import BlockRateController, SRCController
     from repro.core.tpm import ThroughputPredictionModel
     from repro.nvme.block_sched import BlockLayerThrottle
-from repro.fabric.initiator import Initiator
+from repro.fabric.initiator import Initiator, RetryPolicy
 from repro.fabric.target import Target
+from repro.faults import FaultInjector, FaultPlan, StuckIOWatchdog
 from repro.net.nic import NICConfig
 from repro.net.switch import SwitchConfig
 from repro.net.topology import Network, build_star
@@ -86,6 +87,15 @@ class TestbedConfig:
     background: BackgroundTraffic | None = None
     src_window_ns: int = 10 * MS
     src_min_interval_ns: int = 1 * MS
+    #: Fault schedule armed against the assembled testbed.  SSD specs
+    #: address backends as ``"<target>/ssd<k>"`` (e.g. ``"tgt0/ssd1"``).
+    faults: FaultPlan | None = None
+    #: NVMe-oF command timeout + bounded retry at every initiator.
+    retry_policy: RetryPolicy | None = None
+    #: Install a stuck-I/O watchdog: a run that goes quiescent with
+    #: commands still in flight raises ``StuckIOError`` instead of
+    #: returning quietly-wrong measurements.
+    watchdog: bool = False
 
     def __post_init__(self) -> None:
         if self.n_initiators < 1 or self.n_targets < 1 or self.ssds_per_target < 1:
@@ -140,6 +150,8 @@ class RunResult:
     network: Network
     sim: Simulator
     bin_ns: int = MS
+    injector: FaultInjector | None = None
+    watchdog: StuckIOWatchdog | None = None
 
     @property
     def aggregated_series(self) -> ThroughputSeries:
@@ -199,12 +211,19 @@ def run_testbed(
     duration_ns: int | None = None,
     drain_margin_ns: int = 20 * MS,
     bin_ns: int = MS,
+    drain_outstanding_ns: int = 0,
 ) -> RunResult:
     """Assemble the testbed, replay ``trace``, and collect measurements.
 
     Requests are assigned round-robin to initiators and, independently,
     round-robin to targets (every initiator talks to every target —
     the in-cast pattern).
+
+    ``drain_outstanding_ns`` grants a fault run extra simulated time
+    past the nominal end while any initiator still has commands in
+    flight — retry/retransmit recovery needs it, and a bounded grace
+    (instead of run-to-empty) keeps a genuinely wedged run terminating
+    so the watchdog can describe it.
     """
     if len(trace) == 0:
         raise ValueError("cannot run an empty trace")
@@ -261,7 +280,24 @@ def run_testbed(
             block_controller.attach(target, sim)
             controllers.append(block_controller)
 
-    initiators = [Initiator(sim, net.hosts[name]) for name in init_names]
+    initiators = [
+        Initiator(sim, net.hosts[name], retry_policy=config.retry_policy)
+        for name in init_names
+    ]
+
+    injector: FaultInjector | None = None
+    if config.faults is not None:
+        injector = FaultInjector(sim, config.faults).attach_network(net)
+        for tgt_name, target in zip(tgt_names, targets):
+            for k, ssd in enumerate(target.ssds):
+                injector.attach_ssd(f"{tgt_name}/ssd{k}", ssd.backend)
+        injector.arm()
+
+    watchdog: StuckIOWatchdog | None = None
+    if config.watchdog:
+        watchdog = StuckIOWatchdog().install(sim)
+        for initiator in initiators:
+            watchdog.track_initiator(initiator)
 
     # Round-robin request assignment.
     for idx, req in enumerate(trace):
@@ -290,6 +326,11 @@ def run_testbed(
 
     end = duration_ns if duration_ns is not None else trace[-1].arrival_ns + drain_margin_ns
     sim.run(until=end)
+    if drain_outstanding_ns > 0:
+        cap = end + drain_outstanding_ns
+        while sim.now < cap and any(i.outstanding() for i in initiators):
+            sim.run(until=min(cap, sim.now + MS))
+        end = max(end, sim.now)
 
     read_events = [ev for ini in initiators for ev in ini.read_deliveries]
     write_events = [ev for tgt in targets for ev in tgt.write_completions]
@@ -306,4 +347,6 @@ def run_testbed(
         network=net,
         sim=sim,
         bin_ns=bin_ns,
+        injector=injector,
+        watchdog=watchdog,
     )

@@ -15,6 +15,7 @@ class CapsuleKind(enum.Enum):
     COMMAND = "command"  # initiator -> target: read cmd, or write cmd (+ data)
     READ_DATA = "read_data"  # target -> initiator: read response with data
     WRITE_ACK = "write_ack"  # target -> initiator: write completion
+    ERROR = "error"  # target -> initiator: command failed (see request.error)
 
 
 @dataclass(frozen=True)
@@ -30,7 +31,7 @@ class Capsule:
 
         Write commands carry their data in-capsule (outbound flow); read
         commands are bare; read responses carry the retrieved data
-        (inbound flow).
+        (inbound flow); write acks and error completions are bare.
         """
         if self.kind is CapsuleKind.COMMAND:
             if self.request.is_read:

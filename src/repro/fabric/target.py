@@ -51,6 +51,9 @@ class Target:
         self.write_completions: list[tuple[int, int]] = []
         self.read_device_completions: list[tuple[int, int]] = []
         self.commands_received = 0
+        #: Commands completed with a device error (surfaced to the
+        #: initiator as ERROR capsules instead of data/acks).
+        self.error_completions = 0
 
     # -- command arrival -------------------------------------------------------
     def _on_message(self, payload, src: str, size_bytes: int) -> None:
@@ -102,6 +105,17 @@ class Target:
         while cq:
             head = cq[0]
             req: IORequest = head.request
+            if req.error:
+                # Device fault (e.g. die failure): a bare error capsule
+                # goes back instead of data — small enough to ride the
+                # control class, so a congested TXQ cannot delay the
+                # bad news behind the data it replaces.
+                ssd.pop_completion()
+                self.error_completions += 1
+                self.nic.send_ack(
+                    req.initiator, payload=Capsule(kind=CapsuleKind.ERROR, request=req)
+                )
+                continue
             if req.is_read:
                 capsule = Capsule(kind=CapsuleKind.READ_DATA, request=req)
                 if not self.nic.send_message(

@@ -1,0 +1,47 @@
+"""Deterministic fault injection and stuck-I/O detection.
+
+Build a :class:`FaultPlan` from specs, arm it with a
+:class:`FaultInjector`, and install a :class:`StuckIOWatchdog` so a
+wedged run fails loudly::
+
+    plan = FaultPlan(seed=7, specs=(
+        LossBurst(link="init0->sw0", start_ns=MS, end_ns=2 * MS, loss_prob=0.05),
+        LinkFlap(link="sw0->tgt0", down_ns=3 * MS, up_ns=4 * MS),
+        DieFailure(ssd="tgt0/ssd0", chip=2, at_ns=5 * MS),
+    ))
+    injector = FaultInjector(sim, plan).attach_network(net)
+    injector.attach_ssd("tgt0/ssd0", ssd.backend)
+    injector.arm()
+
+Recovery lives in the components themselves (go-back-N in
+:mod:`repro.net.reliability`, command retry in
+:mod:`repro.fabric.initiator`); this package only schedules the harm
+and audits the outcome.
+"""
+
+from repro.faults.inject import FaultInjector
+from repro.faults.plan import (
+    ChannelBrownout,
+    DieFailure,
+    FaultPlan,
+    FaultSpec,
+    LinkFlap,
+    LossBurst,
+    NicStall,
+    SlowDie,
+)
+from repro.faults.watchdog import StuckIOError, StuckIOWatchdog
+
+__all__ = [
+    "ChannelBrownout",
+    "DieFailure",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "LinkFlap",
+    "LossBurst",
+    "NicStall",
+    "SlowDie",
+    "StuckIOError",
+    "StuckIOWatchdog",
+]

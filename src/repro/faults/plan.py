@@ -1,0 +1,180 @@
+"""Declarative fault plans: what breaks, where, and when.
+
+A :class:`FaultPlan` is a frozen, picklable description of every fault a
+run injects — probabilistic loss/corruption windows on links, link
+down/up flaps, NIC stall windows, and SSD-side die/channel faults.
+Specs name their victims by *string id* (link name, host name, SSD
+label), so a plan can be built once and shipped across process
+boundaries (parallel sweeps) and only resolved against live objects by
+the :class:`~repro.faults.inject.FaultInjector` at arm time.
+
+Determinism: the only randomness is the per-:class:`LossBurst` drop
+draw; the injector spawns one child generator per loss spec — in spec
+order — from ``FaultPlan.seed`` via :func:`repro.sim.rng.spawn_rngs`,
+so identical plans replay identical fault patterns, and adding a spec
+never perturbs the streams of the others.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+def _check_window(start_ns: int, end_ns: int) -> None:
+    if start_ns < 0:
+        raise ValueError(f"window start must be non-negative, got {start_ns}")
+    if end_ns <= start_ns:
+        raise ValueError(f"window end {end_ns} must be after start {start_ns}")
+
+
+@dataclass(frozen=True)
+class LossBurst:
+    """Probabilistic packet loss/corruption on one link for a window.
+
+    During ``[start_ns, end_ns)`` each departing *data* packet is
+    dropped with ``loss_prob``, else corrupted with ``corrupt_prob``
+    (CRC failure at the receiver).  Control packets ride the lossless
+    class and are untouched.  Windows on the same link must not overlap.
+    """
+
+    link: str
+    start_ns: int
+    end_ns: int
+    loss_prob: float = 0.0
+    corrupt_prob: float = 0.0
+
+    def __post_init__(self) -> None:
+        _check_window(self.start_ns, self.end_ns)
+        if not 0.0 <= self.loss_prob <= 1.0:
+            raise ValueError(f"loss_prob must be in [0, 1], got {self.loss_prob}")
+        if not 0.0 <= self.corrupt_prob <= 1.0:
+            raise ValueError(f"corrupt_prob must be in [0, 1], got {self.corrupt_prob}")
+        if self.loss_prob + self.corrupt_prob > 1.0:
+            raise ValueError("loss_prob + corrupt_prob must not exceed 1")
+        if self.loss_prob == 0.0 and self.corrupt_prob == 0.0:
+            raise ValueError("a loss burst needs a positive loss or corrupt prob")
+
+
+@dataclass(frozen=True)
+class LinkFlap:
+    """Link goes administratively down at ``down_ns``, back up at ``up_ns``."""
+
+    link: str
+    down_ns: int
+    up_ns: int
+
+    def __post_init__(self) -> None:
+        _check_window(self.down_ns, self.up_ns)
+
+
+@dataclass(frozen=True)
+class NicStall:
+    """A host NIC's TX pipeline freezes for ``[start_ns, end_ns)``."""
+
+    host: str
+    start_ns: int
+    end_ns: int
+
+    def __post_init__(self) -> None:
+        _check_window(self.start_ns, self.end_ns)
+
+
+@dataclass(frozen=True)
+class DieFailure:
+    """One flash die fails permanently at ``at_ns``.
+
+    Commands touching the die complete with an error status; the
+    target surfaces them as ERROR capsules and the initiator's retry
+    may land the command on a healthy SSD.
+    """
+
+    ssd: str
+    chip: int
+    at_ns: int
+
+    def __post_init__(self) -> None:
+        if self.chip < 0:
+            raise ValueError(f"chip index must be non-negative, got {self.chip}")
+        if self.at_ns < 0:
+            raise ValueError(f"failure time must be non-negative, got {self.at_ns}")
+
+
+@dataclass(frozen=True)
+class SlowDie:
+    """A die's chip-stage latency is multiplied for a window (worn die)."""
+
+    ssd: str
+    chip: int
+    start_ns: int
+    end_ns: int
+    multiplier: float = 4.0
+
+    def __post_init__(self) -> None:
+        _check_window(self.start_ns, self.end_ns)
+        if self.chip < 0:
+            raise ValueError(f"chip index must be non-negative, got {self.chip}")
+        if self.multiplier <= 1.0:
+            raise ValueError(f"slow-die multiplier must exceed 1, got {self.multiplier}")
+
+
+@dataclass(frozen=True)
+class ChannelBrownout:
+    """A flash channel's transfer latency is multiplied for a window."""
+
+    ssd: str
+    channel: int
+    start_ns: int
+    end_ns: int
+    multiplier: float = 4.0
+
+    def __post_init__(self) -> None:
+        _check_window(self.start_ns, self.end_ns)
+        if self.channel < 0:
+            raise ValueError(f"channel index must be non-negative, got {self.channel}")
+        if self.multiplier <= 1.0:
+            raise ValueError(f"brownout multiplier must exceed 1, got {self.multiplier}")
+
+
+FaultSpec = LossBurst | LinkFlap | NicStall | DieFailure | SlowDie | ChannelBrownout
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Everything a run injects, plus the seed of the loss draws."""
+
+    seed: int = 0
+    specs: tuple[FaultSpec, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        # Overlapping loss windows on one link would silently shadow
+        # each other (one filter slot per link) — reject them up front.
+        bursts: dict[str, list[tuple[int, int]]] = {}
+        for spec in self.specs:
+            if isinstance(spec, LossBurst):
+                bursts.setdefault(spec.link, []).append((spec.start_ns, spec.end_ns))
+        for link, windows in bursts.items():
+            windows.sort()
+            for (_, prev_end), (next_start, _) in zip(windows, windows[1:]):
+                if next_start < prev_end:
+                    raise ValueError(
+                        f"overlapping loss bursts on link {link!r}: "
+                        f"a window starting at {next_start} begins before "
+                        f"{prev_end}"
+                    )
+
+    @property
+    def loss_bursts(self) -> tuple[LossBurst, ...]:
+        return tuple(s for s in self.specs if isinstance(s, LossBurst))
+
+    def link_names(self) -> set[str]:
+        return {s.link for s in self.specs if isinstance(s, (LossBurst, LinkFlap))}
+
+    def host_names(self) -> set[str]:
+        return {s.host for s in self.specs if isinstance(s, NicStall)}
+
+    def ssd_names(self) -> set[str]:
+        return {
+            s.ssd
+            for s in self.specs
+            if isinstance(s, (DieFailure, SlowDie, ChannelBrownout))
+        }

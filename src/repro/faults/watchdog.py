@@ -1,0 +1,105 @@
+"""Stuck-I/O watchdog: turn silent wedges into diagnostic failures.
+
+Before this PR a lost packet could leave the simulation "finished" —
+event heap empty — with I/O still pending and nobody the wiser.  The
+watchdog hooks :attr:`repro.sim.engine.Simulator.watchdog`, which the
+engine calls **only at quiescence** (the heap fully drained inside a
+``run()`` call, i.e. nothing will ever complete the pending work), so
+it costs zero per-event work.  If any registered initiator still holds
+in-flight requests at that point, it raises :class:`StuckIOError`
+naming the wedged commands and the flow state that stranded them.
+
+``run(until=...)`` calls that stop at the horizon with events still
+queued are *not* quiescent and do not trigger the watchdog; use
+:meth:`StuckIOWatchdog.check_now` for an explicit end-of-run assertion.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.sim.engine import Simulator
+
+if TYPE_CHECKING:
+    from repro.fabric.initiator import Initiator
+
+
+class StuckIOError(RuntimeError):
+    """The simulation went quiescent with I/O still in flight.
+
+    Attributes
+    ----------
+    wedged:
+        ``(initiator name, request id, op, target, retries)`` per stuck
+        command.
+    flow_details:
+        Human-readable notes about sender flows that still hold queued
+        or unacked bytes (the usual culprits).
+    """
+
+    def __init__(
+        self, wedged: list[tuple[str, int, str, str, int]], flow_details: list[str]
+    ) -> None:
+        lines = [
+            f"simulation quiescent with {len(wedged)} I/O(s) still in flight:"
+        ]
+        for name, req_id, op, target, retries in wedged[:20]:
+            lines.append(
+                f"  - {name}: req {req_id} ({op} -> {target}, "
+                f"{retries} retries) never completed"
+            )
+        if len(wedged) > 20:
+            lines.append(f"  ... and {len(wedged) - 20} more")
+        for detail in flow_details[:10]:
+            lines.append(f"  * {detail}")
+        super().__init__("\n".join(lines))
+        self.wedged = wedged
+        self.flow_details = flow_details
+
+
+class StuckIOWatchdog:
+    """Quiescence-time check that every issued I/O finished or failed."""
+
+    def __init__(self) -> None:
+        self._initiators: list[Initiator] = []
+
+    def track_initiator(self, initiator: "Initiator") -> None:
+        self._initiators.append(initiator)
+
+    def install(self, sim: Simulator) -> "StuckIOWatchdog":
+        """Attach to the simulator's quiescence hook."""
+        sim.watchdog = self.check_now
+        return self
+
+    # -- the check --------------------------------------------------------
+    def check_now(self, _sim: Simulator | None = None) -> None:
+        """Raise :class:`StuckIOError` if any tracked I/O is unfinished."""
+        wedged: list[tuple[str, int, str, str, int]] = []
+        flow_details: list[str] = []
+        for initiator in self._initiators:
+            for req in initiator.wedged_requests():
+                wedged.append(
+                    (
+                        initiator.name,
+                        req.req_id,
+                        "read" if req.is_read else "write",
+                        req.target,
+                        req.retries,
+                    )
+                )
+            nic = initiator.nic
+            for flow in nic.flows.values():
+                notes = []
+                if flow.queued_bytes:
+                    notes.append(f"{flow.queued_bytes} B queued")
+                rel = flow._rel
+                if rel is not None and rel.unacked:
+                    notes.append(f"{len(rel.unacked)} unacked segments")
+                if rel is not None and rel.retransmit_queue:
+                    notes.append(f"{len(rel.retransmit_queue)} queued retransmits")
+                if notes:
+                    flow_details.append(
+                        f"flow {nic.name}->{flow.dst}: " + ", ".join(notes)
+                    )
+        if wedged:
+            raise StuckIOError(wedged, flow_details)

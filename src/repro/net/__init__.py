@@ -20,6 +20,7 @@ from repro.net.link import Link
 from repro.net.dcqcn import DCQCNConfig, DCQCNRateControl, RateChange
 from repro.net.switch import Switch, SwitchConfig
 from repro.net.nic import NIC, Flow, NICConfig
+from repro.net.reliability import ReliabilityConfig
 from repro.net.topology import Network, build_clos, build_dumbbell, build_star
 
 __all__ = [
@@ -34,6 +35,7 @@ __all__ = [
     "NIC",
     "Flow",
     "NICConfig",
+    "ReliabilityConfig",
     "Network",
     "build_clos",
     "build_dumbbell",

@@ -23,6 +23,11 @@ from repro.net.packet import Packet
 from repro.sim.engine import Simulator
 from repro.sim.units import gbps_to_bytes_per_ns
 
+#: Fault-filter verdicts (see :attr:`Link.fault_filter`).
+FAULT_PASS = 0
+FAULT_DROP = 1
+FAULT_CORRUPT = 2
+
 
 class Device(Protocol):
     """Anything that can terminate a link."""
@@ -47,9 +52,14 @@ class Link:
         "_queued_bytes",
         "_busy",
         "paused",
+        "down",
+        "fault_filter",
         "on_depart",
         "bytes_sent",
         "packets_sent",
+        "packets_lost",
+        "packets_corrupted",
+        "packets_dropped_down",
         "_ser_cache",
         "_finish_cb",
         "_deliver_cb",
@@ -80,11 +90,25 @@ class Link:
         self._queued_bytes = 0
         self._busy = False
         self.paused = False
+        #: Administratively down (fault injection): new data sends are
+        #: dropped, the queue (control included) is frozen until link-up.
+        self.down = False
+        #: Fault-injection hook: called with each *data* packet whose
+        #: serialization just finished; returns ``FAULT_PASS`` /
+        #: ``FAULT_DROP`` / ``FAULT_CORRUPT``.  ``None`` (default) costs
+        #: one ``is None`` check per departure.
+        self.fault_filter: Callable[[Packet], int] | None = None
         #: Called with each packet when its serialization finishes (used
         #: by switches for ingress-buffer accounting).
         self.on_depart: Callable[[Packet], None] | None = None
         self.bytes_sent = 0
         self.packets_sent = 0
+        #: Data packets eaten by the fault filter after serialization.
+        self.packets_lost = 0
+        #: Data packets delivered with the corrupted flag set.
+        self.packets_corrupted = 0
+        #: Data packets refused at :meth:`send` while the link was down.
+        self.packets_dropped_down = 0
         #: size -> serialization ns memo (one entry for MTU traffic).
         self._ser_cache: dict[int, int] = {}
         # Bound methods cached once: scheduling them with the packet as
@@ -106,6 +130,12 @@ class Link:
     # -- transmission ------------------------------------------------------
     def send(self, packet: Packet) -> None:
         """Enqueue a packet for transmission."""
+        if self.down and not packet.is_control:
+            # A dead cable eats data on contact.  Control packets are
+            # queued instead (frozen until link-up): losing a PFC RESUME
+            # or a reliability RESET would wedge the peer permanently.
+            self.packets_dropped_down += 1
+            return
         if packet.is_control:
             self._queue.appendleft(packet)
         else:
@@ -121,7 +151,7 @@ class Link:
         return ns
 
     def _try_start(self) -> None:
-        if self._busy or not self._queue:
+        if self._busy or self.down or not self._queue:
             return
         if self.paused and not self._queue[0].is_control:
             return
@@ -139,6 +169,17 @@ class Link:
         self.packets_sent += 1
         if self.on_depart is not None:
             self.on_depart(packet)
+        if self.fault_filter is not None and not packet.is_control:
+            # After on_depart: the bytes left the upstream buffer either
+            # way; only delivery is in question.
+            verdict = self.fault_filter(packet)
+            if verdict == FAULT_DROP:
+                self.packets_lost += 1
+                self._try_start()
+                return
+            if verdict == FAULT_CORRUPT:
+                packet.corrupted = True
+                self.packets_corrupted += 1
         self.sim.schedule(self.delay_ns, self._deliver_cb, packet)
         self._try_start()
 
@@ -152,3 +193,15 @@ class Link:
     def resume(self) -> None:
         self.paused = False
         self._try_start()
+
+    # -- fault injection -------------------------------------------------
+    def set_down(self, down: bool) -> None:
+        """Flap the link.  Down: new data sends are dropped and nothing
+        (control included) leaves the queue; a packet already
+        serializing finishes — it was on the wire.  Up: transmission
+        resumes from the frozen queue."""
+        if self.down == down:
+            return
+        self.down = down
+        if not down:
+            self._try_start()

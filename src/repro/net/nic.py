@@ -23,6 +23,7 @@ bit-identical.
 from __future__ import annotations
 
 import itertools
+import zlib
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable
@@ -30,7 +31,9 @@ from typing import Any, Callable
 from repro.net.dcqcn import DCQCNConfig, DCQCNRateControl, RateChange
 from repro.net.link import Link
 from repro.net.packet import CONTROL_PACKET_BYTES, Packet, PacketKind
+from repro.net.reliability import FlowReliability, ReliabilityConfig
 from repro.sim.engine import Simulator
+from repro.sim.rng import make_rng
 
 
 @dataclass(frozen=True)
@@ -42,6 +45,16 @@ class NICConfig:
     cnp_interval_ns: int = 50_000
     max_link_backlog_packets: int = 4
     dcqcn: DCQCNConfig = field(default_factory=DCQCNConfig)
+    #: Go-back-N retransmission (``None`` = lossless-fabric assumption,
+    #: the pre-fault default).  Must be set fleet-wide: the receiver
+    #: side of a flow only runs sequence tracking when its own NIC has
+    #: this enabled.
+    reliability: ReliabilityConfig | None = None
+    #: Most partially-reassembled messages held at once; beyond this the
+    #: oldest partial is evicted (accounted in
+    #: ``reassembly_bytes_discarded``) so switch drops cannot grow
+    #: ``_reassembly`` without bound.
+    reassembly_max_pending: int = 4096
 
     def __post_init__(self) -> None:
         if self.mtu_bytes <= 0:
@@ -52,6 +65,8 @@ class NICConfig:
             raise ValueError("CNP interval must be positive")
         if self.max_link_backlog_packets < 1:
             raise ValueError("link backlog must be >= 1")
+        if self.reassembly_max_pending < 1:
+            raise ValueError("reassembly cap must be >= 1")
 
 
 _flow_ids = itertools.count()
@@ -81,6 +96,7 @@ class Flow:
         "_pump_event",
         "_pump_cb",
         "bytes_sent",
+        "_rel",
     )
 
     def __init__(self, nic: "NIC", dst: str) -> None:
@@ -94,6 +110,13 @@ class Flow:
         self._pump_event = None
         self._pump_cb = self.pump  # cached bound method for rescheduling
         self.bytes_sent = 0
+        rel_cfg = nic.config.reliability
+        self._rel: FlowReliability | None
+        if rel_cfg is None:
+            self._rel = None
+        else:
+            assert nic._rel_rng is not None
+            self._rel = FlowReliability(self, rel_cfg, nic._rel_rng)
 
     def enqueue(self, size_bytes: int, payload: Any) -> None:
         self._messages.append(
@@ -111,28 +134,68 @@ class Flow:
 
     # -- pacing ---------------------------------------------------------
     def pump(self) -> None:
-        """Send segments while allowed; reschedules itself as needed."""
+        """Send segments while allowed; reschedules itself as needed.
+
+        In reliability mode retransmissions (queued by the flow's RTO)
+        take priority over fresh segments and go out through this same
+        loop — a recovery burst is paced at the DCQCN rate and respects
+        the link backlog cap like any other traffic — and fresh
+        segments stop while the go-back-N window is closed.
+        """
         nic = self.nic
         sim = nic.sim
         if self._pump_event is not None:
             self._pump_event.cancel()
             self._pump_event = None
+        if nic.stalled:
+            return  # re-pumped when the stall window ends
         messages = self._messages
         link = nic.link
         config = nic.config
         mtu = config.mtu_bytes
         max_backlog = config.max_link_backlog_packets
         rate_control = self.rate_control
-        while messages:
+        rel = self._rel
+        while True:
+            retx = rel is not None and bool(rel.retransmit_queue)
+            if not retx:
+                if not messages:
+                    break
+                if rel is not None and not rel.window_free():
+                    return  # window closed; the next ack re-pumps
             if sim.now < self._next_send_ns:
                 self._pump_event = sim.schedule_at(self._next_send_ns, self._pump_cb)
                 return
             if link.queued_packets >= max_backlog:
                 return  # re-pumped when the link drains
+            if retx:
+                assert rel is not None
+                seg_obj = rel.pop_retransmit()
+                seg = seg_obj.seg_bytes
+                link.send(
+                    Packet(
+                        kind=PacketKind.DATA,
+                        src=nic.name,
+                        dst=self.dst,
+                        size_bytes=seg,
+                        flow_id=self.id,
+                        message_id=seg_obj.message_id,
+                        message_bytes=seg_obj.message_bytes,
+                        last_of_message=seg_obj.last,
+                        seq=seg_obj.seq,
+                        payload=seg_obj.payload,
+                    )
+                )
+                rate_control.on_bytes_sent(seg)
+                gap = seg / rate_control.current_bytes_per_ns
+                self._next_send_ns = sim.now + max(1, int(gap + 0.5))
+                rel.on_sent()
+                continue
             msg = messages[0]
             seg = min(mtu, msg.size_bytes - msg.sent_bytes)
             msg.sent_bytes += seg
             last = msg.sent_bytes >= msg.size_bytes
+            seq = -1 if rel is None else rel.register(msg, seg, last).seq
             packet = Packet(
                 kind=PacketKind.DATA,
                 src=nic.name,
@@ -142,6 +205,7 @@ class Flow:
                 message_id=msg.id,
                 message_bytes=msg.size_bytes,
                 last_of_message=last,
+                seq=seq,
                 payload=msg.payload if last else None,
             )
             link.send(packet)
@@ -153,6 +217,8 @@ class Flow:
             self._next_send_ns = sim.now + max(1, int(gap + 0.5))
             if last:
                 messages.popleft()
+            if rel is not None:
+                rel.on_sent()
             nic._notify_txq_drain()
         nic._backlogged.pop(self.id, None)
 
@@ -186,8 +252,28 @@ class NIC:
         #: Most partially-reassembled messages ever held at once.
         self.reassembly_high_water = 0
         #: DATA bytes accounted to delivered messages (reassembly byte-
-        #: conservation: received == delivered + pending partials).
+        #: conservation: received == delivered + pending + discarded).
         self.reassembly_bytes_delivered = 0
+        #: DATA bytes received but never delivered: corrupted/out-of-order
+        #: discards, evicted partials, reset-dropped partials.
+        self.reassembly_bytes_discarded = 0
+        #: Whole received packets discarded (CRC failure / go-back-N dedup).
+        self.rx_packets_discarded = 0
+        #: Partial messages evicted by the ``reassembly_max_pending`` cap.
+        self.reassembly_evictions = 0
+        #: Fault injection: TX pipeline stalled (flows stop pumping;
+        #: receive still works, like a firmware hiccup).
+        self.stalled = False
+        rel = self.config.reliability
+        #: Per-NIC jitter rng for reliability RTO timers.  The NIC name
+        #: is folded in via crc32 (stable across runs/processes, unlike
+        #: ``hash``) so hosts sharing one config get decorrelated jitter.
+        self._rel_rng = (
+            make_rng(rel.seed + zlib.crc32(name.encode())) if rel is not None else None
+        )
+        #: flow id -> next expected go-back-N seq (receiver side);
+        #: ``None`` when reliability is off.
+        self._rx_expected: dict[int, int] | None = {} if rel is not None else None
         if sim.sanitizer is not None:
             sim.sanitizer.track_nic(self)
 
@@ -267,6 +353,47 @@ class NIC:
             )
         )
 
+    # -- fault injection -------------------------------------------------
+    def set_stalled(self, stalled: bool) -> None:
+        """Freeze/unfreeze the TX pipeline (flows stop pumping)."""
+        if self.stalled == stalled:
+            return
+        self.stalled = stalled
+        if not stalled:
+            self._pump_backlogged()
+
+    # -- reliability control traffic -------------------------------------
+    def _send_rel_ack(self, dst: str, flow_id: int, ack_next: int) -> None:
+        if self.link is None:
+            return
+        self.link.send(
+            Packet(
+                kind=PacketKind.RDMA_ACK,
+                src=self.name,
+                dst=dst,
+                size_bytes=CONTROL_PACKET_BYTES,
+                flow_id=flow_id,
+                seq=ack_next,
+            )
+        )
+
+    def _send_rel_reset(
+        self, dst: str, flow_id: int, new_base: int, message_id: int
+    ) -> None:
+        if self.link is None:
+            return
+        self.link.send(
+            Packet(
+                kind=PacketKind.RDMA_RESET,
+                src=self.name,
+                dst=dst,
+                size_bytes=CONTROL_PACKET_BYTES,
+                flow_id=flow_id,
+                message_id=message_id,
+                seq=new_base,
+            )
+        )
+
     # -- receive ---------------------------------------------------------------
     @property
     def reassembly_pending(self) -> int:
@@ -279,6 +406,25 @@ class NIC:
             self.bytes_received += packet.size_bytes
             if packet.ecn_marked:
                 self._maybe_send_cnp(packet)
+            rx_expected = self._rx_expected
+            if rx_expected is not None:
+                # Reliability mode: accept only the in-order segment;
+                # everything else (corruption, loss-induced gaps,
+                # retransmission duplicates) is discarded and re-acked
+                # at the cumulative point.
+                expected = rx_expected.get(packet.flow_id, 0)
+                if packet.corrupted or packet.seq != expected:
+                    self.rx_packets_discarded += 1
+                    self.reassembly_bytes_discarded += packet.size_bytes
+                    self._send_rel_ack(packet.src, packet.flow_id, expected)
+                    return
+                rx_expected[packet.flow_id] = expected + 1
+                self._send_rel_ack(packet.src, packet.flow_id, expected + 1)
+            elif packet.corrupted:
+                # No reliability: a CRC failure is just lost payload.
+                self.rx_packets_discarded += 1
+                self.reassembly_bytes_discarded += packet.size_bytes
+                return
             reassembly = self._reassembly
             got = reassembly.pop(packet.message_id, 0) + packet.size_bytes
             if packet.last_of_message or got >= packet.message_bytes:
@@ -293,8 +439,15 @@ class NIC:
                     self.endpoint(packet.payload, packet.src, packet.message_bytes)
             else:
                 reassembly[packet.message_id] = got
-                if len(reassembly) > self.reassembly_high_water:
-                    self.reassembly_high_water = len(reassembly)
+                pending = len(reassembly)
+                if pending > self.reassembly_high_water:
+                    self.reassembly_high_water = pending
+                if pending > self.config.reassembly_max_pending:
+                    # Bound reassembly state under silent loss: evict the
+                    # oldest partial (insertion order = arrival order).
+                    oldest = next(iter(reassembly))
+                    self.reassembly_bytes_discarded += reassembly.pop(oldest)
+                    self.reassembly_evictions += 1
             return
         if kind in (PacketKind.PAUSE, PacketKind.RESUME):
             if self.link is not None:
@@ -313,6 +466,22 @@ class NIC:
         if kind is PacketKind.ACK:
             if self.endpoint is not None:
                 self.endpoint(packet.payload, packet.src, packet.size_bytes)
+            return
+        if kind is PacketKind.RDMA_ACK:
+            flow = self._flows_by_id.get(packet.flow_id)
+            if flow is not None and flow._rel is not None:
+                flow._rel.on_ack(packet.seq)
+            return
+        if kind is PacketKind.RDMA_RESET:
+            # The sender aborted a message: jump the expected sequence
+            # past it and drop the partial reassembly, if any.
+            rx_expected = self._rx_expected
+            if rx_expected is not None:
+                if packet.seq > rx_expected.get(packet.flow_id, 0):
+                    rx_expected[packet.flow_id] = packet.seq
+                dropped = self._reassembly.pop(packet.message_id, 0)
+                if dropped:
+                    self.reassembly_bytes_discarded += dropped
             return
 
     def _maybe_send_cnp(self, packet: Packet) -> None:

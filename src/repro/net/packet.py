@@ -16,6 +16,8 @@ class PacketKind(enum.Enum):
     PAUSE = "pause"  # PFC XOFF
     RESUME = "resume"  # PFC XON
     ACK = "ack"  # message-level acknowledgment (fabric completions)
+    RDMA_ACK = "rdma_ack"  # go-back-N cumulative ack (reliability mode)
+    RDMA_RESET = "rdma_reset"  # go-back-N sender abort notification
 
 
 #: Wire sizes of control packets (bytes).
@@ -32,6 +34,12 @@ class Packet:
     receiving NIC reassemble multi-packet messages; ``payload`` carries
     an opaque fabric-level object on the message's last packet.
 
+    ``seq`` is the per-flow go-back-N sequence number (reliability
+    mode); on ``RDMA_ACK`` / ``RDMA_RESET`` control packets it carries
+    the cumulative next-expected sequence instead.  ``corrupted`` is set
+    by the fault injector: the packet still occupies wire time but the
+    receiver discards it as a CRC failure.
+
     ``slots=True`` keeps the per-packet footprint small — simulations
     allocate one of these per MTU segment, so no ``__dict__``.
     ``_ingress_port`` is switch-internal scratch space (the ingress port
@@ -47,6 +55,8 @@ class Packet:
     message_id: int = -1
     message_bytes: int = 0
     last_of_message: bool = False
+    seq: int = -1
+    corrupted: bool = False
     payload: Any = None
     pkt_id: int = field(default_factory=lambda: next(_packet_ids))
     _ingress_port: int | None = None

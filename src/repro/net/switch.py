@@ -18,6 +18,7 @@ Pause frames ride the control class and preempt data on links.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.net.link import Link
 from repro.net.packet import CONTROL_PACKET_BYTES, Packet, PacketKind
@@ -70,6 +71,15 @@ class Switch:
         self._paused_upstream: set[int] = set()
         self.packets_forwarded = 0
         self.packets_dropped = 0
+        #: out port -> buffer-overflow drops toward that port.
+        self.drops_by_port: dict[int, int] = {}
+        #: traffic class ("data" / "control") -> drops.  Control packets
+        #: ride the lossless class and are never dropped today; the key
+        #: exists so fault reports always have both columns.
+        self.drops_by_class: dict[str, int] = {"data": 0, "control": 0}
+        #: Observer called with (packet, out_port) on every drop — lets
+        #: fault tooling attribute losses without polling counters.
+        self.on_drop: Callable[[Packet, int], None] | None = None
         self.ecn_marks = 0
         self.pauses_sent = 0
         self._buffered_bytes = 0
@@ -116,6 +126,10 @@ class Switch:
         if not packet.is_control:
             if self._buffered_bytes + packet.size_bytes > self.config.buffer_bytes:
                 self.packets_dropped += 1
+                self.drops_by_port[out_port] = self.drops_by_port.get(out_port, 0) + 1
+                self.drops_by_class["data"] += 1
+                if self.on_drop is not None:
+                    self.on_drop(packet, out_port)
                 return
             self._maybe_mark_ecn(packet, link)
             packet._ingress_port = in_port  # for departure accounting

@@ -117,6 +117,26 @@ class Network:
                     dist[nb] = dist[node] + 1  # terminal hop into a host
         return dist
 
+    # -- introspection -----------------------------------------------------
+    def iter_links(self):
+        """Yield every directed link, in deterministic creation order.
+
+        Host uplinks first (insertion order), then each switch's out
+        links by port index — fault planners rely on this order (and on
+        the link ``name``) being stable across runs.
+        """
+        for host in self.hosts.values():
+            if host.link is not None:
+                yield host.link
+        for switch in self.switches.values():
+            yield from switch._out_links
+
+    def find_link(self, name: str) -> Link:
+        for link in self.iter_links():
+            if link.name == name:
+                return link
+        raise KeyError(f"no link named {name!r}")
+
     # -- aggregate metrics -----------------------------------------------------
     def total_cnps(self) -> int:
         return sum(len(h.cnp_log) for h in self.hosts.values())

@@ -1,6 +1,7 @@
 """Parallel sweep execution (see :mod:`repro.parallel.pool`)."""
 
 from repro.parallel.pool import (
+    CellFailure,
     CellStats,
     SweepCellError,
     SweepReport,
@@ -10,6 +11,7 @@ from repro.parallel.pool import (
 )
 
 __all__ = [
+    "CellFailure",
     "CellStats",
     "SweepCellError",
     "SweepReport",

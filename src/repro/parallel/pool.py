@@ -22,8 +22,12 @@ Failure handling
 * pool creation fails (restricted sandboxes, missing ``/dev/shm``) —
   the whole sweep silently runs serially in-process;
 * a cell raises — it is retried (serially, in-process) up to
-  ``retries`` more times before :class:`SweepCellError` aborts the
-  sweep;
+  ``retries`` more times; what happens when the budget is exhausted is
+  the ``on_error`` knob: ``"raise"`` aborts the sweep with
+  :class:`SweepCellError` (the default), ``"record"`` stores a
+  structured :class:`CellFailure` (cell index, exception repr, attempt
+  count) in ``SweepReport.failures`` and keeps going — a 200-cell chaos
+  matrix should report its three broken cells, not die on the first;
 * a cell exceeds ``timeout_s`` or the pool breaks — the pool is torn
   down and every uncollected cell falls back to the serial path
   (timeouts cannot be enforced in-process; the fallback runs to
@@ -38,10 +42,11 @@ import time
 from concurrent.futures import Future, ProcessPoolExecutor
 from concurrent.futures import TimeoutError as _FutureTimeout
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Sequence
 
 __all__ = [
+    "CellFailure",
     "CellStats",
     "SweepCellError",
     "SweepReport",
@@ -92,6 +97,20 @@ class SweepCellError(RuntimeError):
 
 
 @dataclass(frozen=True)
+class CellFailure:
+    """One cell that exhausted its retry budget (``on_error="record"``).
+
+    The failing cell's slot in ``SweepReport.results`` holds ``None``;
+    this record carries what a post-mortem needs: which cell, what it
+    raised, and how many attempts were spent on it.
+    """
+
+    index: int
+    error: str  # repr() of the last exception — picklable, log-friendly
+    attempts: int
+
+
+@dataclass(frozen=True)
 class CellStats:
     """Per-cell execution record."""
 
@@ -99,7 +118,7 @@ class CellStats:
     wall_s: float
     attempts: int
     sim_events: int
-    mode: str  # "pool" | "serial"
+    mode: str  # "pool" | "serial" | "failed"
 
 
 @dataclass
@@ -111,10 +130,17 @@ class SweepReport:
     workers: int
     wall_s: float
     mode: str  # "serial" | "pool" | "pool+serial-fallback"
+    #: Cells that exhausted their retries (``on_error="record"`` only);
+    #: each failed cell's ``results`` slot is ``None``.
+    failures: list[CellFailure] = field(default_factory=list)
 
     @property
     def n_cells(self) -> int:
         return len(self.results)
+
+    @property
+    def n_failed(self) -> int:
+        return len(self.failures)
 
     @property
     def cell_wall_s(self) -> float:
@@ -150,6 +176,7 @@ class SweepReport:
             "sim_events": self.sim_events,
             "events_per_sec": round(self.events_per_sec(), 1),
             "utilization": round(self.utilization(), 3),
+            "n_failed": self.n_failed,
         }
 
 
@@ -213,6 +240,7 @@ def run_cells(
     workers: int | None = 1,
     timeout_s: float | None = None,
     retries: int = 1,
+    on_error: str = "raise",
     progress: Callable[[int, int], None] | None = None,
 ) -> SweepReport:
     """Run ``fn(*cell)`` for every cell, fanning across processes.
@@ -233,15 +261,23 @@ def run_cells(
         Per-cell deadline, enforced only on the pool path; a timed-out
         sweep degrades to serial for the uncollected cells.
     retries:
-        Extra attempts per failing cell before :class:`SweepCellError`.
+        Extra attempts per failing cell before it counts as failed.
+    on_error:
+        ``"raise"`` aborts the sweep with :class:`SweepCellError` when a
+        cell's attempts are exhausted; ``"record"`` logs a
+        :class:`CellFailure` in the report, leaves ``None`` in that
+        cell's result slot, and finishes the rest of the sweep.
     progress:
         Optional ``(done, total)`` callback, invoked in cell order.
     """
+    if on_error not in ("raise", "record"):
+        raise ValueError(f"on_error must be 'raise' or 'record', got {on_error!r}")
     cell_list = [tuple(c) for c in cells]
     n = len(cell_list)
     n_workers = resolve_workers(workers)
     results: list[Any] = [None] * n
     stats: list[CellStats | None] = [None] * n
+    failures: list[CellFailure] = []
     t_start = time.perf_counter()
 
     def record(i: int, value: Any, wall: float, attempts: int, mode: str) -> None:
@@ -252,6 +288,19 @@ def run_cells(
             attempts=attempts,
             sim_events=_probe_events(value),
             mode=mode,
+        )
+        if progress:
+            progress(sum(s is not None for s in stats), n)
+
+    def record_failure(i: int, err: SweepCellError) -> None:
+        if on_error == "raise":
+            raise err
+        results[i] = None
+        stats[i] = CellStats(
+            index=i, wall_s=0.0, attempts=err.attempts, sim_events=0, mode="failed"
+        )
+        failures.append(
+            CellFailure(index=i, error=repr(err.cause), attempts=err.attempts)
         )
         if progress:
             progress(sum(s is not None for s in stats), n)
@@ -285,11 +334,15 @@ def run_cells(
                     start_index = i
                     break
                 except Exception as exc:  # cell failure: retry in-process
-                    value, wall, attempts = _run_serial(
-                        fn, cell_list[i], i, retries,
-                        prior_attempts=1, last_exc=exc,
-                    )
-                    record(i, value, wall, attempts, "serial")
+                    try:
+                        value, wall, attempts = _run_serial(
+                            fn, cell_list[i], i, retries,
+                            prior_attempts=1, last_exc=exc,
+                        )
+                    except SweepCellError as err:
+                        record_failure(i, err)
+                    else:
+                        record(i, value, wall, attempts, "serial")
                 start_index = i + 1
         finally:
             executor.shutdown(wait=not pool_dead, cancel_futures=True)
@@ -297,8 +350,12 @@ def run_cells(
     for i in range(start_index, n):
         if stats[i] is not None:
             continue
-        value, wall, attempts = _run_serial(fn, cell_list[i], i, retries)
-        record(i, value, wall, attempts, "serial")
+        try:
+            value, wall, attempts = _run_serial(fn, cell_list[i], i, retries)
+        except SweepCellError as err:
+            record_failure(i, err)
+        else:
+            record(i, value, wall, attempts, "serial")
 
     assert all(s is not None for s in stats)
     return SweepReport(
@@ -307,4 +364,5 @@ def run_cells(
         workers=n_workers,
         wall_s=time.perf_counter() - t_start,
         mode=mode,
+        failures=failures,
     )

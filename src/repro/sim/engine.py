@@ -76,6 +76,14 @@ class Simulator:
     #: components register themselves here when it is not ``None``.
     sanitizer: "Sanitizer | None" = None
 
+    #: Quiescence hook (e.g. the stuck-I/O watchdog from
+    #: :mod:`repro.faults.watchdog`): called with the simulator once per
+    #: :meth:`run` call, only when the event heap fully drained — i.e.
+    #: the model has nothing left to do.  Zero per-event cost.  The hook
+    #: may raise (``StuckIOError``) to turn a silent wedge into a
+    #: diagnostic failure.
+    watchdog: "Callable[[Simulator], None] | None" = None
+
     def __new__(cls, *args: Any, **kwargs: Any) -> "Simulator":
         if cls is Simulator:
             sanitize = kwargs.get("sanitize")
@@ -178,6 +186,8 @@ class Simulator:
             self.events_dispatched += dispatched
         if until is not None and until > self.now:
             self.now = until
+        if self.watchdog is not None and not heap:
+            self.watchdog(self)
         return dispatched
 
     def pending(self) -> int:

@@ -82,6 +82,8 @@ class SSDController:
         self.completion_log: list[tuple[int, IORequest]] = []
         self.commands_fetched = 0
         self.commands_completed = 0
+        #: Write-back programs that failed after the host was acked.
+        self.background_write_failures = 0
 
     # -- wiring -----------------------------------------------------------
     def attach_driver(self, driver: SubmissionSource) -> None:
@@ -137,7 +139,7 @@ class SSDController:
                 chip_index=chip,
                 page_bytes=self.config.page_bytes,
                 owner=cmd,
-                on_done=lambda _t, c=cmd: self._page_done(c),
+                on_done=lambda t, c=cmd: self._page_done(c, t),
             )
             if not hit and self.config.mapping_read_penalty:
                 # The translation itself must be read from flash first.
@@ -146,7 +148,7 @@ class SSDController:
                     chip_index=chip,
                     page_bytes=self.config.page_bytes,
                     owner=cmd,
-                    on_done=lambda _t, d=data_txn: self.backend.submit(d),
+                    on_done=lambda t, d=data_txn, c=cmd: self._mapping_done(t, d, c),
                 )
                 self.backend.submit(mapping_txn)
             else:
@@ -184,15 +186,23 @@ class SSDController:
                 chip_index=chip,
                 page_bytes=self.config.page_bytes,
                 owner=cmd,
-                on_done=lambda _t, c=cmd: self._write_page_done(c),
+                on_done=lambda t, c=cmd: self._write_page_done(c, t),
             )
             self.backend.submit(txn)
             self._maybe_gc(chip)
 
-    def _write_page_done(self, cmd: _Inflight) -> None:
+    def _write_page_done(self, cmd: _Inflight, txn: PageTransaction | None = None) -> None:
         self.cache.release(self.config.page_bytes)
         cmd.cache_reserved -= self.config.page_bytes
         self._retry_stalled_writes()
+        if txn is not None and txn.failed:
+            if cmd.completed:
+                # write_back already acked the host at staging time; the
+                # background program failed silently (counted, like a
+                # real drive's deferred-error log).
+                self.background_write_failures += 1
+            else:
+                cmd.request.error = "media"
         if self.config.write_cache_policy == "write_through":
             self._page_done(cmd)
         # write_back: command already completed at staging time; the
@@ -204,8 +214,22 @@ class SSDController:
         ):
             self._admit_write(self._stalled_writes.popleft())
 
+    def _mapping_done(
+        self, txn: PageTransaction, data_txn: PageTransaction, cmd: _Inflight
+    ) -> None:
+        """A mapping read finished; chain the data read unless it errored."""
+        if txn.failed:
+            cmd.request.error = "media"
+            self._page_done(cmd)
+        else:
+            self.backend.submit(data_txn)
+
     # -- completion ------------------------------------------------------
-    def _page_done(self, cmd: _Inflight) -> None:
+    def _page_done(self, cmd: _Inflight, txn: PageTransaction | None = None) -> None:
+        if txn is not None and txn.failed:
+            # The command still waits for its other pages; it completes
+            # once all of them resolve, carrying the error status.
+            cmd.request.error = "media"
         cmd.pages_outstanding -= 1
         if cmd.pages_outstanding == 0 and not cmd.completed:
             self._complete_command(cmd)
@@ -245,6 +269,8 @@ class SSDController:
 
     # -- garbage collection ------------------------------------------------
     def _maybe_gc(self, chip_index: int) -> None:
+        if self.backend.is_chip_failed(chip_index):
+            return  # no point compacting a dead die
         if not self.ftl.gc_needed(chip_index):
             return
         victim = self.ftl.begin_gc(chip_index)

@@ -75,6 +75,16 @@ class FlashBackend:
         self._chips = [_Chip() for _ in range(config.n_chips)]
         self._channels = [_Server() for _ in range(config.n_channels)]
         self.completed: int = 0
+        # -- fault-injection state (all empty by default; the hot path
+        # pays one truthiness check per stage when nothing is injected).
+        #: Dead dies: submissions fail fast with an error status.
+        self._failed_chips: set[int] = set()
+        #: chip index -> latency multiplier (slow/worn die).
+        self._chip_latency_mult: dict[int, float] = {}
+        #: channel index -> latency multiplier (brownout).
+        self._channel_latency_mult: dict[int, float] = {}
+        #: Transactions failed fast against dead dies.
+        self.failed_fast: int = 0
 
     # -- topology helpers --------------------------------------------------
     def channel_of(self, chip_index: int) -> int:
@@ -82,27 +92,79 @@ class FlashBackend:
             raise ValueError(f"chip index {chip_index} out of range")
         return chip_index // self.config.chips_per_channel
 
+    # -- fault injection ---------------------------------------------------
+    def is_chip_failed(self, chip_index: int) -> bool:
+        return chip_index in self._failed_chips
+
+    def fail_chip(self, chip_index: int) -> None:
+        """Kill a die: future submissions to it fail fast with an error.
+
+        Transactions already queued on the chip finish normally — they
+        were in flight when the die died; only the submit-time check is
+        affected, which keeps the failure point deterministic.
+        """
+        if not 0 <= chip_index < self.config.n_chips:
+            raise ValueError(f"chip index {chip_index} out of range")
+        self._failed_chips.add(chip_index)
+
+    def set_chip_slowdown(self, chip_index: int, multiplier: float) -> None:
+        """Scale a die's chip-stage latency (``1.0`` clears the fault)."""
+        if multiplier <= 0:
+            raise ValueError(f"multiplier must be positive, got {multiplier}")
+        if multiplier == 1.0:
+            self._chip_latency_mult.pop(chip_index, None)
+        else:
+            self._chip_latency_mult[chip_index] = multiplier
+
+    def set_channel_slowdown(self, ch_index: int, multiplier: float) -> None:
+        """Scale a channel's transfer latency (brownout; ``1.0`` clears)."""
+        if multiplier <= 0:
+            raise ValueError(f"multiplier must be positive, got {multiplier}")
+        if multiplier == 1.0:
+            self._channel_latency_mult.pop(ch_index, None)
+        else:
+            self._channel_latency_mult[ch_index] = multiplier
+
     # -- latencies ----------------------------------------------------------
     def _chip_latency(self, txn: PageTransaction) -> int:
         if txn.kind in (TxnKind.READ, TxnKind.MAPPING_READ, TxnKind.GC_READ):
-            return self.config.read_latency_ns
-        if txn.kind in (TxnKind.PROGRAM, TxnKind.GC_PROGRAM):
-            return self.config.write_latency_ns
-        if txn.kind is TxnKind.ERASE:
-            return self.config.erase_latency_ns
-        raise ValueError(f"unknown txn kind {txn.kind}")
+            latency = self.config.read_latency_ns
+        elif txn.kind in (TxnKind.PROGRAM, TxnKind.GC_PROGRAM):
+            latency = self.config.write_latency_ns
+        elif txn.kind is TxnKind.ERASE:
+            latency = self.config.erase_latency_ns
+        else:
+            raise ValueError(f"unknown txn kind {txn.kind}")
+        if self._chip_latency_mult:
+            mult = self._chip_latency_mult.get(txn.chip_index)
+            if mult is not None:
+                latency = max(1, int(latency * mult))
+        return latency
 
     def _channel_latency(self, txn: PageTransaction) -> int:
         if not txn.uses_channel or txn.page_bytes == 0:
             return 0
         # Partial last pages still occupy a full page slot on the bus
         # (MQSim transfers whole pages).
-        return self.config.page_transfer_ns
+        latency = self.config.page_transfer_ns
+        if self._channel_latency_mult:
+            mult = self._channel_latency_mult.get(self.channel_of(txn.chip_index))
+            if mult is not None:
+                latency = max(1, int(latency * mult))
+        return latency
 
     # -- dispatch -------------------------------------------------------------
     def submit(self, txn: PageTransaction) -> None:
         """Enter a transaction into the backend pipeline."""
         txn.issued_ns = self.sim.now
+        if self._failed_chips and txn.chip_index in self._failed_chips:
+            # Dead die: the command engine learns after one status-poll
+            # round trip (modelled as a read-latency wait) that the
+            # operation errored out; no chip or channel time is consumed.
+            txn.failed = True
+            self.failed_fast += 1
+            self.sim.schedule(self.config.read_latency_ns, self._finish, txn)
+            return
         if txn.is_read_like:
             self._enqueue_chip(txn, next_stage=self._after_read_chip)
         elif txn.kind in (TxnKind.PROGRAM, TxnKind.GC_PROGRAM):

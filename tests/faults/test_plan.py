@@ -1,0 +1,77 @@
+"""FaultPlan/spec validation: bad plans must fail at construction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import (
+    ChannelBrownout,
+    DieFailure,
+    FaultPlan,
+    LinkFlap,
+    LossBurst,
+    NicStall,
+    SlowDie,
+)
+
+
+class TestSpecValidation:
+    def test_window_must_be_ordered(self):
+        with pytest.raises(ValueError):
+            LossBurst("l", start_ns=100, end_ns=100, loss_prob=0.1)
+        with pytest.raises(ValueError):
+            LinkFlap("l", down_ns=200, up_ns=100)
+        with pytest.raises(ValueError):
+            NicStall("h", start_ns=-1, end_ns=100)
+
+    def test_loss_probabilities(self):
+        with pytest.raises(ValueError):
+            LossBurst("l", 0, 100, loss_prob=1.5)
+        with pytest.raises(ValueError):
+            LossBurst("l", 0, 100, loss_prob=0.7, corrupt_prob=0.7)
+        with pytest.raises(ValueError):  # a burst that does nothing
+            LossBurst("l", 0, 100)
+        LossBurst("l", 0, 100, corrupt_prob=0.1)  # corrupt-only is fine
+
+    def test_ssd_spec_validation(self):
+        with pytest.raises(ValueError):
+            DieFailure("s", chip=-1, at_ns=0)
+        with pytest.raises(ValueError):
+            SlowDie("s", chip=0, start_ns=0, end_ns=100, multiplier=1.0)
+        with pytest.raises(ValueError):
+            ChannelBrownout("s", channel=0, start_ns=0, end_ns=100, multiplier=0.5)
+
+
+class TestFaultPlan:
+    def test_overlapping_loss_bursts_rejected(self):
+        with pytest.raises(ValueError, match="overlapping"):
+            FaultPlan(
+                specs=(
+                    LossBurst("l", 0, 200, loss_prob=0.1),
+                    LossBurst("l", 100, 300, loss_prob=0.1),
+                )
+            )
+
+    def test_adjacent_and_cross_link_bursts_allowed(self):
+        FaultPlan(
+            specs=(
+                LossBurst("l", 0, 100, loss_prob=0.1),
+                LossBurst("l", 100, 200, loss_prob=0.1),  # back-to-back
+                LossBurst("m", 50, 150, loss_prob=0.1),  # other link
+            )
+        )
+
+    def test_name_accessors(self):
+        plan = FaultPlan(
+            specs=(
+                LossBurst("a->sw", 0, 100, loss_prob=0.1),
+                LinkFlap("sw->b", 0, 100),
+                NicStall("a", 0, 100),
+                DieFailure("t/ssd0", chip=0, at_ns=50),
+                SlowDie("t/ssd1", chip=1, start_ns=0, end_ns=100),
+            )
+        )
+        assert plan.link_names() == {"a->sw", "sw->b"}
+        assert plan.host_names() == {"a"}
+        assert plan.ssd_names() == {"t/ssd0", "t/ssd1"}
+        assert len(plan.loss_bursts) == 1

@@ -1,0 +1,121 @@
+"""NVMe-oF command timeout + bounded retry at the initiator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fabric.initiator import Initiator, RetryPolicy
+from repro.fabric.target import Target
+from repro.net.topology import build_star
+from repro.nvme.ssq import SSQDriver
+from repro.sim.engine import Simulator
+from repro.sim.units import KIB, MS, US
+from repro.ssd.device import SSD
+from repro.workloads.request import IORequest, OpType
+from tests.conftest import FAST_SSD
+
+
+def make_request(size_bytes: int = 4 * KIB, op: OpType = OpType.READ) -> IORequest:
+    req = IORequest(arrival_ns=0, op=op, lba=0, size_bytes=size_bytes)
+    req.target = "tgt0"
+    return req
+
+
+class TestPolicyValidation:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(timeout_ns=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff=0.5)
+
+
+class TestTimeoutRetry:
+    def test_black_hole_exhausts_retries_and_fails(self):
+        # tgt0 exists on the network but runs no Target: every command
+        # vanishes, so only the timeout path can terminate the request.
+        sim = Simulator()
+        net = build_star(sim, ["init0", "tgt0"], rate_gbps=40.0, delay_ns=US)
+        policy = RetryPolicy(timeout_ns=1 * MS, max_retries=3, backoff=2.0)
+        ini = Initiator(sim, net.hosts["init0"], retry_policy=policy)
+        req = make_request()
+        ini.issue(req)
+        # Worst-case chain: 1 + 2 + 4 + 8 ms of timeouts.
+        sim.run(until=30 * MS)
+        assert ini.outstanding() == 0
+        assert ini.failed_requests == 1 and ini.failures[0][1] is req
+        assert req.error == "timeout"
+        assert req.complete_ns >= 0
+        assert req.retries == policy.max_retries
+        assert ini.timeouts_fired == policy.max_retries + 1
+        assert ini.retries_sent == policy.max_retries
+
+    def test_no_policy_means_no_timeout(self):
+        sim = Simulator()
+        net = build_star(sim, ["init0", "tgt0"], rate_gbps=40.0, delay_ns=US)
+        ini = Initiator(sim, net.hosts["init0"])
+        req = make_request()
+        ini.issue(req)
+        sim.run(until=30 * MS)
+        assert ini.outstanding() == 1  # wedged — the watchdog's job
+        assert ini.failed_requests == 0
+
+    def test_short_timeout_counts_duplicate_completions(self):
+        # A timeout far below the service latency resubmits commands the
+        # target eventually answers: the late original must be dropped
+        # as a duplicate, and the request must complete exactly once.
+        sim = Simulator()
+        net = build_star(sim, ["init0", "tgt0"], rate_gbps=40.0, delay_ns=US)
+        ssd = SSD(sim, FAST_SSD)
+        Target(sim, net.hosts["tgt0"], [ssd], [SSQDriver(1, 1)])
+        policy = RetryPolicy(timeout_ns=20_000, max_retries=5, backoff=1.0)
+        ini = Initiator(sim, net.hosts["init0"], retry_policy=policy)
+        req = make_request(size_bytes=64 * KIB)
+        ini.issue(req)
+        sim.run(until=50 * MS)
+        assert ini.outstanding() == 0
+        assert ini.reads_completed == 1
+        assert ini.duplicate_completions >= 1
+
+
+class TestMediaErrors:
+    def test_dead_die_error_completion_fails_after_retries(self):
+        sim = Simulator()
+        net = build_star(sim, ["init0", "tgt0"], rate_gbps=40.0, delay_ns=US)
+        ssd = SSD(sim, FAST_SSD)
+        for chip in range(ssd.backend.config.n_chips):
+            ssd.backend.fail_chip(chip)  # whole-device media failure
+        target = Target(sim, net.hosts["tgt0"], [ssd], [SSQDriver(1, 1)])
+        policy = RetryPolicy(timeout_ns=5 * MS, max_retries=2)
+        ini = Initiator(sim, net.hosts["init0"], retry_policy=policy)
+        req = make_request()
+        ini.issue(req)
+        sim.run(until=100 * MS)
+        assert ini.outstanding() == 0
+        assert req.error == "media"
+        assert req.retries == policy.max_retries
+        assert ini.failed_requests == 1
+        assert target.error_completions == policy.max_retries + 1
+        assert ini.timeouts_fired == 0  # errors arrive well before the RTO
+
+    def test_retry_can_land_on_healthy_ssd(self):
+        # Two SSDs behind one target, round-robin dispatch; the first is
+        # fully dead.  A failed command's retry reaches the healthy one.
+        sim = Simulator()
+        net = build_star(sim, ["init0", "tgt0"], rate_gbps=40.0, delay_ns=US)
+        dead, healthy = SSD(sim, FAST_SSD), SSD(sim, FAST_SSD)
+        for chip in range(dead.backend.config.n_chips):
+            dead.backend.fail_chip(chip)
+        Target(
+            sim, net.hosts["tgt0"], [dead, healthy], [SSQDriver(1, 1), SSQDriver(1, 1)]
+        )
+        policy = RetryPolicy(timeout_ns=5 * MS, max_retries=4)
+        ini = Initiator(sim, net.hosts["init0"], retry_policy=policy)
+        req = make_request()
+        ini.issue(req)  # round-robin slot 0 → the dead SSD first
+        sim.run(until=100 * MS)
+        assert ini.outstanding() == 0
+        assert ini.reads_completed == 1
+        assert req.error == ""
+        assert req.retries >= 1

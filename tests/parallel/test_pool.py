@@ -28,6 +28,12 @@ def failing_cell(x):
     raise ValueError(f"cell {x} always fails")
 
 
+def odd_failing_cell(x):
+    if x % 2:
+        raise ValueError(f"cell {x} fails")
+    return {"v": x * x, "sim_events": x}
+
+
 _FLAKY_CALLS = {"n": 0}
 
 
@@ -138,6 +144,41 @@ class TestPool:
         report = run_cells(square_cell, [(i,) for i in range(5)], workers=3)
         assert sorted(s.index for s in report.cell_stats) == list(range(5))
         assert all(s.attempts >= 1 for s in report.cell_stats)
+
+
+class TestRecordMode:
+    def test_failures_recorded_not_raised(self):
+        report = run_cells(
+            odd_failing_cell, [(i,) for i in range(6)], workers=1,
+            retries=1, on_error="record",
+        )
+        assert report.n_failed == 3
+        assert [f.index for f in report.failures] == [1, 3, 5]
+        for f in report.failures:
+            assert f.attempts == 2  # 1 + retries
+            assert "ValueError" in f.error and "fails" in f.error
+        # Healthy cells still produced results; failed slots hold None.
+        assert [r["v"] if r else None for r in report.results] == [
+            0, None, 4, None, 16, None,
+        ]
+        assert {s.mode for s in report.cell_stats if s.index % 2} == {"failed"}
+
+    def test_record_mode_on_pool_path(self):
+        report = run_cells(
+            odd_failing_cell, [(i,) for i in range(6)], workers=2,
+            retries=0, on_error="record",
+        )
+        assert report.n_failed == 3
+        assert sorted(s.index for s in report.cell_stats) == list(range(6))
+        assert report.perf_dict()["n_failed"] == 3
+
+    def test_default_still_raises(self):
+        with pytest.raises(SweepCellError):
+            run_cells(failing_cell, [(0,)], workers=1, retries=0)
+
+    def test_invalid_on_error_rejected(self):
+        with pytest.raises(ValueError, match="on_error"):
+            run_cells(square_cell, [(1,)], on_error="ignore")
 
 
 def test_sweep_report_zero_division_guards():
