@@ -1,24 +1,47 @@
 """Static and runtime analysis for the simulation core.
 
-Two halves guard the repo's bit-identical-replay guarantee:
+Three layers guard the repo's bit-identical-replay guarantee:
 
-* :mod:`repro.analysis.simlint` — an AST determinism linter (``repro
-  lint``, rules SIM001–SIM005) that rejects wall-clock access,
-  out-of-band randomness, unordered set iteration, missing
-  ``__slots__`` on manifest hot-path classes, and swallowed exceptions
-  in the simulation packages;
+* :mod:`repro.analysis.simlint` — per-file AST determinism rules
+  (SIM001–SIM005): wall-clock access, out-of-band randomness, unordered
+  set iteration, missing ``__slots__`` on manifest hot-path classes,
+  swallowed exceptions;
+* the whole-program passes — :mod:`repro.analysis.callgraph` builds a
+  project-wide symbol table + call graph (resolving the scheduler's
+  ``schedule(callback, *args)`` indirection),
+  :mod:`repro.analysis.units` checks units-of-measure dataflow
+  (SIM101–SIM104), and :mod:`repro.analysis.purity` checks
+  event-callback purity (SIM201–SIM203);
+  :mod:`repro.analysis.run` drives all of it behind the
+  :mod:`repro.analysis.baseline` suppression workflow (``repro lint``);
 * :mod:`repro.analysis.sanitizer` — a runtime invariant checker
   (``Simulator(sanitize=True)`` / ``REPRO_SANITIZE=1``) that verifies
   clock monotonicity, queue-depth non-negativity, NIC byte
   conservation, WRR token bounds, and FTL mapping consistency on every
   dispatched event.
 
-See DESIGN.md §6 ("Determinism & sanitizer contract").
+See DESIGN.md §6 ("Determinism & sanitizer contract") and §8
+("Whole-program analysis").
 """
 
 from __future__ import annotations
 
-from repro.analysis.manifest import SIM_PACKAGES, SLOTS_MANIFEST
+from repro.analysis.baseline import (
+    BaselineEntry,
+    apply_baseline,
+    load_baseline,
+    update_baseline,
+    write_baseline,
+)
+from repro.analysis.callgraph import CallGraph, ProjectIndex
+from repro.analysis.manifest import (
+    COMPONENT_CLASSES,
+    SIM_PACKAGES,
+    SLOTS_MANIFEST,
+    UNITS_EXEMPT_MODULES,
+)
+from repro.analysis.purity import PURITY_RULES, check_purity
+from repro.analysis.run import ALL_RULES, LintReport, lint_project
 from repro.analysis.sanitizer import (
     Sanitizer,
     SanitizerError,
@@ -33,18 +56,35 @@ from repro.analysis.simlint import (
     lint_file,
     lint_paths,
 )
+from repro.analysis.units import UNIT_RULES, check_units
 
 __all__ = [
+    "ALL_RULES",
+    "BaselineEntry",
+    "COMPONENT_CLASSES",
+    "CallGraph",
+    "LintReport",
+    "PURITY_RULES",
+    "ProjectIndex",
     "RULES",
     "SIM_PACKAGES",
     "SLOTS_MANIFEST",
     "Sanitizer",
     "SanitizerError",
     "SanitizingSimulator",
+    "UNITS_EXEMPT_MODULES",
+    "UNIT_RULES",
     "Violation",
+    "apply_baseline",
+    "check_purity",
+    "check_units",
     "env_sanitize_enabled",
     "format_violations",
     "ftl_mapping_violation",
     "lint_file",
     "lint_paths",
+    "lint_project",
+    "load_baseline",
+    "update_baseline",
+    "write_baseline",
 ]

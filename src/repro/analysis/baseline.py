@@ -1,0 +1,186 @@
+"""Baseline / suppression workflow for the whole-program linter.
+
+New whole-program rules land against an existing codebase; a baseline
+lets them gate *new* findings in CI from day one while pre-existing
+ones are burned down deliberately.  The checked-in file
+(``benchmarks/results/lint_baseline.json``) maps each accepted finding
+to a mandatory human-written ``reason``:
+
+.. code-block:: json
+
+    {"version": 1,
+     "entries": [
+       {"rule": "SIM202",
+        "path": "src/repro/net/nic.py",
+        "line_text": "nic._txq_used -= seg",
+        "reason": "hot path: pump inlines the TXQ refund"}]}
+
+Matching is by ``(rule, relative path, stripped source line)`` — line
+*text*, not line number, so unrelated edits above a baselined finding
+don't invalidate it, while any change to the offending line forces a
+fresh look.  ``repro lint --update-baseline`` rewrites the file from
+the current findings, carrying reasons forward for entries that still
+match and stamping ``"TODO: justify"`` on new ones (CI's
+empty-or-justified test then fails until a human writes the reason).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.analysis.simlint import Violation
+
+__all__ = [
+    "BaselineEntry",
+    "DEFAULT_BASELINE_PATH",
+    "apply_baseline",
+    "load_baseline",
+    "update_baseline",
+    "write_baseline",
+]
+
+_VERSION = 1
+TODO_REASON = "TODO: justify"
+
+#: Repo-relative location of the checked-in baseline.
+DEFAULT_BASELINE_PATH = Path("benchmarks/results/lint_baseline.json")
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One accepted finding."""
+
+    rule: str
+    path: str  # repo-relative, forward slashes
+    line_text: str  # stripped source of the flagged line
+    reason: str
+
+    @property
+    def key(self) -> tuple[str, str, str]:
+        return (self.rule, self.path, self.line_text)
+
+
+def _relative_path(path: str, root: Path | None) -> str:
+    p = Path(path)
+    if root is not None:
+        try:
+            p = p.resolve().relative_to(root.resolve())
+        except ValueError:
+            pass
+    return p.as_posix()
+
+
+def _line_text(violation: Violation, sources: dict[str, list[str]]) -> str:
+    lines = sources.get(violation.path)
+    if lines is None:
+        try:
+            lines = Path(violation.path).read_text().splitlines()
+        except OSError:
+            lines = []
+        sources[violation.path] = lines
+    if 1 <= violation.line <= len(lines):
+        return lines[violation.line - 1].strip()
+    return ""
+
+
+def violation_key(
+    violation: Violation,
+    *,
+    root: Path | None,
+    sources: dict[str, list[str]],
+) -> tuple[str, str, str]:
+    return (
+        violation.rule,
+        _relative_path(violation.path, root),
+        _line_text(violation, sources),
+    )
+
+
+def load_baseline(path: Path) -> list[BaselineEntry]:
+    """Read a baseline file; a missing file is an empty baseline."""
+    if not path.exists():
+        return []
+    data = json.loads(path.read_text())
+    if data.get("version") != _VERSION:
+        raise ValueError(
+            f"unsupported lint baseline version {data.get('version')!r} "
+            f"in {path}"
+        )
+    return [
+        BaselineEntry(
+            rule=entry["rule"],
+            path=entry["path"],
+            line_text=entry["line_text"],
+            reason=entry.get("reason", ""),
+        )
+        for entry in data.get("entries", [])
+    ]
+
+
+def write_baseline(path: Path, entries: list[BaselineEntry]) -> None:
+    payload = {
+        "version": _VERSION,
+        "entries": [
+            {
+                "rule": e.rule,
+                "path": e.path,
+                "line_text": e.line_text,
+                "reason": e.reason,
+            }
+            for e in sorted(entries, key=lambda e: e.key)
+        ],
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def apply_baseline(
+    violations: list[Violation],
+    entries: list[BaselineEntry],
+    *,
+    root: Path | None = None,
+) -> tuple[list[Violation], list[BaselineEntry]]:
+    """Split findings into (new, matched-baseline-entries).
+
+    Each baseline entry absorbs any number of matching findings on the
+    same line (a line with two identical-rule findings needs one entry).
+    Returns the findings *not* covered plus the entries that matched
+    (so callers can report stale entries: ``set(entries) - matched``).
+    """
+    by_key = {e.key: e for e in entries}
+    sources: dict[str, list[str]] = {}
+    fresh: list[Violation] = []
+    matched: list[BaselineEntry] = []
+    for violation in violations:
+        entry = by_key.get(violation_key(violation, root=root, sources=sources))
+        if entry is None:
+            fresh.append(violation)
+        elif entry not in matched:
+            matched.append(entry)
+    return fresh, matched
+
+
+def update_baseline(
+    path: Path,
+    violations: list[Violation],
+    *,
+    root: Path | None = None,
+) -> list[BaselineEntry]:
+    """Rewrite the baseline from current findings, keeping old reasons."""
+    previous = {e.key: e for e in load_baseline(path)}
+    sources: dict[str, list[str]] = {}
+    entries: dict[tuple[str, str, str], BaselineEntry] = {}
+    for violation in violations:
+        key = violation_key(violation, root=root, sources=sources)
+        old = previous.get(key)
+        entries[key] = BaselineEntry(
+            rule=key[0],
+            path=key[1],
+            line_text=key[2],
+            reason=old.reason if old is not None else TODO_REASON,
+        )
+    result = list(entries.values())
+    write_baseline(path, result)
+    return result

@@ -1,0 +1,287 @@
+"""Event-callback purity rules (SIM201–SIM203).
+
+Golden-trace replay holds because dispatch is the *only* way state
+advances: a callback runs, mutates what it owns, and schedules the
+future.  These rules police the boundary for every function the
+dispatch loop can reach (per
+:meth:`repro.analysis.callgraph.CallGraph.reachable_from_dispatch`):
+
+SIM201
+    No I/O in dispatch-reachable code: ``open``/``print``/``input``,
+    ``os.*`` (except ``os.path``/``os.environ``), ``subprocess``,
+    ``shutil``, ``socket``, and file-mutation methods
+    (``write_text``, ``unlink``, ``mkdir``, ...).  Event callbacks that
+    touch the outside world make traces environment-dependent.
+SIM202
+    No cross-component mutation: a callback may store into ``self`` but
+    not directly into an attribute of a *foreign* component instance
+    (the classes in
+    :data:`repro.analysis.manifest.COMPONENT_CLASSES`).  Effects on
+    another component go through its methods — the documented API — or
+    through ``Simulator.schedule``, so ownership stays auditable.
+    Same-class peers are allowed (a component may manage its own kind).
+SIM203
+    A zero-delay self-reschedule (``sim.schedule(0, self._pump)``) is
+    order-sensitive: it lands at the *same* timestamp as everything
+    else scheduled "now", so correctness depends on the engine's
+    FIFO-within-timestamp tie-break.  Such sites must carry a comment
+    containing ``tie-break`` acknowledging the dependency.
+
+As with the units pass, only known-known conflicts fire: an object
+whose type cannot be resolved never triggers SIM202.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.callgraph import CallGraph, ClassInfo, FunctionInfo, ProjectIndex
+from repro.analysis.manifest import COMPONENT_CLASSES, SIM_PACKAGES
+from repro.analysis.simlint import (
+    Emitter,
+    Violation,
+    comment_lines,
+    make_emitter,
+)
+
+__all__ = ["PURITY_RULES", "check_purity"]
+
+PURITY_RULES: dict[str, str] = {
+    "SIM201": "no I/O in dispatch-reachable event callbacks",
+    "SIM202": (
+        "event callbacks must not mutate foreign component state "
+        "except via schedule or the component's methods"
+    ),
+    "SIM203": "zero-delay self-reschedule requires a tie-break comment",
+}
+
+_IO_BUILTINS = frozenset({"open", "print", "input"})
+#: Import roots whose calls are I/O (or spawn processes that do).
+_IO_ROOTS = frozenset({"os", "subprocess", "shutil", "socket"})
+#: ``os`` submodule prefixes that are pure computations, not I/O.
+_PURE_OS_PREFIXES = ("os.path.", "os.environ.")
+#: Method names that mutate the filesystem regardless of receiver type.
+_IO_METHODS = frozenset(
+    {
+        "write_text",
+        "write_bytes",
+        "read_text",
+        "read_bytes",
+        "unlink",
+        "mkdir",
+        "rmdir",
+        "touch",
+        "rename",
+        "symlink_to",
+        "hardlink_to",
+    }
+)
+_TIE_BREAK_MARKERS = ("tie-break", "tiebreak", "tie break")
+
+
+def _scoped(module: str) -> bool:
+    return any(
+        module == pkg or module.startswith(pkg + ".") for pkg in SIM_PACKAGES
+    )
+
+
+def _dotted_call_name(node: ast.Call) -> str | None:
+    parts: list[str] = []
+    func: ast.expr = node.func
+    while isinstance(func, ast.Attribute):
+        parts.append(func.attr)
+        func = func.value
+    if isinstance(func, ast.Name):
+        parts.append(func.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class _FunctionPurity:
+    """SIM201/SIM202 over one dispatch-reachable function."""
+
+    def __init__(self, index: ProjectIndex, fn: FunctionInfo, emit: Emitter) -> None:
+        self.index = index
+        self.fn = fn
+        self.emit = emit
+        self.enclosing: ClassInfo | None = (
+            index.classes.get(fn.cls) if fn.cls is not None else None
+        )
+        self.type_env = index.env_for_function(fn)
+        self.module_info = index.modules.get(fn.module)
+
+    def check(self) -> None:
+        for node in ast.walk(self.fn.node):
+            if isinstance(node, ast.Call):
+                self._check_io(node)
+            elif isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                self._check_stores(node)
+            elif isinstance(node, ast.Delete):
+                for target in node.targets:
+                    self._check_one_store(node, target)
+
+    # -- SIM201 ----------------------------------------------------------
+    def _check_io(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in _IO_BUILTINS:
+            self.emit(
+                "SIM201",
+                node,
+                f"'{func.id}' call in a dispatch-reachable callback",
+            )
+            return
+        dotted = _dotted_call_name(node)
+        if dotted is not None:
+            root_local = dotted.split(".")[0]
+            root = root_local
+            if self.module_info is not None:
+                root = self.module_info.imports.get(root_local, root_local)
+            resolved = dotted.replace(root_local, root, 1)
+            if root.split(".")[0] in _IO_ROOTS and not resolved.startswith(
+                _PURE_OS_PREFIXES
+            ):
+                self.emit(
+                    "SIM201",
+                    node,
+                    f"'{resolved}' call in a dispatch-reachable callback",
+                )
+                return
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _IO_METHODS
+            # Only when the receiver is untyped or path-like: a project
+            # class defining a same-named method is its own API.
+            and self._receiver_method(func) is None
+        ):
+            self.emit(
+                "SIM201",
+                node,
+                f"file operation '.{func.attr}()' in a dispatch-reachable "
+                "callback",
+            )
+
+    def _receiver_method(self, func: ast.Attribute) -> FunctionInfo | None:
+        owner = self.index.type_of_expr(
+            func.value,
+            module=self.fn.module,
+            enclosing=self.enclosing,
+            env=self.type_env,
+        )
+        if owner is None:
+            return None
+        return self.index.method_of(owner, func.attr)
+
+    # -- SIM202 ----------------------------------------------------------
+    def _check_stores(
+        self, node: ast.Assign | ast.AugAssign | ast.AnnAssign
+    ) -> None:
+        targets: list[ast.expr]
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        else:
+            targets = [node.target]
+        for target in targets:
+            self._check_one_store(node, target)
+
+    def _store_base(self, target: ast.expr) -> ast.expr | None:
+        """The object whose attribute/item a store chain mutates."""
+        if isinstance(target, ast.Attribute):
+            return target.value
+        if isinstance(target, ast.Subscript):
+            # Mutating ``obj.container[key]`` mutates state owned by
+            # ``obj``: walk subscripts down to the attribute owner.
+            return self._store_base(target.value)
+        return None
+
+    def _check_one_store(self, node: ast.stmt, target: ast.expr) -> None:
+        base = self._store_base(target)
+        if base is None:
+            return
+        if isinstance(base, ast.Name) and base.id == "self":
+            return  # own state
+        owner = self.index.type_of_expr(
+            base,
+            module=self.fn.module,
+            enclosing=self.enclosing,
+            env=self.type_env,
+        )
+        if owner is None or owner.qualname not in COMPONENT_CLASSES:
+            return
+        if self.enclosing is not None and owner.qualname == self.enclosing.qualname:
+            return  # same-class peer
+        self.emit(
+            "SIM202",
+            node,
+            f"callback mutates {owner.name} state directly; use a "
+            f"{owner.name} method or schedule the effect",
+        )
+
+
+def _check_zero_delay(graph: CallGraph, index: ProjectIndex) -> list[Violation]:
+    violations: list[Violation] = []
+    emitters: dict[str, Emitter] = {}
+    comments: dict[str, dict[int, str]] = {}
+    for site in graph.schedule_sites:
+        caller = index.functions.get(site.caller)
+        if caller is None or not _scoped(caller.module):
+            continue
+        if not (
+            isinstance(site.delay, ast.Constant) and site.delay.value == 0
+        ):
+            continue
+        if site.target is None or caller.cls is None:
+            continue
+        target_fn = index.functions.get(site.target)
+        if target_fn is None or target_fn.cls != caller.cls:
+            continue  # only *self*-reschedules are tie-break-sensitive
+        mod = index.modules.get(caller.module)
+        if mod is None:
+            continue
+        if caller.module not in comments:
+            comments[caller.module] = comment_lines(mod.source)
+        site_comments = comments[caller.module]
+        # The acknowledgement may trail the call or sit in the comment
+        # block immediately above it.
+        first = site.node.lineno
+        while first - 1 in site_comments:
+            first -= 1
+        lines = range(first, (site.node.end_lineno or site.node.lineno) + 1)
+        if any(
+            marker in site_comments.get(line, "").lower()
+            for line in lines
+            for marker in _TIE_BREAK_MARKERS
+        ):
+            continue
+        if caller.module not in emitters:
+            emitters[caller.module] = make_emitter(
+                mod.source, mod.path, violations
+            )
+        emitters[caller.module](
+            "SIM203",
+            site.node,
+            f"zero-delay self-reschedule of {target_fn.name}: add a "
+            "'# ... tie-break ...' comment stating the intended "
+            "same-timestamp ordering",
+        )
+    return violations
+
+
+def check_purity(index: ProjectIndex, graph: CallGraph) -> list[Violation]:
+    """Run SIM201–SIM203 over the dispatch-reachable part of the index."""
+    violations: list[Violation] = []
+    reachable = graph.reachable_from_dispatch()
+    by_module: dict[str, list[FunctionInfo]] = {}
+    for qualname in sorted(reachable):
+        fn = index.functions.get(qualname)
+        if fn is None or not _scoped(fn.module):
+            continue
+        by_module.setdefault(fn.module, []).append(fn)
+    for module_name in sorted(by_module):
+        mod = index.modules[module_name]
+        emit = make_emitter(mod.source, mod.path, violations)
+        for fn in by_module[module_name]:
+            if not fn.node.body:  # synthesised dataclass __init__
+                continue
+            _FunctionPurity(index, fn, emit).check()
+    violations.extend(_check_zero_delay(graph, index))
+    return violations

@@ -1,0 +1,107 @@
+"""Whole-program lint driver: per-file rules + call-graph passes + baseline.
+
+``repro lint`` lands here.  One invocation:
+
+1. runs the per-file syntactic rules (SIM001–SIM005, SIM999) of
+   :mod:`repro.analysis.simlint` over every file;
+2. builds the :class:`~repro.analysis.callgraph.ProjectIndex` (optionally
+   from a content-hashed AST cache) and the call graph once, then runs
+   the units (SIM101–SIM104) and purity (SIM201–SIM203) passes over it;
+3. subtracts the checked-in baseline
+   (:mod:`repro.analysis.baseline`), so CI fails only on *new* findings
+   — and reports stale baseline entries so the file burns down to empty.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis import baseline as baseline_io
+from repro.analysis.baseline import BaselineEntry
+from repro.analysis.callgraph import CallGraph, ProjectIndex
+from repro.analysis.purity import PURITY_RULES, check_purity
+from repro.analysis.simlint import (
+    RULES,
+    Violation,
+    _iter_python_files,
+    lint_file,
+)
+from repro.analysis.units import UNIT_RULES, check_units
+
+__all__ = ["ALL_RULES", "LintReport", "lint_project"]
+
+#: Every rule the whole-program driver can emit.
+ALL_RULES: dict[str, str] = {**RULES, **UNIT_RULES, **PURITY_RULES}
+
+
+@dataclass
+class LintReport:
+    """Outcome of one whole-program lint run."""
+
+    #: Findings not covered by the baseline — these fail CI.
+    violations: list[Violation]
+    #: Baseline entries that matched a current finding.
+    baselined: list[BaselineEntry] = field(default_factory=list)
+    #: Baseline entries that matched nothing (fixed code; prune them).
+    stale: list[BaselineEntry] = field(default_factory=list)
+    file_count: int = 0
+    elapsed_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+def lint_project(
+    paths: list[str | Path],
+    *,
+    baseline_path: Path | None = None,
+    update_baseline: bool = False,
+    cache_path: Path | None = None,
+    root: Path | None = None,
+) -> LintReport:
+    """Run every rule over ``paths`` and apply the baseline.
+
+    ``root`` anchors the repo-relative paths stored in the baseline
+    (defaults to the current directory when a baseline is in play).
+    With ``update_baseline`` the baseline file is rewritten from the
+    current findings (reasons carried forward, new entries stamped
+    ``TODO: justify``) and the report comes back clean.
+    """
+    start = time.perf_counter()
+    files = list(_iter_python_files(paths))
+
+    violations: list[Violation] = []
+    for path in files:
+        violations.extend(lint_file(path))
+
+    index = ProjectIndex.build_cached(files, cache_path)
+    graph = CallGraph(index)
+    violations.extend(check_units(index, graph))
+    violations.extend(check_purity(index, graph))
+    violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+
+    report = LintReport(
+        violations=violations,
+        file_count=len(files),
+    )
+    if baseline_path is not None:
+        if root is None:
+            root = Path.cwd()
+        if update_baseline:
+            report.baselined = baseline_io.update_baseline(
+                baseline_path, violations, root=root
+            )
+            report.violations = []
+        else:
+            entries = baseline_io.load_baseline(baseline_path)
+            fresh, matched = baseline_io.apply_baseline(
+                violations, entries, root=root
+            )
+            report.violations = fresh
+            report.baselined = matched
+            report.stale = [e for e in entries if e not in matched]
+    report.elapsed_s = time.perf_counter() - start
+    return report

@@ -41,11 +41,13 @@ lines are suppressed with ``# simlint: ignore[SIM001]`` (comma-list or
 from __future__ import annotations
 
 import ast
+import io
 import json
 import re
+import tokenize
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, Iterator
+from typing import Callable, Iterable, Iterator
 
 from repro.analysis.manifest import (
     RNG_EXEMPT_MODULES,
@@ -54,7 +56,17 @@ from repro.analysis.manifest import (
     SLOTS_MANIFEST,
 )
 
-__all__ = ["RULES", "Violation", "lint_file", "lint_paths", "format_violations"]
+__all__ = [
+    "RULES",
+    "Violation",
+    "comment_lines",
+    "format_violations",
+    "lint_file",
+    "lint_paths",
+    "make_emitter",
+    "module_name_of",
+    "suppressed_rules",
+]
 
 #: Rule code -> one-line description (the ``repro lint`` help text).
 RULES: dict[str, str] = {
@@ -100,15 +112,61 @@ def _in_packages(module: str, packages: Iterable[str]) -> bool:
     return any(module == p or module.startswith(p + ".") for p in packages)
 
 
+def comment_lines(source: str) -> dict[int, str]:
+    """Line number -> comment text, from the tokenizer.
+
+    Directives are only honoured inside *actual comments* — a file that
+    merely mentions ``# simlint: package=...`` in a docstring or string
+    literal must not be re-attributed.  Returns an empty map when the
+    file cannot be tokenized (the parse error is reported separately).
+    """
+    out: dict[int, str] = {}
+    try:
+        for tok in tokenize.generate_tokens(io.StringIO(source).readline):
+            if tok.type == tokenize.COMMENT:
+                out[tok.start[0]] = tok.string
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        pass  # keep the comments collected before the bad token
+    return out
+
+
+def _first_code_line(source: str) -> int:
+    """Line of the first non-docstring statement (``sys.maxsize`` if none).
+
+    A ``# simlint: package=`` directive is a *file header* declaration:
+    it is honoured only above this line, so a stray mention later in the
+    file (scratch code, a commented-out experiment) cannot silently put
+    the whole file in lint scope.
+    """
+    try:
+        tree = ast.parse(source)
+    except SyntaxError:
+        return 1 << 62
+    body = tree.body
+    if (
+        body
+        and isinstance(body[0], ast.Expr)
+        and isinstance(body[0].value, ast.Constant)
+        and isinstance(body[0].value.value, str)
+    ):
+        body = body[1:]
+    return body[0].lineno if body else 1 << 62
+
+
 def module_name_of(path: Path, source: str) -> str | None:
     """The dotted repro module a file belongs to, or None.
 
-    Resolution order: a ``# simlint: package=...`` directive anywhere in
-    the file wins (fixtures), then the ``.../src/repro/...`` path shape.
+    Resolution order: a ``# simlint: package=...`` directive in a
+    comment above the first (non-docstring) statement wins (fixtures),
+    then the ``.../src/repro/...`` path shape.
     """
-    m = _PACKAGE_DIRECTIVE.search(source)
-    if m:
-        return m.group(1)
+    first_code = _first_code_line(source)
+    for lineno, comment in sorted(comment_lines(source).items()):
+        if lineno >= first_code:
+            break
+        m = _PACKAGE_DIRECTIVE.search(comment)
+        if m:
+            return m.group(1)
     parts = path.resolve().parts
     for anchor in range(len(parts) - 1, -1, -1):
         if parts[anchor] == "src" and anchor + 1 < len(parts):
@@ -122,15 +180,56 @@ def module_name_of(path: Path, source: str) -> str | None:
     return None
 
 
-def _suppressed_rules(source: str) -> dict[int, frozenset[str]]:
-    """Line number -> rules suppressed on that line."""
+def suppressed_rules(source: str) -> dict[int, frozenset[str]]:
+    """Line number -> rules suppressed on that line (comment tokens only)."""
     out: dict[int, frozenset[str]] = {}
-    for lineno, line in enumerate(source.splitlines(), start=1):
-        m = _IGNORE_DIRECTIVE.search(line)
+    for lineno, comment in comment_lines(source).items():
+        m = _IGNORE_DIRECTIVE.search(comment)
         if m:
             rules = frozenset(r.strip() for r in m.group(1).split(",") if r.strip())
             out[lineno] = rules
     return out
+
+
+def suppression_lines(node: ast.AST) -> range:
+    """Physical lines on which an ``ignore[...]`` directive covers ``node``.
+
+    A violation on a multi-line statement may carry its directive on any
+    continuation line; a flagged class/function accepts it on a
+    decorator line or the header, but *not* deep inside the body (that
+    would let one directive mute a whole class).
+    """
+    lineno = getattr(node, "lineno", 0)
+    if isinstance(node, (ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef)):
+        start = min(
+            (deco.lineno for deco in node.decorator_list), default=lineno
+        )
+        end = node.body[0].lineno - 1 if node.body else lineno
+        return range(start, max(end, lineno) + 1)
+    end_lineno = getattr(node, "end_lineno", None) or lineno
+    return range(lineno, end_lineno + 1)
+
+
+#: Signature of the per-rule emit callbacks.
+Emitter = Callable[[str, ast.AST, str], None]
+
+
+def make_emitter(
+    source: str, display: str, violations: list[Violation]
+) -> Emitter:
+    """Build an emit callback honouring ``ignore[...]`` directives."""
+    suppressed = suppressed_rules(source)
+
+    def emit(rule: str, node: ast.AST, message: str) -> None:
+        line = getattr(node, "lineno", 0)
+        col = getattr(node, "col_offset", 0)
+        for covered in suppression_lines(node):
+            rules_here = suppressed.get(covered)
+            if rules_here and (rule in rules_here or "*" in rules_here):
+                return
+        violations.append(Violation(rule, display, line, col, message))
+
+    return emit
 
 
 def _dotted(node: ast.expr) -> str | None:
@@ -147,9 +246,7 @@ def _dotted(node: ast.expr) -> str | None:
 
 # -- SIM001 / SIM002: imports and calls --------------------------------------
 
-def _check_imports_and_calls(
-    tree: ast.AST, module: str, emit
-) -> None:
+def _check_imports_and_calls(tree: ast.AST, module: str, emit: Emitter) -> None:
     sim_scope = _in_packages(module, SIM_PACKAGES)
     rng_scope = (
         _in_packages(module, SIM_PACKAGES + RNG_EXTRA_PACKAGES)
@@ -258,7 +355,7 @@ class _SetNames(ast.NodeVisitor):
         self.generic_visit(node)
 
 
-def _check_unordered_iteration(tree: ast.AST, emit) -> None:
+def _check_unordered_iteration(tree: ast.AST, emit: Emitter) -> None:
     collector = _SetNames()
     collector.visit(tree)
     set_names = collector.names
@@ -336,7 +433,7 @@ def _class_declares_slots(node: ast.ClassDef) -> bool:
     return False
 
 
-def _check_slots_manifest(tree: ast.AST, module: str, emit) -> None:
+def _check_slots_manifest(tree: ast.AST, module: str, emit: Emitter) -> None:
     required = SLOTS_MANIFEST.get(module)
     if not required:
         return
@@ -361,7 +458,7 @@ def _check_slots_manifest(tree: ast.AST, module: str, emit) -> None:
 
 # -- SIM005: exception hygiene -----------------------------------------------
 
-def _check_exception_hygiene(tree: ast.AST, emit) -> None:
+def _check_exception_hygiene(tree: ast.AST, emit: Emitter) -> None:
     for node in ast.walk(tree):
         if not isinstance(node, ast.ExceptHandler):
             continue
@@ -403,16 +500,8 @@ def lint_source(source: str, path: Path) -> list[Violation]:
     module = module_name_of(path, source)
     if module is None:
         return []
-    suppressed = _suppressed_rules(source)
     violations: list[Violation] = []
-
-    def emit(rule: str, node, message: str) -> None:
-        line = getattr(node, "lineno", 0)
-        col = getattr(node, "col_offset", 0)
-        rules_here = suppressed.get(line, frozenset())
-        if rule in rules_here or "*" in rules_here:
-            return
-        violations.append(Violation(rule, display, line, col, message))
+    emit = make_emitter(source, display, violations)
 
     _check_imports_and_calls(tree, module, emit)
     if _in_packages(module, SIM_PACKAGES):
@@ -451,6 +540,14 @@ def lint_paths(paths: Iterable[str | Path]) -> list[Violation]:
 def format_violations(violations: list[Violation], *, fmt: str = "text") -> str:
     if fmt == "json":
         return json.dumps([v.as_dict() for v in violations], indent=2)
+    if fmt == "github":
+        # GitHub Actions workflow commands: each line becomes an
+        # annotation on the offending file/line in the PR diff view.
+        return "\n".join(
+            f"::error file={v.path},line={v.line},col={v.col},"
+            f"title={v.rule}::{v.message}"
+            for v in violations
+        )
     if not violations:
         return "simlint: no violations"
     lines = [v.format() for v in violations]

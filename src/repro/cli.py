@@ -7,7 +7,7 @@
     python -m repro synthesize --profile vdi -o trace.csv
     python -m repro replay trace.csv [--ssd A] [--weight 4]
     python -m repro profile [--scenario engine|incast|both] [--cprofile]
-    python -m repro lint src [--format json]   # determinism linter
+    python -m repro lint src [--format json|github]   # whole-program linter
     python -m repro faults [--cell chaos] [--seed 7]   # chaos matrix
 
 The full-scale reproductions live in ``benchmarks/`` (pytest-benchmark);
@@ -66,13 +66,15 @@ def _nonneg_int(value: str) -> int:
 
 
 def cmd_sweep(args) -> int:
+    from repro.sim.units import KIB, MS
+
     config = SSDS[args.ssd]
     cells = run_weight_sweep(
         config,
         interarrivals_ns=(10_000, 25_000),
-        sizes_bytes=(16 * 1024, 40 * 1024),
+        sizes_bytes=(16 * KIB, 40 * KIB),
         weight_ratios=(1, 2, 4, 8),
-        duration_ns=args.duration_ms * 1_000_000,
+        duration_ns=args.duration_ms * MS,
         workers=args.workers,
     )
     rows = [
@@ -230,16 +232,55 @@ def outcomes_grid_label(
 
 
 def cmd_lint(args) -> int:
-    """Run the simulation-determinism linter (see repro.analysis.simlint).
+    """Run the whole-program simulation linter (see repro.analysis).
 
-    Exit status is the number of violations (capped at argparse's usual
-    0/1 semantics: 0 = clean, 1 = violations found, 2 = usage error).
+    Per-file determinism rules (SIM001–SIM005), units-of-measure
+    dataflow (SIM101–SIM104), and event-callback purity (SIM201–SIM203)
+    in one pass, minus the checked-in baseline.  Exit status: 0 = clean
+    (no *new* findings and within the time budget), 1 otherwise.
     """
-    from repro.analysis.simlint import format_violations, lint_paths
+    from pathlib import Path
 
-    violations = lint_paths(args.paths)
-    print(format_violations(violations, fmt=args.format))
-    return 1 if violations else 0
+    from repro.analysis.baseline import DEFAULT_BASELINE_PATH
+    from repro.analysis.run import lint_project
+    from repro.analysis.simlint import format_violations
+
+    if args.no_baseline:
+        baseline_path = None
+    elif args.baseline is not None:
+        baseline_path = Path(args.baseline)
+    else:
+        baseline_path = DEFAULT_BASELINE_PATH
+
+    report = lint_project(
+        args.paths,
+        baseline_path=baseline_path,
+        update_baseline=args.update_baseline,
+        cache_path=Path(args.cache) if args.cache else None,
+    )
+    out = format_violations(report.violations, fmt=args.format)
+    if out:
+        print(out)
+    if args.format == "text":
+        if report.baselined:
+            print(f"simlint: {len(report.baselined)} baselined finding(s)")
+        for entry in report.stale:
+            print(
+                f"simlint: stale baseline entry {entry.rule} {entry.path} "
+                f"({entry.line_text!r}) — remove it"
+            )
+        if args.update_baseline and baseline_path is not None:
+            print(f"simlint: baseline written to {baseline_path}")
+    failed = bool(report.violations)
+    if args.max_seconds is not None and report.elapsed_s > args.max_seconds:
+        print(
+            f"simlint: whole-program pass took {report.elapsed_s:.2f}s, "
+            f"over the {args.max_seconds:.2f}s budget "
+            f"({report.file_count} files)",
+            file=sys.stderr,
+        )
+        failed = True
+    return 1 if failed else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -316,14 +357,39 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=cmd_faults)
 
     p = sub.add_parser(
-        "lint", help="run the simulation-determinism linter (SIM001-SIM005)"
+        "lint",
+        help="whole-program simulation linter (SIM001-005, SIM101-104, "
+        "SIM201-203)",
     )
     p.add_argument(
         "paths", nargs="+", help="files or directories to lint (e.g. src)"
     )
     p.add_argument(
-        "--format", choices=("text", "json"), default="text",
-        help="violation report format",
+        "--format", choices=("text", "json", "github"), default="text",
+        help="violation report format ('github' emits ::error annotations)",
+    )
+    p.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help="baseline JSON of accepted findings "
+        "(default: benchmarks/results/lint_baseline.json)",
+    )
+    p.add_argument(
+        "--no-baseline", action="store_true",
+        help="report every finding, ignoring the baseline",
+    )
+    p.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline from current findings "
+        "(new entries get a 'TODO: justify' reason)",
+    )
+    p.add_argument(
+        "--cache", default=None, metavar="PATH",
+        help="pickle cache for the parsed-AST index (content-hashed; "
+        "safe to reuse across runs)",
+    )
+    p.add_argument(
+        "--max-seconds", type=float, default=None,
+        help="fail if the whole pass exceeds this wall-clock budget",
     )
     p.set_defaults(fn=cmd_lint)
 

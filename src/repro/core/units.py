@@ -1,0 +1,154 @@
+"""Units-of-measure convention for the simulation packages.
+
+Quantities cross module boundaries as bare ``int``/``float`` values —
+nanoseconds in the engine, bytes on links, Gbps at DCQCN configuration
+boundaries, page counts inside the SSD.  This module makes the
+convention *machine-checkable* without changing a single runtime type:
+
+* **Unit aliases** — ``typing.Annotated`` wrappers (:data:`Nanoseconds`,
+  :data:`Bytes`, :data:`Gbps`, :data:`PageCount`, ...) used in
+  signatures of the hot-path modules.  At runtime they are plain
+  ``int``/``float``; the whole-program checker
+  (:mod:`repro.analysis.units`) reads them from the AST.
+* **Suffix inference** — unannotated locals and attributes get a unit
+  from their name suffix (``_ns``, ``_bytes``, ``_gbps``, ...), the
+  repo-wide naming convention (:data:`SUFFIX_UNITS`).
+* **Conversion factors** — the constants of :mod:`repro.sim.units`
+  (``US``, ``MS``, ``KIB``, ``GBPS``...) convert a *count* of one unit
+  into another on multiplication; :data:`CONVERSION_FACTORS` records
+  the (source, result) unit of each so ``duration_ms * US`` is flagged
+  as mixing while ``duration_ms * MS`` checks clean.
+
+Simulation modules must import this module **under ``TYPE_CHECKING``
+only**: ``repro.core.__init__`` pulls in the ML stack, and a runtime
+import from ``repro.sim``/``repro.net`` would create an import cycle.
+Annotations are never evaluated (every module uses ``from __future__
+import annotations``), so the guard costs nothing.
+
+See DESIGN.md §8 for the full convention table.
+"""
+
+from __future__ import annotations
+
+from typing import Annotated
+
+
+class Unit:
+    """Annotation marker naming the unit of an ``Annotated`` quantity."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def __repr__(self) -> str:
+        return f"Unit({self.name!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Unit) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return hash((Unit, self.name))
+
+
+# --- the unit aliases used in signatures -----------------------------------
+#: Wall of the simulated clock: integer nanoseconds.
+Nanoseconds = Annotated[int, Unit("ns")]
+#: Microseconds (CLI/config boundaries only; convert with ``US``).
+Microseconds = Annotated[int, Unit("us")]
+#: Milliseconds (CLI/config boundaries only; convert with ``MS``).
+Milliseconds = Annotated[int, Unit("ms")]
+#: Seconds (foreign-trace boundaries only; convert with ``SEC``).
+Seconds = Annotated[float, Unit("s")]
+#: Payload / buffer sizes: integer bytes.
+Bytes = Annotated[int, Unit("bytes")]
+#: Flash page counts (FTL / controller accounting).
+PageCount = Annotated[int, Unit("pages")]
+#: Link and flow rates at configuration boundaries.
+Gbps = Annotated[float, Unit("gbps")]
+#: Internal pacing-ready rate form (``gbps_to_bytes_per_ns``).
+BytesPerNs = Annotated[float, Unit("bytes_per_ns")]
+#: Dimensionless fractions/ratios — arithmetic-transparent.
+Ratio = Annotated[float, Unit("ratio")]
+
+#: Alias name -> unit string, as the AST checker sees annotations.
+ALIAS_UNITS: dict[str, str] = {
+    "Nanoseconds": "ns",
+    "Microseconds": "us",
+    "Milliseconds": "ms",
+    "Seconds": "s",
+    "Bytes": "bytes",
+    "PageCount": "pages",
+    "Gbps": "gbps",
+    "BytesPerNs": "bytes_per_ns",
+    "Ratio": "ratio",
+}
+
+#: Name suffix -> unit, for unannotated locals / attributes / function
+#: names (``serialization_ns`` returns ns).  Matched case-insensitively,
+#: longest suffix first — ``link_bytes_per_ns`` must resolve to
+#: ``bytes_per_ns``, not ``ns``.
+SUFFIX_UNITS: tuple[tuple[str, str], ...] = (
+    ("_bytes_per_ns", "bytes_per_ns"),
+    ("_gbps", "gbps"),
+    ("_bytes", "bytes"),
+    ("_pages", "pages"),
+    ("_ns", "ns"),
+    ("_us", "us"),
+    ("_ms", "ms"),
+    ("_sec", "s"),
+    ("_s", "s"),
+    ("_frac", "ratio"),
+)
+
+#: Conversion constants (from :mod:`repro.sim.units`): multiplying a
+#: count of ``source`` unit by the factor yields a ``result`` quantity;
+#: dividing a ``result`` quantity by the factor yields a ``source``
+#: count.  ``None`` source means a dimensionless count (``16 * KIB``).
+CONVERSION_FACTORS: dict[str, tuple[str | None, str]] = {
+    "NS": ("ns", "ns"),
+    "US": ("us", "ns"),
+    "MS": ("ms", "ns"),
+    "SEC": ("s", "ns"),
+    "KIB": (None, "bytes"),
+    "MIB": (None, "bytes"),
+    "GIB": (None, "bytes"),
+    "GBPS": ("gbps", "bytes_per_ns"),
+}
+
+#: Units the checker treats as transparent in arithmetic (scaling).
+DIMENSIONLESS: frozenset[str] = frozenset({"ratio"})
+
+#: All time units, ordered fine -> coarse.  Mixing any two is SIM101:
+#: the engine clock is integer ns, so an unconverted coarser value is
+#: off by orders of magnitude, the classic reproduction bug.
+TIME_UNITS: frozenset[str] = frozenset({"ns", "us", "ms", "s"})
+
+
+def suffix_unit(name: str) -> str | None:
+    """Unit inferred from a name's suffix, or ``None``."""
+    lowered = name.lower()
+    for suffix, unit in SUFFIX_UNITS:
+        if lowered.endswith(suffix):
+            return unit
+    return None
+
+
+__all__ = [
+    "ALIAS_UNITS",
+    "Bytes",
+    "BytesPerNs",
+    "CONVERSION_FACTORS",
+    "DIMENSIONLESS",
+    "Gbps",
+    "Microseconds",
+    "Milliseconds",
+    "Nanoseconds",
+    "PageCount",
+    "Ratio",
+    "SUFFIX_UNITS",
+    "Seconds",
+    "TIME_UNITS",
+    "Unit",
+    "suffix_unit",
+]

@@ -19,7 +19,7 @@ from typing import Callable
 from repro.core.tpm import ThroughputPredictionModel
 from repro.experiments.runner import RunResult, TestbedConfig, run_testbed
 from repro.parallel import SweepReport, run_cells
-from repro.sim.units import MS, US
+from repro.sim.units import MS, US, gbps_to_bytes_per_ns
 from repro.ssd.config import SSDConfig
 from repro.workloads.micro import MicroWorkloadConfig, generate_micro_trace
 from repro.workloads.traces import Trace
@@ -193,7 +193,7 @@ def incast_analysis_with_report(
         congestion = BackgroundTraffic(
             start_ns=8 * MS, end_ns=40 * MS, rate_gbps=10.0, n_hosts=14
         )
-    read_inter_ns = mean_read_bytes * 8.0 / total_read_gbps
+    read_inter_ns = mean_read_bytes / gbps_to_bytes_per_ns(total_read_gbps)
     write_inter_ns = read_inter_ns / write_fraction_of_read_rate
     spec = MicroTraceSpec(
         read=MicroWorkloadConfig(read_inter_ns, mean_read_bytes),

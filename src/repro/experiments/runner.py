@@ -34,7 +34,7 @@ from repro.net.topology import Network, build_star
 from repro.nvme.driver import DefaultNvmeDriver
 from repro.nvme.ssq import SSQDriver
 from repro.sim.engine import Simulator
-from repro.sim.units import MS, US
+from repro.sim.units import MS, US, gbps_to_bytes_per_ns
 from repro.ssd.config import SSDConfig
 from repro.ssd.device import SSD
 from repro.workloads.traces import Trace
@@ -310,7 +310,7 @@ def run_testbed(
     if config.background:
         bg = config.background
         victim = init_names[bg.victim_index % len(init_names)]
-        gap_ns = max(1, int(bg.message_bytes * 8.0 / bg.rate_gbps))
+        gap_ns = max(1, int(bg.message_bytes / gbps_to_bytes_per_ns(bg.rate_gbps)))
 
         def make_feeder(nic):
             def feed() -> None:

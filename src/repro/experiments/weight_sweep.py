@@ -75,7 +75,8 @@ def _sweep_point(
     n_requests = max(min_requests, int(duration_ns / interarrival_ns))
     trace = generate_micro_trace(
         wl, n_reads=n_requests, n_writes=n_requests,
-        seed=seed + int(interarrival_ns) % 997 + int(size_bytes) % 991,
+        # Deliberate unit mixing: hashing ns and bytes into a seed.
+        seed=seed + int(interarrival_ns) % 997 + int(size_bytes) % 991,  # simlint: ignore[SIM101]
     )
     result = replay_on_device(
         trace,

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.fabric.capsule import Capsule, CapsuleKind
 from repro.net.nic import NIC
@@ -28,6 +29,9 @@ from repro.sim.engine import Simulator
 from repro.sim.events import Event
 from repro.workloads.request import IORequest
 from repro.workloads.traces import Trace
+
+if TYPE_CHECKING:
+    from repro.core.units import Nanoseconds
 
 
 @dataclass(frozen=True)
@@ -39,7 +43,7 @@ class RetryPolicy:
     (so a command is sent at most ``max_retries + 1`` times).
     """
 
-    timeout_ns: int = 2_000_000
+    timeout_ns: Nanoseconds = 2_000_000
     max_retries: int = 3
     backoff: float = 2.0
 

@@ -189,7 +189,7 @@ class FaultInjector:
 
     # -- activation callbacks (plain methods: closure-free scheduling) -----
     def _set_filter(self, link: Link, filt: _LossFilter | None) -> None:
-        link.fault_filter = filt
+        link.set_fault_filter(filt)
         if filt is not None:
             self.faults_fired += 1
 

@@ -17,11 +17,14 @@ traffic hits a single dict entry).
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Protocol
+from typing import TYPE_CHECKING, Callable, Protocol
 
 from repro.net.packet import Packet
 from repro.sim.engine import Simulator
 from repro.sim.units import gbps_to_bytes_per_ns
+
+if TYPE_CHECKING:
+    from repro.core.units import Bytes, Gbps, Nanoseconds
 
 #: Fault-filter verdicts (see :attr:`Link.fault_filter`).
 FAULT_PASS = 0
@@ -69,8 +72,8 @@ class Link:
         self,
         sim: Simulator,
         *,
-        rate_gbps: float,
-        delay_ns: int,
+        rate_gbps: Gbps,
+        delay_ns: Nanoseconds,
         dst: Device,
         dst_port: int,
         name: str = "",
@@ -120,7 +123,7 @@ class Link:
 
     # -- queue state -----------------------------------------------------
     @property
-    def queued_bytes(self) -> int:
+    def queued_bytes(self) -> Bytes:
         return self._queued_bytes
 
     @property
@@ -143,7 +146,7 @@ class Link:
         self._queued_bytes += packet.size_bytes
         self._try_start()
 
-    def serialization_ns(self, size_bytes: int) -> int:
+    def serialization_ns(self, size_bytes: Bytes) -> Nanoseconds:
         ns = self._ser_cache.get(size_bytes)
         if ns is None:
             ns = max(1, int(size_bytes / self._bytes_per_ns + 0.5))
@@ -195,6 +198,10 @@ class Link:
         self._try_start()
 
     # -- fault injection -------------------------------------------------
+    def set_fault_filter(self, filt: Callable[[Packet], int] | None) -> None:
+        """Install (or clear) the per-packet fault verdict filter."""
+        self.fault_filter = filt
+
     def set_down(self, down: bool) -> None:
         """Flap the link.  Down: new data sends are dropped and nothing
         (control included) leaves the queue; a packet already

@@ -26,7 +26,7 @@ import itertools
 import zlib
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable
 
 from repro.net.dcqcn import DCQCNConfig, DCQCNRateControl, RateChange
 from repro.net.link import Link
@@ -35,14 +35,17 @@ from repro.net.reliability import FlowReliability, ReliabilityConfig
 from repro.sim.engine import Simulator
 from repro.sim.rng import make_rng
 
+if TYPE_CHECKING:
+    from repro.core.units import Bytes, Nanoseconds
+
 
 @dataclass(frozen=True)
 class NICConfig:
     """Host NIC parameters."""
 
-    mtu_bytes: int = 4096
-    txq_capacity_bytes: int = 2 * 1024 * 1024
-    cnp_interval_ns: int = 50_000
+    mtu_bytes: Bytes = 4096
+    txq_capacity_bytes: Bytes = 2 * 1024 * 1024
+    cnp_interval_ns: Nanoseconds = 50_000
     max_link_backlog_packets: int = 4
     dcqcn: DCQCNConfig = field(default_factory=DCQCNConfig)
     #: Go-back-N retransmission (``None`` = lossless-fabric assumption,
@@ -77,8 +80,8 @@ _message_ids = itertools.count()
 class _Message:
     id: int
     dst: str
-    size_bytes: int
-    sent_bytes: int
+    size_bytes: Bytes
+    sent_bytes: Bytes
     payload: Any
 
 
@@ -118,7 +121,7 @@ class Flow:
             assert nic._rel_rng is not None
             self._rel = FlowReliability(self, rel_cfg, nic._rel_rng)
 
-    def enqueue(self, size_bytes: int, payload: Any) -> None:
+    def enqueue(self, size_bytes: Bytes, payload: Any) -> None:
         self._messages.append(
             _Message(
                 id=next(_message_ids),
@@ -129,8 +132,12 @@ class Flow:
             )
         )
         self.queued_bytes += size_bytes
-        self.nic._backlogged[self.id] = self
+        self.nic.mark_backlogged(self)
         self.pump()
+
+    def refund_queued(self, size_bytes: Bytes) -> None:
+        """Drop queued-but-unsent byte accounting (reliability abort)."""
+        self.queued_bytes -= size_bytes
 
     # -- pacing ---------------------------------------------------------
     def pump(self) -> None:
@@ -211,7 +218,9 @@ class Flow:
             link.send(packet)
             self.bytes_sent += seg
             self.queued_bytes -= seg
-            nic._txq_used -= seg
+            # Hot path: the per-segment TXQ refund stays inlined here;
+            # cold paths go through NIC.txq_refund instead.
+            nic._txq_used -= seg  # simlint: ignore[SIM202]
             rate_control.on_bytes_sent(seg)
             gap = seg / rate_control.current_bytes_per_ns
             self._next_send_ns = sim.now + max(1, int(gap + 0.5))
@@ -320,10 +329,12 @@ class NIC:
 
     # -- transmit --------------------------------------------------------------
     @property
-    def txq_free_bytes(self) -> int:
+    def txq_free_bytes(self) -> Bytes:
         return self.config.txq_capacity_bytes - self._txq_used
 
-    def send_message(self, dst: str, size_bytes: int, payload: Any = None) -> bool:
+    def send_message(
+        self, dst: str, size_bytes: Bytes, payload: Any = None
+    ) -> bool:
         """Queue a message; returns False when the TXQ lacks space."""
         if size_bytes <= 0:
             raise ValueError(f"message size must be positive, got {size_bytes}")
@@ -338,6 +349,24 @@ class NIC:
     def _notify_txq_drain(self) -> None:
         for listener in self.txq_drain_listeners:
             listener()
+
+    def txq_refund(self, size_bytes: Bytes) -> None:
+        """Return reserved TXQ bytes (aborted / never-sent data).
+
+        The documented cross-component entry point for the reliability
+        layer; the per-segment refund inside :meth:`Flow.pump` stays
+        inlined for speed.
+        """
+        self._txq_used -= size_bytes
+        self._notify_txq_drain()
+
+    def mark_backlogged(self, flow: Flow) -> None:
+        """Register ``flow`` for pump service (insertion-ordered, idempotent).
+
+        Flows and their reliability layer call this instead of touching
+        the backlog index directly.
+        """
+        self._backlogged[flow.id] = flow
 
     def send_ack(self, dst: str, payload: Any = None) -> None:
         """Send a small control acknowledgment (bypasses the TXQ)."""

@@ -40,6 +40,7 @@ from typing import TYPE_CHECKING, Any
 if TYPE_CHECKING:
     import numpy as np
 
+    from repro.core.units import Bytes, Nanoseconds, Ratio
     from repro.net.nic import Flow, _Message
 
 
@@ -68,10 +69,10 @@ class ReliabilityConfig:
     """
 
     window_packets: int = 64
-    rto_ns: int = 200_000
-    rto_max_ns: int = 5_000_000
+    rto_ns: Nanoseconds = 200_000
+    rto_max_ns: Nanoseconds = 5_000_000
     backoff: float = 2.0
-    jitter_frac: float = 0.1
+    jitter_frac: Ratio = 0.1
     max_retransmits: int = 32
     seed: int = 0
 
@@ -94,8 +95,8 @@ class _Segment:
 
     seq: int
     message_id: int
-    message_bytes: int
-    seg_bytes: int
+    message_bytes: Bytes
+    seg_bytes: Bytes
     last: bool
     payload: Any
 
@@ -154,7 +155,7 @@ class FlowReliability:
         self.retransmits += 1
         return self.retransmit_queue.popleft()
 
-    def register(self, msg: "_Message", seg_bytes: int, last: bool) -> _Segment:
+    def register(self, msg: "_Message", seg_bytes: Bytes, last: bool) -> _Segment:
         """Record a freshly carved segment in the window; returns it."""
         seg = _Segment(
             seq=self.next_seq,
@@ -235,7 +236,7 @@ class FlowReliability:
             )
         self._arm_timer()
         nic = self.flow.nic
-        nic._backlogged[self.flow.id] = self.flow
+        nic.mark_backlogged(self.flow)
         self.flow.pump()
 
     # -- abort ------------------------------------------------------------
@@ -266,9 +267,8 @@ class FlowReliability:
             msg = messages.popleft()
             remainder = msg.size_bytes - msg.sent_bytes
             if remainder > 0:
-                flow.queued_bytes -= remainder
-                flow.nic._txq_used -= remainder
-                flow.nic._notify_txq_drain()
+                flow.refund_queued(remainder)
+                flow.nic.txq_refund(remainder)
         self.messages_aborted += 1
         self.retries_since_progress = 0
         self.rto_current_ns = self.config.rto_ns

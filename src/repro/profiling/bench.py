@@ -26,7 +26,7 @@ from dataclasses import dataclass
 from repro.net.nic import NICConfig
 from repro.net.topology import Network, build_star
 from repro.sim.engine import Simulator
-from repro.sim.units import US
+from repro.sim.units import US, gbps_to_bytes_per_ns
 
 
 @dataclass
@@ -146,8 +146,8 @@ def build_incast_cell(
     sim = sim or Simulator(trace=trace)
     names = [f"s{i}" for i in range(n_senders)] + ["r0"]
     net = build_star(sim, names, rate_gbps=40.0, delay_ns=US)
-    # Offered load per sender == line rate: gap = bytes / (40 Gbps in B/ns).
-    gap_ns = max(1, int(message_bytes / 5.0))
+    # Offered load per sender == line rate.
+    gap_ns = max(1, int(message_bytes / gbps_to_bytes_per_ns(40.0)))
     for i in range(n_senders):
         feeder = _Feeder(
             sim, net.hosts[f"s{i}"], "r0", message_bytes, gap_ns, duration_ns

@@ -24,6 +24,7 @@ from repro.sim.events import Event, EventQueue
 
 if TYPE_CHECKING:
     from repro.analysis.sanitizer import Sanitizer
+    from repro.core.units import Nanoseconds
 
 
 class MaxEventsExceeded(RuntimeError):
@@ -38,7 +39,7 @@ class MaxEventsExceeded(RuntimeError):
     """
 
     def __init__(
-        self, max_events: int, dispatched: int, pending: int, now: int
+        self, max_events: int, dispatched: int, pending: int, now: Nanoseconds
     ) -> None:
         super().__init__(
             f"simulation exceeded max_events={max_events} after dispatching "
@@ -98,7 +99,7 @@ class Simulator:
         return object.__new__(cls)
 
     def __init__(self, *, trace: bool = False, sanitize: bool | None = None) -> None:
-        self.now: int = 0
+        self.now: Nanoseconds = 0
         self._queue = EventQueue()
         self._trace = trace
         self.dispatch_log: list[tuple[int, str]] = []
@@ -106,7 +107,7 @@ class Simulator:
 
     # -- scheduling -----------------------------------------------------
     def schedule(
-        self, delay: int, callback: Callable[..., None], *args: Any
+        self, delay: Nanoseconds, callback: Callable[..., None], *args: Any
     ) -> Event:
         """Schedule ``callback(*args)`` to fire ``delay`` ns from now.
 
@@ -119,7 +120,7 @@ class Simulator:
         return self._queue.push(self.now + delay, callback, *args)
 
     def schedule_at(
-        self, time: int, callback: Callable[..., None], *args: Any
+        self, time: Nanoseconds, callback: Callable[..., None], *args: Any
     ) -> Event:
         """Schedule ``callback(*args)`` at absolute simulation ``time``."""
         if time < self.now:
@@ -127,7 +128,9 @@ class Simulator:
         return self._queue.push(time, callback, *args)
 
     # -- execution ------------------------------------------------------
-    def run(self, until: int | None = None, max_events: int | None = None) -> int:
+    def run(
+        self, until: Nanoseconds | None = None, max_events: int | None = None
+    ) -> int:
         """Dispatch events in time order.
 
         Parameters

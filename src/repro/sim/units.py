@@ -14,6 +14,11 @@ audit rather than a simulation-wide hunt.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.core.units import Bytes, BytesPerNs, Gbps, Nanoseconds
+
 # --- time ------------------------------------------------------------------
 NS: int = 1
 US: int = 1_000
@@ -30,29 +35,29 @@ GIB: int = 1024 * 1024 * 1024
 GBPS: float = 1e9 / 8 / SEC  # == 0.125 bytes/ns
 
 
-def bytes_to_bits(nbytes: int) -> int:
+def bytes_to_bits(nbytes: Bytes) -> int:
     """Convert a byte count to bits."""
     return nbytes * 8
 
 
-def bits_to_bytes(nbits: int) -> int:
+def bits_to_bytes(nbits: int) -> Bytes:
     """Convert a bit count to bytes, rounding up partial bytes."""
     return -(-nbits // 8)
 
 
-def gbps_to_bytes_per_ns(gbps: float) -> float:
+def gbps_to_bytes_per_ns(gbps: Gbps) -> BytesPerNs:
     """Convert a Gbps link/flow rate to bytes per nanosecond."""
     return gbps * GBPS
 
 
-def bytes_per_ns(nbytes: int, duration_ns: int) -> float:
+def bytes_per_ns(nbytes: Bytes, duration_ns: Nanoseconds) -> BytesPerNs:
     """Average rate in bytes/ns of ``nbytes`` moved over ``duration_ns``."""
     if duration_ns <= 0:
         raise ValueError(f"duration must be positive, got {duration_ns}")
     return nbytes / duration_ns
 
 
-def rate_to_duration_ns(nbytes: int, gbps: float) -> int:
+def rate_to_duration_ns(nbytes: Bytes, gbps: Gbps) -> Nanoseconds:
     """Serialization time in ns for ``nbytes`` at ``gbps``, rounded up.
 
     A zero-byte payload still costs 1 ns so that event ordering around
@@ -64,6 +69,6 @@ def rate_to_duration_ns(nbytes: int, gbps: float) -> int:
     return max(1, int(ns + 0.5))
 
 
-def throughput_gbps(nbytes: int, duration_ns: int) -> float:
+def throughput_gbps(nbytes: Bytes, duration_ns: Nanoseconds) -> Gbps:
     """Throughput in Gbps of ``nbytes`` delivered over ``duration_ns``."""
     return bytes_per_ns(nbytes, duration_ns) / GBPS

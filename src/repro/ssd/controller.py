@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Protocol
+from typing import TYPE_CHECKING, Callable, Protocol
 
 from repro.sim.engine import Simulator
 from repro.ssd.config import SSDConfig
@@ -27,6 +27,9 @@ from repro.ssd.ftl import FTL
 from repro.ssd.transactions import PageTransaction, TxnKind
 from repro.ssd.write_cache import WriteCache
 from repro.workloads.request import IORequest
+
+if TYPE_CHECKING:
+    from repro.core.units import Nanoseconds, PageCount
 
 
 class SubmissionSource(Protocol):
@@ -44,13 +47,13 @@ class CompletionEntry:
     """One CQ entry."""
 
     request: IORequest
-    posted_ns: int
+    posted_ns: Nanoseconds
 
 
 @dataclass(slots=True)
 class _Inflight:
     request: IORequest
-    pages_outstanding: int
+    pages_outstanding: PageCount
     cache_reserved: int = 0
     completed: bool = field(default=False)
 

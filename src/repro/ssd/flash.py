@@ -17,10 +17,14 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.sim.engine import Simulator
 from repro.ssd.config import SSDConfig
 from repro.ssd.transactions import PageTransaction, TxnKind
+
+if TYPE_CHECKING:
+    from repro.core.units import Nanoseconds
 
 
 @dataclass
@@ -29,7 +33,7 @@ class _Server:
 
     busy: bool = False
     queue: deque = field(default_factory=deque)
-    busy_ns_total: int = 0
+    busy_ns_total: Nanoseconds = 0
 
 
 @dataclass
@@ -47,7 +51,7 @@ class _Chip:
     read_queue: deque = field(default_factory=deque)
     write_queue: deque = field(default_factory=deque)
     last_was_read: bool = False
-    busy_ns_total: int = 0
+    busy_ns_total: Nanoseconds = 0
 
     def pending(self) -> int:
         return len(self.read_queue) + len(self.write_queue)
@@ -126,7 +130,7 @@ class FlashBackend:
             self._channel_latency_mult[ch_index] = multiplier
 
     # -- latencies ----------------------------------------------------------
-    def _chip_latency(self, txn: PageTransaction) -> int:
+    def _chip_latency(self, txn: PageTransaction) -> Nanoseconds:
         if txn.kind in (TxnKind.READ, TxnKind.MAPPING_READ, TxnKind.GC_READ):
             latency = self.config.read_latency_ns
         elif txn.kind in (TxnKind.PROGRAM, TxnKind.GC_PROGRAM):
@@ -141,7 +145,7 @@ class FlashBackend:
                 latency = max(1, int(latency * mult))
         return latency
 
-    def _channel_latency(self, txn: PageTransaction) -> int:
+    def _channel_latency(self, txn: PageTransaction) -> Nanoseconds:
         if not txn.uses_channel or txn.page_bytes == 0:
             return 0
         # Partial last pages still occupy a full page slot on the bus
@@ -241,7 +245,7 @@ class FlashBackend:
             txn.on_done(txn)
 
     # -- introspection ----------------------------------------------------
-    def chip_utilisation(self, horizon_ns: int) -> list[float]:
+    def chip_utilisation(self, horizon_ns: Nanoseconds) -> list[float]:
         """Fraction of ``horizon_ns`` each chip spent busy."""
         if horizon_ns <= 0:
             raise ValueError("horizon must be positive")

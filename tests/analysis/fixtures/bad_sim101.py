@@ -1,0 +1,6 @@
+"""Fixture: SIM101 — arithmetic mixes ns with ms."""
+# simlint: package=repro.sim.fake_mix
+
+
+def total_wait(delay_ns: int, timeout_ms: int) -> int:
+    return delay_ns + timeout_ms

@@ -1,0 +1,10 @@
+"""Fixture: SIM102 — a ms quantity passed to an ns parameter."""
+# simlint: package=repro.sim.fake_call
+
+
+def wait(duration_ns: int) -> None:
+    del duration_ns
+
+
+def arm(timeout_ms: int) -> None:
+    wait(timeout_ms)

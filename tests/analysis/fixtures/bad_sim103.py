@@ -1,0 +1,6 @@
+"""Fixture: SIM103 — an ``_ns``-named function returns a ms value."""
+# simlint: package=repro.sim.fake_ret
+
+
+def window_ns(window_ms: int) -> int:
+    return window_ms

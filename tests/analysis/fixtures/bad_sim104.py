@@ -1,0 +1,6 @@
+"""Fixture: SIM104 — bytes divided by a raw gbps rate (off by 8e9)."""
+# simlint: package=repro.sim.fake_rate
+
+
+def gap(size_bytes: int, rate_gbps: float) -> float:
+    return size_bytes / rate_gbps

@@ -1,0 +1,17 @@
+"""Fixture: SIM201 — I/O inside a dispatch-reachable callback."""
+# simlint: package=repro.sim.fake_io
+
+
+class Ticker:
+    __slots__ = ("sim", "ticks")
+
+    def __init__(self, sim) -> None:
+        self.sim = sim
+        self.ticks = 0
+
+    def start(self) -> None:
+        self.sim.schedule(1, self._tick)
+
+    def _tick(self) -> None:
+        self.ticks += 1
+        print(self.ticks)

@@ -1,0 +1,28 @@
+"""Fixture: SIM202 — a callback reaches into a foreign component.
+
+The ``package=`` directive names this module ``repro.net.link`` so the
+local ``Link`` lands on the component manifest, exactly as the real one
+does.
+"""
+# simlint: package=repro.net.link
+
+
+class Link:
+    __slots__ = ("queued_bytes",)
+
+    def __init__(self) -> None:
+        self.queued_bytes = 0
+
+
+class Meddler:
+    __slots__ = ("sim", "link")
+
+    def __init__(self, sim, link: Link) -> None:
+        self.sim = sim
+        self.link = link
+
+    def start(self) -> None:
+        self.sim.schedule(1, self._poke)
+
+    def _poke(self) -> None:
+        self.link.queued_bytes = 0

@@ -1,0 +1,15 @@
+"""Fixture: SIM203 — zero-delay self-reschedule with no tie-break note."""
+# simlint: package=repro.sim.fake_pump
+
+
+class Pump:
+    __slots__ = ("sim",)
+
+    def __init__(self, sim) -> None:
+        self.sim = sim
+
+    def kick(self) -> None:
+        self.sim.schedule(0, self._drain)
+
+    def _drain(self) -> None:
+        pass

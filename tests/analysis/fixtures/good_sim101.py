@@ -1,0 +1,8 @@
+"""Fixture: SIM101 clean — the ms count is converted before the add."""
+# simlint: package=repro.sim.fake_mix
+
+from repro.sim.units import MS
+
+
+def total_wait_ns(delay_ns: int, timeout_ms: int) -> int:
+    return delay_ns + timeout_ms * MS

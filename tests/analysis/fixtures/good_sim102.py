@@ -1,0 +1,12 @@
+"""Fixture: SIM102 clean — converted at the call boundary."""
+# simlint: package=repro.sim.fake_call
+
+from repro.sim.units import MS
+
+
+def wait(duration_ns: int) -> None:
+    del duration_ns
+
+
+def arm(timeout_ms: int) -> None:
+    wait(timeout_ms * MS)

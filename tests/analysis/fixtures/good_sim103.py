@@ -1,0 +1,8 @@
+"""Fixture: SIM103 clean — the return value is converted to ns."""
+# simlint: package=repro.sim.fake_ret
+
+from repro.sim.units import MS
+
+
+def window_ns(window_ms: int) -> int:
+    return window_ms * MS

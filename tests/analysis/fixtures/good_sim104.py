@@ -1,0 +1,8 @@
+"""Fixture: SIM104 clean — the rate goes through the converter."""
+# simlint: package=repro.sim.fake_rate
+
+from repro.sim.units import gbps_to_bytes_per_ns
+
+
+def gap_ns(size_bytes: int, rate_gbps: float) -> float:
+    return size_bytes / gbps_to_bytes_per_ns(rate_gbps)

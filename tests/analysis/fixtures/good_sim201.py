@@ -1,0 +1,16 @@
+"""Fixture: SIM201 clean — the callback records, the caller reports."""
+# simlint: package=repro.sim.fake_io
+
+
+class Ticker:
+    __slots__ = ("sim", "log")
+
+    def __init__(self, sim) -> None:
+        self.sim = sim
+        self.log = []
+
+    def start(self) -> None:
+        self.sim.schedule(1, self._tick)
+
+    def _tick(self) -> None:
+        self.log.append(1)

@@ -1,0 +1,26 @@
+"""Fixture: SIM202 clean — the effect goes through the component's API."""
+# simlint: package=repro.net.link
+
+
+class Link:
+    __slots__ = ("queued_bytes",)
+
+    def __init__(self) -> None:
+        self.queued_bytes = 0
+
+    def drain(self) -> None:
+        self.queued_bytes = 0
+
+
+class Meddler:
+    __slots__ = ("sim", "link")
+
+    def __init__(self, sim, link: Link) -> None:
+        self.sim = sim
+        self.link = link
+
+    def start(self) -> None:
+        self.sim.schedule(1, self._poke)
+
+    def _poke(self) -> None:
+        self.link.drain()

@@ -1,0 +1,17 @@
+"""Fixture: SIM203 clean — the same-timestamp ordering is documented."""
+# simlint: package=repro.sim.fake_pump
+
+
+class Pump:
+    __slots__ = ("sim",)
+
+    def __init__(self, sim) -> None:
+        self.sim = sim
+
+    def kick(self) -> None:
+        # Same-timestamp FIFO tie-break: drain runs after any enqueue
+        # already scheduled for "now".
+        self.sim.schedule(0, self._drain)
+
+    def _drain(self) -> None:
+        pass

@@ -1,0 +1,314 @@
+"""Whole-program linter: unit/purity fixtures, the call graph, the
+baseline workflow, and the CLI plumbing around them."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.baseline import (
+    DEFAULT_BASELINE_PATH,
+    TODO_REASON,
+    BaselineEntry,
+    apply_baseline,
+    load_baseline,
+    update_baseline,
+    write_baseline,
+)
+from repro.analysis.callgraph import CallGraph, ProjectIndex
+from repro.analysis.run import ALL_RULES, lint_project
+from repro.analysis.simlint import lint_source, module_name_of
+from repro.cli import main as cli_main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+SRC = Path(__file__).parents[2] / "src"
+REPO = Path(__file__).parents[2]
+
+WHOLE_PROGRAM_RULES = (
+    "SIM101",
+    "SIM102",
+    "SIM103",
+    "SIM104",
+    "SIM201",
+    "SIM202",
+    "SIM203",
+)
+
+
+def lint_one(path: Path):
+    return lint_project([path], baseline_path=None).violations
+
+
+# -- fixtures: every rule fires on bad, stays quiet on good -----------------
+
+
+@pytest.mark.parametrize("rule", WHOLE_PROGRAM_RULES)
+def test_bad_fixture_trips_exactly_its_rule(rule):
+    number = rule[len("SIM"):]
+    violations = lint_one(FIXTURES / f"bad_sim{number}.py")
+    assert {v.rule for v in violations} == {rule}, violations
+
+
+@pytest.mark.parametrize("rule", WHOLE_PROGRAM_RULES)
+def test_good_fixture_is_clean(rule):
+    number = rule[len("SIM"):]
+    assert lint_one(FIXTURES / f"good_sim{number}.py") == []
+
+
+def test_every_whole_program_rule_has_a_description():
+    for rule in WHOLE_PROGRAM_RULES:
+        assert rule in ALL_RULES
+
+
+def test_repo_src_tree_is_clean_without_baseline():
+    report = lint_project([SRC], baseline_path=None)
+    assert report.violations == []
+    assert report.file_count > 50
+
+
+# -- call graph --------------------------------------------------------------
+
+
+def _index_of(source: str) -> ProjectIndex:
+    return ProjectIndex.build([(Path("fake.py"), source)])
+
+
+def test_schedule_callback_seeds_reachability():
+    index = _index_of(
+        "# simlint: package=repro.sim.fake_graph\n"
+        "class Ticker:\n"
+        "    def __init__(self, sim):\n"
+        "        self.sim = sim\n"
+        "    def start(self):\n"
+        "        self.sim.schedule(1, self._tick)\n"
+        "    def _tick(self):\n"
+        "        self._helper()\n"
+        "    def _helper(self):\n"
+        "        pass\n"
+        "    def _unreached(self):\n"
+        "        pass\n"
+    )
+    reachable = CallGraph(index).reachable_from_dispatch()
+    assert "repro.sim.fake_graph.Ticker._tick" in reachable
+    assert "repro.sim.fake_graph.Ticker._helper" in reachable
+    assert "repro.sim.fake_graph.Ticker._unreached" not in reachable
+    # ``start`` is only *called by* user code, never dispatched.
+    assert "repro.sim.fake_graph.Ticker.start" not in reachable
+
+
+def test_schedule_through_bound_method_alias_resolves():
+    index = _index_of(
+        "# simlint: package=repro.sim.fake_alias\n"
+        "class Timer:\n"
+        "    def __init__(self, sim):\n"
+        "        self.sim = sim\n"
+        "        self._cb = self._fire\n"
+        "    def arm(self):\n"
+        "        self.sim.schedule(5, self._cb)\n"
+        "    def _fire(self):\n"
+        "        pass\n"
+    )
+    graph = CallGraph(index)
+    targets = {site.target for site in graph.schedule_sites}
+    assert "repro.sim.fake_alias.Timer._fire" in targets
+    assert "repro.sim.fake_alias.Timer._fire" in graph.reachable_from_dispatch()
+
+
+def test_lambda_callback_seeds_its_call_targets():
+    index = _index_of(
+        "# simlint: package=repro.sim.fake_lambda\n"
+        "class Timer:\n"
+        "    def __init__(self, sim):\n"
+        "        self.sim = sim\n"
+        "    def arm(self):\n"
+        "        self.sim.schedule(5, lambda: self._fire())\n"
+        "    def _fire(self):\n"
+        "        pass\n"
+    )
+    reachable = CallGraph(index).reachable_from_dispatch()
+    assert "repro.sim.fake_lambda.Timer._fire" in reachable
+
+
+# -- baseline workflow -------------------------------------------------------
+
+
+def _lint_bad_202():
+    return lint_project([FIXTURES / "bad_sim202.py"], baseline_path=None)
+
+
+def test_baseline_round_trip_and_matching(tmp_path):
+    baseline_path = tmp_path / "baseline.json"
+    violations = _lint_bad_202().violations
+    entries = update_baseline(baseline_path, violations, root=REPO)
+    assert [e.reason for e in entries] == [TODO_REASON]
+    assert entries[0].path.endswith("tests/analysis/fixtures/bad_sim202.py")
+    assert load_baseline(baseline_path) == entries
+
+    # With the baseline in play the same finding is absorbed...
+    report = lint_project(
+        [FIXTURES / "bad_sim202.py"], baseline_path=baseline_path, root=REPO
+    )
+    assert report.violations == []
+    assert report.baselined == entries
+    assert report.stale == []
+    # ...and a clean tree reports the entry as stale.
+    report = lint_project(
+        [FIXTURES / "good_sim202.py"], baseline_path=baseline_path, root=REPO
+    )
+    assert report.stale == entries
+
+
+def test_update_baseline_carries_reasons_forward(tmp_path):
+    baseline_path = tmp_path / "baseline.json"
+    violations = _lint_bad_202().violations
+    first = update_baseline(baseline_path, violations, root=REPO)
+    justified = [
+        BaselineEntry(e.rule, e.path, e.line_text, "reviewed: fixture")
+        for e in first
+    ]
+    write_baseline(baseline_path, justified)
+    second = update_baseline(baseline_path, violations, root=REPO)
+    assert [e.reason for e in second] == ["reviewed: fixture"]
+
+
+def test_baseline_matches_by_line_text_not_number(tmp_path):
+    violations = _lint_bad_202().violations
+    entries = update_baseline(tmp_path / "b.json", violations, root=REPO)
+    # Same text at a different line number still matches; different
+    # text on the same line does not.
+    fresh, matched = apply_baseline(violations, entries, root=REPO)
+    assert fresh == [] and matched == entries
+    edited = [
+        BaselineEntry(e.rule, e.path, e.line_text + "  # edited", e.reason)
+        for e in entries
+    ]
+    fresh, matched = apply_baseline(violations, edited, root=REPO)
+    assert fresh == violations and matched == []
+
+
+def test_unsupported_baseline_version_raises(tmp_path):
+    path = tmp_path / "b.json"
+    path.write_text('{"version": 99, "entries": []}')
+    with pytest.raises(ValueError, match="version"):
+        load_baseline(path)
+
+
+def test_checked_in_baseline_is_empty_or_justified():
+    """Acceptance gate: no entry may linger without a human reason."""
+    entries = load_baseline(REPO / DEFAULT_BASELINE_PATH)
+    for entry in entries:
+        assert entry.reason and entry.reason != TODO_REASON, entry
+
+
+# -- CLI plumbing ------------------------------------------------------------
+
+
+def test_cli_github_format_emits_annotations(capsys):
+    bad = str(FIXTURES / "bad_sim104.py")
+    assert cli_main(["lint", "--no-baseline", "--format", "github", bad]) == 1
+    out = capsys.readouterr().out
+    assert out.startswith("::error file=")
+    assert "title=SIM104" in out
+    # A clean run emits nothing at all (no stray annotation lines).
+    good = str(FIXTURES / "good_sim104.py")
+    assert cli_main(["lint", "--no-baseline", "--format", "github", good]) == 0
+    assert capsys.readouterr().out == ""
+
+
+def test_cli_update_baseline_then_clean(tmp_path, capsys):
+    baseline = tmp_path / "baseline.json"
+    bad = str(FIXTURES / "bad_sim201.py")
+    assert (
+        cli_main(["lint", "--baseline", str(baseline), "--update-baseline", bad])
+        == 0
+    )
+    assert TODO_REASON in baseline.read_text()
+    assert cli_main(["lint", "--baseline", str(baseline), bad]) == 0
+    assert "1 baselined finding(s)" in capsys.readouterr().out
+    # Without the baseline the finding still fails the run.
+    assert cli_main(["lint", "--no-baseline", bad]) == 1
+
+
+def test_cli_stale_baseline_entries_are_reported(tmp_path, capsys):
+    baseline = tmp_path / "baseline.json"
+    write_baseline(
+        baseline,
+        [BaselineEntry("SIM201", "gone.py", "print(1)", "obsolete")],
+    )
+    good = str(FIXTURES / "good_sim201.py")
+    assert cli_main(["lint", "--baseline", str(baseline), good]) == 0
+    assert "stale baseline entry" in capsys.readouterr().out
+
+
+def test_cli_max_seconds_budget(capsys):
+    good = str(FIXTURES / "good_sim101.py")
+    assert cli_main(["lint", "--no-baseline", "--max-seconds", "0", good]) == 1
+    assert "over the" in capsys.readouterr().err
+    assert (
+        cli_main(["lint", "--no-baseline", "--max-seconds", "60", good]) == 0
+    )
+
+
+def test_cli_cache_round_trip(tmp_path):
+    cache = tmp_path / "ast_index.pickle"
+    good = str(FIXTURES / "good_sim202.py")
+    args = ["lint", "--no-baseline", "--cache", str(cache), good]
+    assert cli_main(args) == 0
+    assert cache.exists()
+    assert cli_main(args) == 0  # warm-cache run, same verdict
+    cache.write_bytes(b"corrupt")
+    assert cli_main(args) == 0  # corrupt cache is rebuilt, not fatal
+
+
+def test_index_cache_invalidates_on_content_change(tmp_path):
+    target = tmp_path / "mod.py"
+    cache = tmp_path / "cache.pickle"
+    clean = "# simlint: package=repro.sim.fake_cache\nX_NS = 5\n"
+    target.write_text(clean)
+    index = ProjectIndex.build_cached([target], cache)
+    assert "repro.sim.fake_cache" in index.modules
+    target.write_text(clean + "def f_ns():\n    return 1\n")
+    index = ProjectIndex.build_cached([target], cache)
+    assert "f_ns" in index.modules["repro.sim.fake_cache"].functions
+
+
+# -- directive edge cases ----------------------------------------------------
+
+
+def test_ignore_on_continuation_line_suppresses():
+    source = (
+        "# simlint: package=repro.sim.fake_directives\n"
+        "import time\n"
+        "t = time.time(\n"
+        ")  # simlint: ignore[SIM001]\n"
+    )
+    # The import itself is the only remaining finding.
+    assert [v.line for v in lint_source(source, Path("f.py"))] == [2]
+
+
+def test_ignore_on_decorator_line_covers_the_class():
+    source = (
+        "# simlint: package=repro.net.packet\n"
+        "@some_registry.register  # simlint: ignore[SIM004]\n"
+        "class Packet:\n"
+        "    pass\n"
+    )
+    assert lint_source(source, Path("f.py")) == []
+
+
+def test_ignore_inside_a_class_body_does_not_mute_it():
+    source = (
+        "# simlint: package=repro.net.packet\n"
+        "class Packet:\n"
+        "    x = 1  # simlint: ignore[SIM004]\n"
+    )
+    assert [v.rule for v in lint_source(source, Path("f.py"))] == ["SIM004"]
+
+
+def test_package_directive_after_first_statement_is_ignored():
+    source = "import time\n# simlint: package=repro.sim.late\n"
+    assert module_name_of(Path("anywhere.py"), source) is None
+    # Unattributed files outside src/ are skipped entirely.
+    assert lint_source(source, Path("anywhere.py")) == []
