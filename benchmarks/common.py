@@ -120,30 +120,59 @@ def save_engine_perf(current: dict) -> dict:
 #: Maximum acceptable slowdown of the sanitizer-enabled incast cell
 #: relative to the plain run.  The sanitizer's per-event invariant sweep
 #: (queue depths, byte conservation, WRR token bounds) is O(components),
-#: so ~2x is expected on the small smoke cell; 2.5x leaves headroom for
-#: machine jitter while still catching an accidentally quadratic check.
-SANITIZER_OVERHEAD_BUDGET = 2.5
+#: so >2x is expected on the small smoke cell.  This is a *ratio*
+#: budget: the 2.5x value was set against a ~240k ev/s plain engine, and
+#: the batched dispatch/rate-table work roughly doubled the denominator
+#: without touching the sweep's absolute cost, so the bound is now 3.0x.
+#: It still catches an accidentally quadratic check; absolute sweep cost
+#: is additionally pinned by the stride budget below (the sampled leg
+#: amortises the same sweep) and the engine events/sec floor.
+SANITIZER_OVERHEAD_BUDGET = 3.0
+
+#: Maximum acceptable slowdown of the *stride-sampled* sanitizer
+#: (``sanitize="stride:64"``) on the same cell.  At stride 64 the
+#: component sweep runs on ~1.6% of events, so what remains is the
+#: sanitizing dispatch loop itself (monotonicity check, sampling
+#: countdown, no batch coalescing); 1.15x is the contract that makes
+#: strided checking cheap enough to leave on by default in long runs.
+STRIDE_SANITIZER_OVERHEAD_BUDGET = 1.15
+
+#: The stride the budget above is measured at (and CI enforces).
+STRIDE_SANITIZER_STRIDE = 64
 
 
-def save_sanitizer_perf(off: dict, on: dict) -> dict:
-    """Persist sanitizer-on vs -off incast numbers as JSON.
-
-    ``off``/``on`` are :class:`repro.profiling.BenchResult` dicts of the
-    same scenario.  Returns the payload, including the slowdown ratio
-    checked against :data:`SANITIZER_OVERHEAD_BUDGET`.
-    """
-    ratio = (
-        off["events_per_sec"] / on["events_per_sec"]
-        if on.get("events_per_sec")
+def _slowdown(off: dict, leg: dict) -> float:
+    return (
+        off["events_per_sec"] / leg["events_per_sec"]
+        if leg.get("events_per_sec")
         else float("inf")
     )
+
+
+def save_sanitizer_perf(off: dict, on: dict, stride: dict | None = None) -> dict:
+    """Persist sanitizer-on vs -off (and optionally strided) numbers.
+
+    ``off``/``on``/``stride`` are :class:`repro.profiling.BenchResult`
+    dicts of the same scenario, measured *in the same process* so they
+    share warm-up state.  Returns the payload, including slowdown
+    ratios checked against :data:`SANITIZER_OVERHEAD_BUDGET` and
+    :data:`STRIDE_SANITIZER_OVERHEAD_BUDGET`.
+
+    The off leg recorded here is the number every other results file
+    must agree with for this scenario — see
+    :func:`shared_scenario_mismatch`.
+    """
     payload = {
         "scenario": "incast_cell",
         "sanitize_off": off,
         "sanitize_on": on,
-        "slowdown": round(ratio, 3),
+        "slowdown": round(_slowdown(off, on), 3),
         "budget": SANITIZER_OVERHEAD_BUDGET,
     }
+    if stride is not None:
+        payload[f"sanitize_stride_{STRIDE_SANITIZER_STRIDE}"] = stride
+        payload["stride_slowdown"] = round(_slowdown(off, stride), 3)
+        payload["stride_budget"] = STRIDE_SANITIZER_OVERHEAD_BUDGET
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / "sanitizer_overhead.json").write_text(
         json.dumps(payload, indent=2) + "\n"
@@ -152,8 +181,61 @@ def save_sanitizer_perf(off: dict, on: dict) -> dict:
         "events_per_sec_off": off["events_per_sec"],
         "events_per_sec_on": on["events_per_sec"],
         "slowdown": payload["slowdown"],
-    }
+    } | (
+        {
+            "events_per_sec_stride": stride["events_per_sec"],
+            "stride_slowdown": payload["stride_slowdown"],
+        }
+        if stride is not None
+        else {}
+    )
     return payload
+
+
+#: Maximum relative disagreement between two results files' measurements
+#: of the *same* scenario.  Both numbers come from one warmed process
+#: (see ``smoke_cell.sanitizer_guard``), so a larger gap means the
+#: accounting regressed — e.g. one file silently measuring a cold
+#: process or a different cell — not machine noise.
+SHARED_SCENARIO_TOLERANCE = 0.10
+
+
+def shared_scenario_mismatch(
+    tolerance: float = SHARED_SCENARIO_TOLERANCE,
+) -> str | None:
+    """Cross-check the incast numbers shared by the two results files.
+
+    ``engine_perf.json`` (``current.incast_cell``) and
+    ``sanitizer_overhead.json`` (``sanitize_off``) both record the plain
+    2 ms incast cell.  Historically each file was regenerated by a
+    separate cold process, so the "same" scenario disagreed by >40%
+    and any ratio built across the files was fiction.  Both files are
+    now written from one warmed process sharing the off leg; this check
+    fails loudly if they ever drift apart again.  Returns a description
+    of the mismatch, or ``None`` when consistent (or when either file
+    is missing — nothing to compare yet).
+    """
+    engine_path = RESULTS_DIR / "engine_perf.json"
+    sanitizer_path = RESULTS_DIR / "sanitizer_overhead.json"
+    if not engine_path.exists() or not sanitizer_path.exists():
+        return None
+    engine = json.loads(engine_path.read_text())
+    sanitizer = json.loads(sanitizer_path.read_text())
+    a = engine.get("current", {}).get("incast_cell", {}).get("events_per_sec")
+    b = sanitizer.get("sanitize_off", {}).get("events_per_sec")
+    if not a or not b:
+        return None
+    gap = abs(a - b) / max(a, b)
+    if gap > tolerance:
+        return (
+            f"incast_cell disagrees across results files: engine_perf.json "
+            f"says {a} events/sec, sanitizer_overhead.json says {b} "
+            f"({100 * gap:.1f}% apart, tolerance {100 * tolerance:.0f}%) — "
+            f"regenerate both with "
+            f"`PYTHONPATH=src python benchmarks/smoke_cell.py --sanitizer` "
+            f"so they share one warmed off-leg measurement"
+        )
+    return None
 
 
 #: Maximum acceptable slowdown of the incast cell with the fault

@@ -16,11 +16,24 @@ only an order-of-magnitude regression (e.g. an O(n) scan creeping back
 into the dispatch loop) trips it.
 
 With ``--sanitizer`` it instead measures the runtime DES sanitizer's
-overhead: the incast cell runs sanitize-off and sanitize-on, the outputs
-must match bit-for-bit (the sanitizer only observes), zero invariant
-violations may fire, and the slowdown must stay within
-``benchmarks.common.SANITIZER_OVERHEAD_BUDGET``.  Both numbers land in
-``benchmarks/results/sanitizer_overhead.json``.
+overhead: the incast cell runs sanitize-off, sanitize-on, and
+stride-sampled (``stride:64``) *in one warmed process*, interleaved
+round-robin so load spikes cannot bias a single leg; outputs must
+match bit-for-bit across all legs (the sanitizer only observes), zero
+invariant violations may fire, and the slowdowns must stay within
+``benchmarks.common.SANITIZER_OVERHEAD_BUDGET`` /
+``STRIDE_SANITIZER_OVERHEAD_BUDGET``.  The leg also re-times the engine
+microbench and regenerates **both** ``results/engine_perf.json`` and
+``results/sanitizer_overhead.json`` from the same off-leg measurement,
+then fails loudly if the two files' shared scenario disagrees by more
+than 10% (``benchmarks.common.shared_scenario_mismatch``) — the
+historical mode where each file came from a separate cold process made
+every cross-file ratio fiction.
+
+With ``--stride-sanitizer`` it runs only the off and ``stride:64`` legs
+(again one warmed process) and enforces the 1.15x stride budget plus
+output identity, without touching the results files — the cheap CI leg
+that keeps strided checking honest.
 
 With ``--faults`` it measures the fault-injection hooks' overhead when
 *no faults are scheduled*: the incast cell runs bare and with a dormant
@@ -34,6 +47,7 @@ Usage::
 
     PYTHONPATH=src python benchmarks/smoke_cell.py
     PYTHONPATH=src python benchmarks/smoke_cell.py --sanitizer
+    PYTHONPATH=src python benchmarks/smoke_cell.py --stride-sanitizer
     PYTHONPATH=src python benchmarks/smoke_cell.py --faults
 """
 
@@ -50,10 +64,13 @@ sys.path.insert(0, str(Path(__file__).parent.parent))
 from benchmarks.common import (
     FAULT_HOOK_OVERHEAD_BUDGET,
     SANITIZER_OVERHEAD_BUDGET,
+    STRIDE_SANITIZER_OVERHEAD_BUDGET,
+    STRIDE_SANITIZER_STRIDE,
     load_engine_floor,
     save_engine_perf,
     save_faults_perf,
     save_sanitizer_perf,
+    shared_scenario_mismatch,
 )
 from repro.experiments.weight_sweep import run_weight_sweep_with_report
 from repro.profiling.bench import engine_microbench, incast_outputs, run_incast_cell
@@ -97,27 +114,40 @@ def main() -> int:
     return engine_guard()
 
 
-def engine_guard() -> int:
-    """Time the standard engine scenarios and enforce the events/sec floor."""
-    current = {
-        "engine_microbench": max(
-            (engine_microbench(n_events=200_000) for _ in range(2)),
-            key=lambda r: r.events_per_sec,
-        ).as_dict(),
-        "incast_cell": max(
-            (run_incast_cell(duration_ns=2 * MS)[0] for _ in range(2)),
-            key=lambda r: r.events_per_sec,
-        ).as_dict(),
-    }
-    payload = save_engine_perf(current)
-    print("engine perf (events/sec, current vs pre-optimisation baseline):")
-    for key, cur in current.items():
-        base = payload["baseline"].get(key, {}).get("events_per_sec", "?")
-        speedup = payload["speedup"].get(key, "?")
-        print(f"  {key}: {cur['events_per_sec']} vs {base} ({speedup}x)")
+def _measure_incast_modes(modes, rounds: int = 3):
+    """Round-robin best-of timing across sanitize modes.
 
+    Every mode runs once per round, interleaved, so a transient load
+    spike degrades that round's sample for *all* modes instead of
+    biasing whichever leg it happened to land on — sequential
+    best-of-N per leg let slowdown ratios on a loaded box swing
+    between 0.8x and 1.6x for the identical build.  Returns
+    ``{mode: (BenchResult, outputs)}`` with the best round per mode;
+    outputs come from the last round (each mode is deterministic, so
+    any round's outputs serve).
+    """
+    best: dict = {mode: None for mode in modes}
+    outputs: dict = {}
+    for _ in range(rounds):
+        for mode in modes:
+            bench, _, net = run_incast_cell(
+                duration_ns=2 * MS, sim=Simulator(sanitize=mode)
+            )
+            if best[mode] is None or bench.events_per_sec > best[mode].events_per_sec:
+                best[mode] = bench
+            outputs[mode] = incast_outputs(net)
+    return {mode: (best[mode], outputs[mode]) for mode in modes}
+
+
+def _measure_incast(sanitize, runs: int = 3):
+    """Best-of-``runs`` incast timing for one sanitize mode."""
+    return _measure_incast_modes((sanitize,), rounds=runs)[sanitize]
+
+
+def _enforce_floor(current: dict) -> bool:
+    """True when every scenario clears its checked-in events/sec floor."""
     floor = load_engine_floor()
-    failed = False
+    ok = True
     for key, cur in current.items():
         limit = floor.get(f"{key}_events_per_sec")
         if limit is not None and cur["events_per_sec"] < limit:
@@ -126,42 +156,85 @@ def engine_guard() -> int:
                 f"the regression floor {limit}",
                 file=sys.stderr,
             )
-            failed = True
-    if not failed:
-        print("engine perf OK: above the regression floor")
-    return 1 if failed else 0
+            ok = False
+    return ok
+
+
+def _print_engine_payload(current: dict, payload: dict) -> None:
+    print("engine perf (events/sec, current vs pre-optimisation baseline):")
+    for key, cur in current.items():
+        base = payload["baseline"].get(key, {}).get("events_per_sec", "?")
+        speedup = payload["speedup"].get(key, "?")
+        print(f"  {key}: {cur['events_per_sec']} vs {base} ({speedup}x)")
+
+
+def engine_guard() -> int:
+    """Time the standard engine scenarios and enforce the events/sec floor."""
+    current = {
+        "engine_microbench": max(
+            (engine_microbench(n_events=200_000) for _ in range(2)),
+            key=lambda r: r.events_per_sec,
+        ).as_dict(),
+        "incast_cell": _measure_incast(False, runs=2)[0].as_dict(),
+    }
+    payload = save_engine_perf(current)
+    _print_engine_payload(current, payload)
+    if not _enforce_floor(current):
+        return 1
+    print("engine perf OK: above the regression floor")
+    return 0
 
 
 def sanitizer_guard() -> int:
-    """Measure sanitizer overhead on the incast cell and enforce the budget.
+    """Measure sanitizer overhead and regenerate both results files.
 
-    Best-of-2 for each mode (first run pays warm-up), outputs compared
-    between one off run and one on run — the sanitizer must be a pure
-    observer.  A :class:`repro.analysis.SanitizerError` escaping here is
-    a real invariant violation and fails the guard loudly.
+    All legs — off, full-fidelity, ``stride:64``, and the engine
+    microbench — run in *this one process*, back to back, after a
+    throwaway warm-up run.  The off leg is written to **both**
+    ``engine_perf.json`` (as ``current.incast_cell``) and
+    ``sanitizer_overhead.json`` (as ``sanitize_off``), so every ratio
+    built on those files shares one denominator; the cross-file
+    consistency check then has to pass by construction and only trips
+    if a future change lets the two measurements drift apart again.
+
+    Outputs must match bit-for-bit across all three legs — the
+    sanitizer (strided or not) is a pure observer — and a
+    :class:`repro.analysis.SanitizerError` escaping here is a real
+    invariant violation failing the guard loudly.
     """
-    def best_of_2(sanitize: bool):
-        results = []
-        outputs = None
-        for _ in range(2):
-            bench, _, net = run_incast_cell(
-                duration_ns=2 * MS, sim=Simulator(sanitize=sanitize)
+    run_incast_cell(duration_ns=2 * MS)  # warm-up: allocator + caches
+
+    stride_mode = f"stride:{STRIDE_SANITIZER_STRIDE}"
+    measured = _measure_incast_modes((False, True, stride_mode), rounds=3)
+    off, off_outputs = measured[False]
+    on, on_outputs = measured[True]
+    strided, stride_outputs = measured[stride_mode]
+
+    failed = False
+    for label, outputs in (("on", on_outputs), (stride_mode, stride_outputs)):
+        if outputs != off_outputs:
+            print(
+                f"FAIL: sanitize={label} incast outputs diverged from plain run",
+                file=sys.stderr,
             )
-            results.append(bench)
-            outputs = incast_outputs(net)
-        return max(results, key=lambda r: r.events_per_sec), outputs
-
-    off, off_outputs = best_of_2(False)
-    on, on_outputs = best_of_2(True)
-
-    if off_outputs != on_outputs:
-        print("FAIL: sanitizer-on incast outputs diverged from plain run",
-              file=sys.stderr)
-        print(f"  off: {off_outputs}", file=sys.stderr)
-        print(f"  on:  {on_outputs}", file=sys.stderr)
+            print(f"  off: {off_outputs}", file=sys.stderr)
+            print(f"  {label}: {outputs}", file=sys.stderr)
+            failed = True
+    if failed:
         return 1
 
-    payload = save_sanitizer_perf(off.as_dict(), on.as_dict())
+    # Both results files get the one shared off-leg measurement.
+    micro = max(
+        (engine_microbench(n_events=200_000) for _ in range(2)),
+        key=lambda r: r.events_per_sec,
+    ).as_dict()
+    current = {"engine_microbench": micro, "incast_cell": off.as_dict()}
+    engine_payload = save_engine_perf(current)
+    _print_engine_payload(current, engine_payload)
+    if not _enforce_floor(current):
+        failed = True
+
+    payload = save_sanitizer_perf(off.as_dict(), on.as_dict(), strided.as_dict())
     print("sanitizer overhead (incast cell, zero violations):")
     print(json.dumps(payload, indent=2))
     if payload["slowdown"] > SANITIZER_OVERHEAD_BUDGET:
@@ -170,9 +243,71 @@ def sanitizer_guard() -> int:
             f"{SANITIZER_OVERHEAD_BUDGET}x budget",
             file=sys.stderr,
         )
+        failed = True
+    else:
+        print(
+            f"sanitizer overhead OK: {payload['slowdown']}x <= "
+            f"{SANITIZER_OVERHEAD_BUDGET}x budget"
+        )
+    if payload["stride_slowdown"] > STRIDE_SANITIZER_OVERHEAD_BUDGET:
+        print(
+            f"FAIL: {stride_mode} slowdown {payload['stride_slowdown']}x exceeds "
+            f"the {STRIDE_SANITIZER_OVERHEAD_BUDGET}x budget",
+            file=sys.stderr,
+        )
+        failed = True
+    else:
+        print(
+            f"{stride_mode} overhead OK: {payload['stride_slowdown']}x <= "
+            f"{STRIDE_SANITIZER_OVERHEAD_BUDGET}x budget"
+        )
+
+    mismatch = shared_scenario_mismatch()
+    if mismatch is not None:
+        print(f"FAIL: {mismatch}", file=sys.stderr)
+        failed = True
+    else:
+        print("results-file consistency OK: shared incast leg agrees")
+    return 1 if failed else 0
+
+
+def stride_guard() -> int:
+    """CI leg: enforce the stride-sampled sanitizer's 1.15x budget.
+
+    Off and strided legs only, one warmed process, no results-file
+    writes — the ``--sanitizer`` leg owns the persisted artifacts.
+    """
+    run_incast_cell(duration_ns=2 * MS)  # warm-up
+    stride_mode = f"stride:{STRIDE_SANITIZER_STRIDE}"
+    measured = _measure_incast_modes((False, stride_mode), rounds=3)
+    off, off_outputs = measured[False]
+    strided, stride_outputs = measured[stride_mode]
+
+    if stride_outputs != off_outputs:
+        print(
+            f"FAIL: sanitize={stride_mode} incast outputs diverged from "
+            f"plain run",
+            file=sys.stderr,
+        )
+        print(f"  off: {off_outputs}", file=sys.stderr)
+        print(f"  {stride_mode}: {stride_outputs}", file=sys.stderr)
         return 1
-    print(f"sanitizer overhead OK: {payload['slowdown']}x <= "
-          f"{SANITIZER_OVERHEAD_BUDGET}x budget")
+    ratio = round(off.events_per_sec / strided.events_per_sec, 3)
+    print(
+        f"stride sanitizer overhead: off {round(off.events_per_sec)} ev/s, "
+        f"{stride_mode} {round(strided.events_per_sec)} ev/s -> {ratio}x"
+    )
+    if ratio > STRIDE_SANITIZER_OVERHEAD_BUDGET:
+        print(
+            f"FAIL: {stride_mode} slowdown {ratio}x exceeds the "
+            f"{STRIDE_SANITIZER_OVERHEAD_BUDGET}x budget",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"stride sanitizer OK: {ratio}x <= "
+        f"{STRIDE_SANITIZER_OVERHEAD_BUDGET}x budget"
+    )
     return 0
 
 
@@ -238,6 +373,8 @@ def faults_guard() -> int:
 def dispatch(argv: list[str]) -> int:
     if "--sanitizer" in argv:
         return sanitizer_guard()
+    if "--stride-sanitizer" in argv:
+        return stride_guard()
     if "--faults" in argv:
         return faults_guard()
     return main()

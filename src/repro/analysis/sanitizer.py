@@ -7,7 +7,7 @@ gone wrong, the moment it happens.  Enable it with
 every plainly-constructed :class:`~repro.sim.engine.Simulator` in the
 process, so whole existing scenarios run sanitized unchanged).
 
-Checked invariants, per dispatched event:
+Checked invariants, per checked event:
 
 * **event-time-monotonic** — the clock never moves backwards between
   dispatches (a corrupted heap or hand-pushed entry fails loudly);
@@ -30,24 +30,52 @@ Checked invariants, per dispatched event:
   :meth:`repro.ssd.ftl.FTL.finish_gc`, since a full walk is O(mapped
   pages) and only GC restructures the map).
 
+Stride mode
+-----------
+``Simulator(sanitize="stride:K")`` (or ``REPRO_SANITIZE=stride:K``)
+runs the component sweep every K-th dispatched event instead of every
+event, plus one final full sweep when each ``run()`` call returns —
+so a *sticky* violation (negative queue depth, broken conservation sum)
+is always caught, at most K-1 events late, for ~1/K of the checking
+cost.  Clock monotonicity is still verified on every event (two int
+compares).  A strided run is bit-identical to a plain or fully-checked
+run — the sanitizer only observes.
+
+When a strided run does trip, the violation site is coarse (the event
+*at the sampling point*, not the event that corrupted state).  The
+:func:`escalate` helper implements the rewind-free escalation protocol:
+re-run the same scenario seeded with ``sanitize=True`` — determinism
+makes the replay exact — and let the full-fidelity run pinpoint the
+first offending event.
+
 Violations raise :class:`SanitizerError` carrying the invariant name,
 the simulated time, and the offending event's callback site label (the
 same ``__qualname__`` labels :mod:`repro.profiling` reports), so a
 failure reads like ``[queue-depth] at t=1840ns during Link._finish: ...``.
 
+Per-invariant-group cost counters (checks run, violations found, and —
+after :meth:`Sanitizer.enable_cost_tracking` — nanoseconds spent per
+group) feed :class:`repro.profiling.SanitizerCostProfile`.
+
 The sanitizer never schedules events or draws randomness, so a
-sanitized run is bit-identical to a plain one — the overhead budget
-(``<= 2.5x`` on the incast cell) is enforced by
-``benchmarks/smoke_cell.py`` and recorded in ``benchmarks/results/``.
+sanitized run is bit-identical to a plain one — the overhead budgets
+(``<= 3.0x`` full, ``<= 1.15x`` at stride 64, on the incast cell) are
+enforced by ``benchmarks/smoke_cell.py`` and recorded in
+``benchmarks/results/``.  The sanitizing dispatch loop never coalesces
+anonymous events into batch dispatches (each member dispatches singly —
+provably the same order, see ``repro.sim.engine``), so full-fidelity
+checks run between batch members and localization stays exact.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import TYPE_CHECKING
+import time as _walltime
+from typing import TYPE_CHECKING, Callable, TypeVar
 
 from repro.profiling import site_label
 from repro.sim.engine import MaxEventsExceeded, Simulator
+from repro.sim.events import HANDLED_MARK
 
 if TYPE_CHECKING:
     from repro.net.link import Link
@@ -56,7 +84,16 @@ if TYPE_CHECKING:
     from repro.nvme.wrr import TokenWRR
     from repro.ssd.ftl import FTL
 
-__all__ = ["SanitizerError", "Sanitizer", "SanitizingSimulator", "ftl_mapping_violation"]
+__all__ = [
+    "SanitizerError",
+    "Sanitizer",
+    "SanitizingSimulator",
+    "escalate",
+    "ftl_mapping_violation",
+    "parse_stride",
+]
+
+_T = TypeVar("_T")
 
 
 class SanitizerError(RuntimeError):
@@ -121,17 +158,34 @@ def ftl_mapping_violation(ftl: "FTL") -> str | None:
     return None
 
 
+#: Invariant-group keys, in sweep order (the cost-counter axis).
+CHECK_GROUPS = ("links", "switches", "nics", "wrrs")
+
+
 class Sanitizer:
     """Registry of tracked components plus their per-event check functions.
 
     Components self-register at construction time when their simulator
     carries a sanitizer (``sim.sanitizer is not None``); tests can also
     register objects directly.  Checks are grouped by component type so
-    the dispatch loop pays a handful of Python calls per event, each a
-    tight loop over a homogeneous list.
+    the dispatch loop pays a handful of Python calls per checked event,
+    each a tight loop over a homogeneous list.  Per-group counters
+    (``check_counts``, ``violation_counts``, and ``check_ns`` once
+    :meth:`enable_cost_tracking` is on) record where checking time goes.
     """
 
-    __slots__ = ("_links", "_switches", "_nics", "_wrrs", "_ftls", "events_checked")
+    __slots__ = (
+        "_links",
+        "_switches",
+        "_nics",
+        "_wrrs",
+        "_ftls",
+        "events_checked",
+        "check_counts",
+        "violation_counts",
+        "check_ns",
+        "_timed",
+    )
 
     def __init__(self) -> None:
         self._links: list[Link] = []
@@ -140,6 +194,22 @@ class Sanitizer:
         self._wrrs: list[tuple[str, TokenWRR]] = []
         self._ftls: list[FTL] = []
         self.events_checked = 0
+        #: group -> component sweeps run (one per checked event).
+        self.check_counts: dict[str, int] = {g: 0 for g in CHECK_GROUPS}
+        #: group -> violations the sweep reported.
+        self.violation_counts: dict[str, int] = {g: 0 for g in CHECK_GROUPS}
+        #: group -> cumulative wall ns (only grows under cost tracking).
+        self.check_ns: dict[str, int] = {g: 0 for g in CHECK_GROUPS}
+        self._timed = False
+
+    def enable_cost_tracking(self) -> None:
+        """Start timing each invariant group (perf_counter_ns per sweep).
+
+        Timing costs a couple of clock reads per group per checked
+        event, so it is off by default; the count/violation counters are
+        maintained either way.
+        """
+        self._timed = True
 
     # -- registration ---------------------------------------------------
     def track_link(self, link: "Link") -> None:
@@ -170,9 +240,7 @@ class Sanitizer:
         ftl.finish_gc = checked_finish_gc  # type: ignore[method-assign]
 
     # -- per-event checks ------------------------------------------------
-    def check(self) -> tuple[str, str] | None:
-        """Run every cheap invariant; ``(invariant, detail)`` or None."""
-        self.events_checked += 1
+    def _check_links(self) -> tuple[str, str] | None:
         for link in self._links:
             if link._queued_bytes < 0:
                 return (
@@ -180,6 +248,9 @@ class Sanitizer:
                     f"link {link.name} queued_bytes went negative "
                     f"({link._queued_bytes})",
                 )
+        return None
+
+    def _check_switches(self) -> tuple[str, str] | None:
         for switch in self._switches:
             if switch._buffered_bytes < 0:
                 return (
@@ -194,6 +265,9 @@ class Sanitizer:
                         f"switch {switch.name} ingress port {port} byte account "
                         f"went negative ({level})",
                     )
+        return None
+
+    def _check_nics(self) -> tuple[str, str] | None:
         for nic in self._nics:
             used = nic._txq_used
             if used < 0 or used > nic.config.txq_capacity_bytes:
@@ -202,7 +276,8 @@ class Sanitizer:
                     f"NIC {nic.name} TXQ usage {used} outside "
                     f"[0, {nic.config.txq_capacity_bytes}]",
                 )
-            pending = sum(nic._reassembly.values())
+            reassembly = nic._reassembly
+            pending = sum(reassembly.values()) if reassembly else 0
             expected = (
                 nic.reassembly_bytes_delivered
                 + pending
@@ -227,12 +302,13 @@ class Sanitizer:
                 rel = flow._rel
                 if rel is None:
                     continue
-                if len(rel.unacked) > rel.config.window_packets:
+                rcfg = rel.config
+                if len(rel.unacked) > rcfg.window_packets:
                     return (
                         "reliability-bounds",
                         f"flow {nic.name}->{flow.dst} holds "
                         f"{len(rel.unacked)} unacked segments, window is "
-                        f"{rel.config.window_packets}",
+                        f"{rcfg.window_packets}",
                     )
                 if rel.base_seq > rel.next_seq:
                     return (
@@ -240,12 +316,12 @@ class Sanitizer:
                         f"flow {nic.name}->{flow.dst} base_seq "
                         f"{rel.base_seq} beyond next_seq {rel.next_seq}",
                     )
-                if not rel.config.rto_ns <= rel.rto_current_ns <= rel.config.rto_max_ns:
+                if not rcfg.rto_ns <= rel.rto_current_ns <= rcfg.rto_max_ns:
                     return (
                         "reliability-bounds",
                         f"flow {nic.name}->{flow.dst} RTO "
                         f"{rel.rto_current_ns} outside "
-                        f"[{rel.config.rto_ns}, {rel.config.rto_max_ns}]",
+                        f"[{rcfg.rto_ns}, {rcfg.rto_max_ns}]",
                     )
                 if len(rel.retransmit_queue) > len(rel.unacked):
                     return (
@@ -254,6 +330,9 @@ class Sanitizer:
                         f"({len(rel.retransmit_queue)}) larger than the "
                         f"unacked window ({len(rel.unacked)})",
                     )
+        return None
+
+    def _check_wrrs(self) -> tuple[str, str] | None:
         for name, wrr in self._wrrs:
             if not (0 <= wrr.read_tokens <= wrr.read_weight):
                 return (
@@ -269,6 +348,38 @@ class Sanitizer:
                 )
         return None
 
+    #: Group key -> bound sweep, filled per instance in ``check``.
+    _GROUP_METHODS = (
+        ("links", _check_links),
+        ("switches", _check_switches),
+        ("nics", _check_nics),
+        ("wrrs", _check_wrrs),
+    )
+
+    def check(self) -> tuple[str, str] | None:
+        """Run every cheap invariant; ``(invariant, detail)`` or None."""
+        self.events_checked += 1
+        counts = self.check_counts
+        if self._timed:
+            clock = _walltime.perf_counter_ns
+            ns = self.check_ns
+            for group, method in self._GROUP_METHODS:
+                t0 = clock()
+                failure = method(self)
+                ns[group] += clock() - t0
+                counts[group] += 1
+                if failure is not None:
+                    self.violation_counts[group] += 1
+                    return failure
+            return None
+        for group, method in self._GROUP_METHODS:
+            counts[group] += 1
+            failure = method(self)
+            if failure is not None:
+                self.violation_counts[group] += 1
+                return failure
+        return None
+
     def check_ftls(self) -> tuple[str, str] | None:
         """On-demand full FTL walk (also runs inside the GC hook)."""
         for ftl in self._ftls:
@@ -278,20 +389,53 @@ class Sanitizer:
         return None
 
 
+def parse_stride(sanitize: bool | str) -> int:
+    """Check stride encoded in a ``sanitize`` value (1 = every event).
+
+    ``True`` (and truthy legacy strings like ``"1"``/``"on"``) mean
+    full fidelity; ``"stride:K"`` samples every K-th event.
+    """
+    if isinstance(sanitize, str):
+        value = sanitize.strip().lower()
+        if value.startswith("stride:"):
+            try:
+                stride = int(value.split(":", 1)[1])
+            except ValueError:
+                raise ValueError(f"malformed sanitize stride: {sanitize!r}") from None
+            if stride < 1:
+                raise ValueError(f"sanitize stride must be >= 1, got {stride}")
+            return stride
+    return 1
+
+
 class SanitizingSimulator(Simulator):
     """A :class:`Simulator` whose dispatch loop checks invariants.
 
     The loop mirrors the plain engine's (same pop order, same ``until``
     and ``max_events`` semantics), so a sanitized run is bit-identical;
     it additionally verifies clock monotonicity before each dispatch and
-    runs every registered component check after each callback, raising
+    runs the component checks after each K-th callback (K =
+    :attr:`check_stride`, 1 under ``sanitize=True``), raising
     :class:`SanitizerError` annotated with the offending event's site.
+    Anonymous events are dispatched one by one (never batch-coalesced),
+    so under full fidelity every invariant holds between batch members.
     """
 
-    def __init__(self, *, trace: bool = False, sanitize: bool | None = None) -> None:
+    __slots__ = ("_last_dispatch_ns", "check_stride", "_check_countdown")
+
+    def __init__(
+        self, *, trace: bool = False, sanitize: bool | str | None = None
+    ) -> None:
         super().__init__(trace=trace)
         self.sanitizer = Sanitizer()
         self._last_dispatch_ns = 0
+        if sanitize is None:
+            import os
+
+            sanitize = env_sanitize_mode(os.environ.get("REPRO_SANITIZE")) or True
+        #: Component checks run every this-many dispatched events.
+        self.check_stride = parse_stride(sanitize)
+        self._check_countdown = self.check_stride
 
     def run(self, until: int | None = None, max_events: int | None = None) -> int:
         queue = self._queue
@@ -300,20 +444,26 @@ class SanitizingSimulator(Simulator):
         trace = self._trace
         sanitizer = self.sanitizer
         check = sanitizer.check
+        stride = self.check_stride
+        countdown = self._check_countdown
         dispatched = 0
         try:
             while heap:
-                time, _seq, ev = heap[0]
-                if ev.cancelled:
-                    heappop(heap)
-                    queue._dead -= 1
-                    continue
+                time, _seq, callback, args = heap[0]
                 if until is not None and time > until:
                     break
                 heappop(heap)
-                ev._queue = None
-                queue._live -= 1
-                callback = ev.callback
+                if callback is not HANDLED_MARK:
+                    queue._live -= 1
+                else:
+                    ev = args
+                    if ev.cancelled:
+                        queue._dead -= 1
+                        continue
+                    ev._queue = None
+                    queue._live -= 1
+                    callback = ev.callback
+                    args = ev.args
                 if time < self._last_dispatch_ns:
                     raise SanitizerError(
                         "event-time-monotonic",
@@ -326,7 +476,6 @@ class SanitizingSimulator(Simulator):
                 self.now = time
                 if trace:
                     self.dispatch_log.append((time, site_label(callback)))
-                args = ev.args
                 try:
                     if args:
                         callback(*args)
@@ -340,19 +489,36 @@ class SanitizingSimulator(Simulator):
                     if err.time_ns is None:
                         err.time_ns = time
                     raise
-                failure = check()
-                if failure is not None:
-                    invariant, detail = failure
-                    raise SanitizerError(
-                        invariant, detail, time_ns=time, site=site_label(callback)
-                    )
+                countdown -= 1
+                if countdown <= 0:
+                    countdown = stride
+                    failure = check()
+                    if failure is not None:
+                        invariant, detail = failure
+                        raise SanitizerError(
+                            invariant, detail, time_ns=time, site=site_label(callback)
+                        )
                 dispatched += 1
                 if max_events is not None and dispatched >= max_events:
                     raise MaxEventsExceeded(
                         max_events, dispatched, queue._live, self.now
                     )
         finally:
+            self._check_countdown = countdown
             self.events_dispatched += dispatched
+        if stride > 1 and dispatched:
+            # End-of-run full sweep: a strided run must not let a sticky
+            # violation escape just because the run ended mid-window.
+            failure = check()
+            if failure is not None:
+                invariant, detail = failure
+                raise SanitizerError(
+                    invariant,
+                    f"{detail} (caught by the end-of-run sweep; re-run with "
+                    f"sanitize=True or repro.analysis.sanitizer.escalate() "
+                    f"for the exact event)",
+                    time_ns=self.now,
+                )
         if until is not None and until > self.now:
             self.now = until
         if self.watchdog is not None and not heap:
@@ -367,8 +533,52 @@ class SanitizingSimulator(Simulator):
             raise SanitizerError(invariant, detail, time_ns=self.now)
 
 
+def escalate(
+    scenario: Callable[[bool | str], _T], *, stride: int = 64
+) -> _T:
+    """Run ``scenario`` strided; on violation, replay at full fidelity.
+
+    ``scenario`` must build and run its simulation from the ``sanitize``
+    value it is passed (e.g. ``lambda s: run_incast_cell(sim=
+    Simulator(sanitize=s))``) and be deterministic — every simulation in
+    this library is, for fixed seeds.  The strided leg is cheap
+    (~1/stride of the checking cost); only if its sampled sweep reports
+    a violation is the cell re-run with ``sanitize=True``, which stops
+    at the exact first offending event.  No state rewind is needed —
+    determinism *is* the rewind.
+
+    Raises the full-fidelity :class:`SanitizerError` (chained to the
+    strided one) when the replay reproduces the violation; re-raises the
+    strided error annotated as non-reproducing otherwise (a scenario
+    that draws entropy outside the simulator could cause this).
+    Returns the strided run's result when no violation fires.
+    """
+    try:
+        return scenario(f"stride:{stride}")
+    except SanitizerError as coarse:
+        result = scenario(True)  # a precise SanitizerError chains implicitly
+        del result
+        raise SanitizerError(
+            coarse.invariant,
+            f"{coarse.detail} (violation did not reproduce under the "
+            f"full-fidelity re-run; is the scenario deterministic?)",
+            time_ns=coarse.time_ns,
+            site=coarse.site,
+        ) from coarse
+
+
 def env_sanitize_enabled(value: str | None) -> bool:
-    """Interpret the ``REPRO_SANITIZE`` environment value."""
+    """Interpret the ``REPRO_SANITIZE`` environment value as on/off."""
+    return bool(env_sanitize_mode(value))
+
+
+def env_sanitize_mode(value: str | None) -> bool | str:
+    """Interpret ``REPRO_SANITIZE``: off, full (``True``), or ``stride:K``."""
     if value is None:
         return False
-    return value.strip().lower() not in ("", "0", "false", "no", "off")
+    stripped = value.strip().lower()
+    if stripped in ("", "0", "false", "no", "off"):
+        return False
+    if stripped.startswith("stride:"):
+        return stripped
+    return True

@@ -11,12 +11,21 @@ Hot-path notes: the serialization-finish and arrival steps are bound
 methods that receive the packet as an event argument — the engine calls
 ``callback(packet)`` directly, so no closure is allocated per packet —
 and serialization times are memoised per packet size (MTU-dominated
-traffic hits a single dict entry).
+traffic hits a single dict entry).  Both steps are scheduled as
+*anonymous* events (``schedule_anon``): nothing ever cancels an
+in-flight serialization or propagation (see :meth:`Link.set_down` — a
+packet on the wire always finishes), so the per-packet ``Event`` handle
+was pure allocation overhead.  Deliveries additionally register a batch
+callback (:meth:`Link._deliver_batch`): when several packets of one
+link arrive in the same tick, the engine coalesces them into a single
+dispatch over the packet batch, which lands on the receiving device's
+``receive_batch`` entry point when it has one.
 """
 
 from __future__ import annotations
 
 from collections import deque
+from heapq import heappush
 from typing import TYPE_CHECKING, Callable, Protocol
 
 from repro.net.packet import Packet
@@ -66,6 +75,7 @@ class Link:
         "_ser_cache",
         "_finish_cb",
         "_deliver_cb",
+        "_dst_receive_batch",
     )
 
     def __init__(
@@ -115,9 +125,15 @@ class Link:
         #: size -> serialization ns memo (one entry for MTU traffic).
         self._ser_cache: dict[int, int] = {}
         # Bound methods cached once: scheduling them with the packet as
-        # an event argument replaces the two per-packet closures.
+        # an event argument replaces the two per-packet closures, and the
+        # stable identity of ``_deliver_cb`` is what lets the engine
+        # coalesce same-tick deliveries of this link into one batch.
         self._finish_cb = self._finish
         self._deliver_cb = self._deliver
+        self._dst_receive_batch: Callable[[list[Packet], int], None] | None = getattr(
+            dst, "receive_batch", None
+        )
+        sim.register_batch(self._deliver, self._deliver_batch)
         if sim.sanitizer is not None:
             sim.sanitizer.track_link(self)
 
@@ -133,6 +149,27 @@ class Link:
     # -- transmission ------------------------------------------------------
     def send(self, packet: Packet) -> None:
         """Enqueue a packet for transmission."""
+        if not self._busy and not self.paused and not self.down and not self._queue:
+            # Idle link, empty queue (the common case on paced sender
+            # uplinks): serialization starts immediately, so the FIFO
+            # round-trip and its byte accounting would net to zero —
+            # skip both and schedule the finish directly.
+            size = packet.size_bytes
+            self._busy = True
+            ns = self._ser_cache.get(size)
+            if ns is None:
+                ns = max(1, int(size / self._bytes_per_ns + 0.5))
+                self._ser_cache[size] = ns
+            sim = self.sim
+            queue = sim._queue
+            seq = queue._seq
+            queue._seq = seq + 1
+            heap = queue._heap
+            heappush(heap, (sim.now + ns, seq, self._finish_cb, (packet,)))
+            queue._live += 1
+            if len(heap) > queue.high_water:
+                queue.high_water = len(heap)
+            return
         if self.down and not packet.is_control:
             # A dead cable eats data on contact.  Control packets are
             # queued instead (frozen until link-up): losing a PFC RESUME
@@ -144,7 +181,10 @@ class Link:
         else:
             self._queue.append(packet)
         self._queued_bytes += packet.size_bytes
-        self._try_start()
+        # _busy pre-check inlined: while serializing (half of all sends
+        # land in that window) the call would be an immediate no-op.
+        if not self._busy:
+            self._try_start()
 
     def serialization_ns(self, size_bytes: Bytes) -> Nanoseconds:
         ns = self._ser_cache.get(size_bytes)
@@ -159,11 +199,25 @@ class Link:
         if self.paused and not self._queue[0].is_control:
             return
         packet = self._queue.popleft()
-        self._queued_bytes -= packet.size_bytes
+        size = packet.size_bytes
+        self._queued_bytes -= size
         self._busy = True
-        self.sim.schedule(
-            self.serialization_ns(packet.size_bytes), self._finish_cb, packet
-        )
+        ns = self._ser_cache.get(size)
+        if ns is None:
+            ns = max(1, int(size / self._bytes_per_ns + 0.5))
+            self._ser_cache[size] = ns
+        # schedule_anon inlined (serialization_ns >= 1, so the delay
+        # check it would perform cannot fire): one serialization start
+        # per packet per hop makes the call frame itself measurable.
+        sim = self.sim
+        queue = sim._queue
+        seq = queue._seq
+        queue._seq = seq + 1
+        heap = queue._heap
+        heappush(heap, (sim.now + ns, seq, self._finish_cb, (packet,)))
+        queue._live += 1
+        if len(heap) > queue.high_water:
+            queue.high_water = len(heap)
 
     def _finish(self, packet: Packet) -> None:
         """Serialization done: hand off to propagation, start the next."""
@@ -183,11 +237,37 @@ class Link:
             if verdict == FAULT_CORRUPT:
                 packet.corrupted = True
                 self.packets_corrupted += 1
-        self.sim.schedule(self.delay_ns, self._deliver_cb, packet)
+        # schedule_anon inlined (delay_ns validated >= 0 at construction).
+        sim = self.sim
+        queue = sim._queue
+        seq = queue._seq
+        queue._seq = seq + 1
+        heap = queue._heap
+        heappush(heap, (sim.now + self.delay_ns, seq, self._deliver_cb, (packet,)))
+        queue._live += 1
+        if len(heap) > queue.high_water:
+            queue.high_water = len(heap)
         self._try_start()
 
     def _deliver(self, packet: Packet) -> None:
         self.dst.receive(packet, self.dst_port)
+
+    def _deliver_batch(self, batch: list[tuple[Packet]]) -> None:
+        """Coalesced form of :meth:`_deliver` (see ``Simulator.register_batch``).
+
+        ``batch`` holds the args tuples of the coalesced events — one
+        ``(packet,)`` per same-tick arrival, in dispatch order.  Devices
+        exposing ``receive_batch`` get the whole burst in one call;
+        everything else is fed packet by packet, preserving order.
+        """
+        receive_batch = self._dst_receive_batch
+        if receive_batch is not None:
+            receive_batch([args[0] for args in batch], self.dst_port)
+            return
+        receive = self.dst.receive
+        port = self.dst_port
+        for (packet,) in batch:
+            receive(packet, port)
 
     # -- PFC -----------------------------------------------------------------
     def pause(self) -> None:

@@ -25,10 +25,11 @@ from __future__ import annotations
 import itertools
 import zlib
 from collections import deque
+from heapq import heappush
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable
 
-from repro.net.dcqcn import DCQCNConfig, DCQCNRateControl, RateChange
+from repro.net.dcqcn import DCQCNConfig, RateChange, RateTable, TableRateControl
 from repro.net.link import Link
 from repro.net.packet import CONTROL_PACKET_BYTES, Packet, PacketKind
 from repro.net.reliability import FlowReliability, ReliabilityConfig
@@ -96,7 +97,7 @@ class Flow:
         "_messages",
         "queued_bytes",
         "_next_send_ns",
-        "_pump_event",
+        "_pump_due_ns",
         "_pump_cb",
         "bytes_sent",
         "_rel",
@@ -106,11 +107,18 @@ class Flow:
         self.id = next(_flow_ids)
         self.nic = nic
         self.dst = dst
-        self.rate_control = DCQCNRateControl(nic.sim, nic.config.dcqcn)
+        #: Row view into the NIC's packed :class:`RateTable` — same API
+        #: as the scalar ``DCQCNRateControl`` reference, but rate/alpha
+        #: updates are batched across the NIC's flows with NumPy.
+        self.rate_control: TableRateControl = nic.rate_table.new_flow()
         self._messages: deque[_Message] = deque()
         self.queued_bytes = 0
         self._next_send_ns = 0
-        self._pump_event = None
+        #: Time of the pending pacing wake-up; in the past = none pending.
+        #: The wake-up is an *anonymous* event (nothing ever cancels it —
+        #: the old cancel-and-reschedule per uplink departure was pure
+        #: heap churn), so this timestamp is the only handle needed.
+        self._pump_due_ns = 0
         self._pump_cb = self.pump  # cached bound method for rescheduling
         self.bytes_sent = 0
         rel_cfg = nic.config.reliability
@@ -151,9 +159,14 @@ class Flow:
         """
         nic = self.nic
         sim = nic.sim
-        if self._pump_event is not None:
-            self._pump_event.cancel()
-            self._pump_event = None
+        now = sim.now  # constant for the whole call: pumping never dispatches
+        if self._pump_due_ns > now:
+            # A pacing wake-up is already scheduled for exactly when
+            # sending next becomes allowed; until then every other
+            # condition is moot.  Keeping it pending (instead of the old
+            # cancel-and-reschedule on every uplink departure) removes
+            # ~2 heap pushes + 1 lazy cancel per data packet.
+            return
         if nic.stalled:
             return  # re-pumped when the stall window ends
         messages = self._messages
@@ -170,10 +183,21 @@ class Flow:
                     break
                 if rel is not None and not rel.window_free():
                     return  # window closed; the next ack re-pumps
-            if sim.now < self._next_send_ns:
-                self._pump_event = sim.schedule_at(self._next_send_ns, self._pump_cb)
+            if now < self._next_send_ns:
+                due = self._next_send_ns
+                self._pump_due_ns = due
+                # schedule_at_anon inlined (due > now by the branch
+                # condition): one pacing wake-up per data packet.
+                equeue = sim._queue
+                eseq = equeue._seq
+                equeue._seq = eseq + 1
+                eheap = equeue._heap
+                heappush(eheap, (due, eseq, self._pump_cb, ()))
+                equeue._live += 1
+                if len(eheap) > equeue.high_water:
+                    equeue.high_water = len(eheap)
                 return
-            if link.queued_packets >= max_backlog:
+            if len(link._queue) >= max_backlog:
                 return  # re-pumped when the link drains
             if retx:
                 assert rel is not None
@@ -195,7 +219,7 @@ class Flow:
                 )
                 rate_control.on_bytes_sent(seg)
                 gap = seg / rate_control.current_bytes_per_ns
-                self._next_send_ns = sim.now + max(1, int(gap + 0.5))
+                self._next_send_ns = now + max(1, int(gap + 0.5))
                 rel.on_sent()
                 continue
             msg = messages[0]
@@ -223,12 +247,13 @@ class Flow:
             nic._txq_used -= seg  # simlint: ignore[SIM202]
             rate_control.on_bytes_sent(seg)
             gap = seg / rate_control.current_bytes_per_ns
-            self._next_send_ns = sim.now + max(1, int(gap + 0.5))
+            self._next_send_ns = now + max(1, int(gap + 0.5))
             if last:
                 messages.popleft()
             if rel is not None:
                 rel.on_sent()
-            nic._notify_txq_drain()
+            if nic.txq_drain_listeners:
+                nic._notify_txq_drain()
         nic._backlogged.pop(self.id, None)
 
 
@@ -240,6 +265,8 @@ class NIC:
         self.name = name
         self.config = config or NICConfig()
         self.link: Link | None = None  # uplink, set by the topology builder
+        #: Packed DCQCN state for all of this NIC's flows (one row each).
+        self.rate_table = RateTable(sim, self.config.dcqcn)
         self.flows: dict[str, Flow] = {}
         self._flows_by_id: dict[int, Flow] = {}
         #: flow id -> flow, for every flow with queued bytes (pump index).
@@ -288,13 +315,13 @@ class NIC:
 
     # -- wiring -------------------------------------------------------------
     def attach_uplink(self, link: Link) -> None:
+        # _pump_backlogged doubles as the depart hook (the packet is
+        # irrelevant to re-pumping); binding it directly saves one call
+        # frame per uplink departure.
         self.link = link
-        link.on_depart = self._on_uplink_depart
+        link.on_depart = self._pump_backlogged
 
-    def _on_uplink_depart(self, _packet: Packet) -> None:
-        self._pump_backlogged()
-
-    def _pump_backlogged(self) -> None:
+    def _pump_backlogged(self, _packet: Packet | None = None) -> None:
         """Pump every flow with queued bytes, in flow-creation order.
 
         Sorted-by-id iteration over a snapshot: pumping can drain flows
@@ -304,13 +331,18 @@ class NIC:
         backlogged = self._backlogged
         if not backlogged:
             return
+        now = self.sim.now
         if len(backlogged) == 1:
             for flow in tuple(backlogged.values()):
-                flow.pump()
+                # Same keep-alive guard as Flow.pump's entry, hoisted to
+                # skip the call: a flow whose pacing wake-up is still in
+                # the future cannot send yet.
+                if flow._pump_due_ns <= now:
+                    flow.pump()
             return
         for flow_id in sorted(backlogged):
             flow = backlogged.get(flow_id)
-            if flow is not None:
+            if flow is not None and flow._pump_due_ns <= now:
                 flow.pump()
 
     def flow_to(self, dst: str) -> Flow:
@@ -428,6 +460,18 @@ class NIC:
     def reassembly_pending(self) -> int:
         """Messages currently awaiting more segments."""
         return len(self._reassembly)
+
+    def receive_batch(self, packets: list[Packet], in_port: int) -> None:
+        """Receive a same-tick burst delivered by one coalesced link event.
+
+        The batch-callback entry point ``Link._deliver_batch`` targets:
+        semantically identical to calling :meth:`receive` per packet, in
+        order (the engine's coalescing is order-preserving), it just
+        amortizes the dispatch overhead over the burst.
+        """
+        receive = self.receive
+        for packet in packets:
+            receive(packet, in_port)
 
     def receive(self, packet: Packet, in_port: int) -> None:
         kind = packet.kind

@@ -3,8 +3,6 @@
 from __future__ import annotations
 
 import enum
-import itertools
-from dataclasses import dataclass, field
 from typing import Any
 
 
@@ -23,10 +21,7 @@ class PacketKind(enum.Enum):
 #: Wire sizes of control packets (bytes).
 CONTROL_PACKET_BYTES = 64
 
-_packet_ids = itertools.count()
 
-
-@dataclass(slots=True)
 class Packet:
     """One packet on the wire.
 
@@ -40,30 +35,67 @@ class Packet:
     by the fault injector: the packet still occupies wire time but the
     receiver discards it as a CRC failure.
 
-    ``slots=True`` keeps the per-packet footprint small — simulations
-    allocate one of these per MTU segment, so no ``__dict__``.
-    ``_ingress_port`` is switch-internal scratch space (the ingress port
-    a buffered packet entered through, for PFC byte accounting).
+    A plain ``__slots__`` class, not a dataclass: simulations allocate
+    one of these per MTU segment, and the hand-written ``__init__``
+    (no ``__post_init__`` indirection, no generated ``__eq__``) is the
+    cheapest construction CPython offers.  ``is_control`` precomputes
+    ``kind is not DATA`` — read on every link hop.  ``_ingress_port`` is
+    switch-internal scratch space (the ingress port a buffered packet
+    entered through, for PFC byte accounting).
     """
 
-    kind: PacketKind
-    src: str
-    dst: str
-    size_bytes: int
-    flow_id: int = -1
-    ecn_marked: bool = False
-    message_id: int = -1
-    message_bytes: int = 0
-    last_of_message: bool = False
-    seq: int = -1
-    corrupted: bool = False
-    payload: Any = None
-    pkt_id: int = field(default_factory=lambda: next(_packet_ids))
-    _ingress_port: int | None = None
-    #: Precomputed ``kind is not DATA`` — read on every link hop.
-    is_control: bool = field(init=False, default=False)
+    __slots__ = (
+        "kind",
+        "src",
+        "dst",
+        "size_bytes",
+        "flow_id",
+        "ecn_marked",
+        "message_id",
+        "message_bytes",
+        "last_of_message",
+        "seq",
+        "corrupted",
+        "payload",
+        "_ingress_port",
+        "is_control",
+    )
 
-    def __post_init__(self) -> None:
-        if self.size_bytes <= 0:
-            raise ValueError(f"packet size must be positive, got {self.size_bytes}")
-        self.is_control = self.kind is not PacketKind.DATA
+    def __init__(
+        self,
+        *,
+        kind: PacketKind,
+        src: str,
+        dst: str,
+        size_bytes: int,
+        flow_id: int = -1,
+        ecn_marked: bool = False,
+        message_id: int = -1,
+        message_bytes: int = 0,
+        last_of_message: bool = False,
+        seq: int = -1,
+        corrupted: bool = False,
+        payload: Any = None,
+    ) -> None:
+        if size_bytes <= 0:
+            raise ValueError(f"packet size must be positive, got {size_bytes}")
+        self.kind = kind
+        self.src = src
+        self.dst = dst
+        self.size_bytes = size_bytes
+        self.flow_id = flow_id
+        self.ecn_marked = ecn_marked
+        self.message_id = message_id
+        self.message_bytes = message_bytes
+        self.last_of_message = last_of_message
+        self.seq = seq
+        self.corrupted = corrupted
+        self.payload = payload
+        self._ingress_port: int | None = None
+        self.is_control = kind is not PacketKind.DATA
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Packet({self.kind.name} {self.src}->{self.dst} "
+            f"{self.size_bytes}B flow={self.flow_id} seq={self.seq})"
+        )

@@ -98,7 +98,7 @@ class Switch:
 
     def _make_depart_hook(self, out_port: int):
         def hook(packet: Packet) -> None:
-            in_port = getattr(packet, "_ingress_port", None)
+            in_port = packet._ingress_port
             if in_port is not None and in_port in self._ingress_bytes:
                 self._account_ingress(in_port, -packet.size_bytes)
             self._buffered_bytes -= packet.size_bytes
@@ -112,7 +112,46 @@ class Switch:
         return self._out_links[port]
 
     # -- forwarding ------------------------------------------------------------
+    def receive_batch(self, packets: list[Packet], in_port: int) -> None:
+        """Receive a same-tick burst delivered by one coalesced link event.
+
+        The batch-callback entry point ``Link._deliver_batch`` targets;
+        equivalent to per-packet :meth:`receive` calls in arrival order
+        (ECN draws consume the switch RNG in the same sequence).
+        """
+        receive = self.receive
+        for packet in packets:
+            receive(packet, in_port)
+
     def receive(self, packet: Packet, in_port: int) -> None:
+        # Data packets are the overwhelming majority; their path is laid
+        # out first with one is_control check and no PFC-kind tests.
+        if not packet.is_control:
+            ports = self.routes.get(packet.dst)
+            if not ports:
+                raise RuntimeError(f"{self.name}: no route to {packet.dst}")
+            out_port = (
+                ports[packet.flow_id % len(ports)] if len(ports) > 1 else ports[0]
+            )
+            link = self._out_links[out_port]
+            size = packet.size_bytes
+            if self._buffered_bytes + size > self.config.buffer_bytes:
+                self.packets_dropped += 1
+                self.drops_by_port[out_port] = self.drops_by_port.get(out_port, 0) + 1
+                self.drops_by_class["data"] += 1
+                if self.on_drop is not None:
+                    self.on_drop(packet, out_port)
+                return
+            # ECN pre-check hoisted: below Kmin no mark is possible and no
+            # RNG draw happens, so skipping the call is bit-identical.
+            if link._queued_bytes > self.config.ecn_kmin_bytes:
+                self._maybe_mark_ecn(packet, link)
+            packet._ingress_port = in_port  # for departure accounting
+            self._buffered_bytes += size
+            self._account_ingress(in_port, size)
+            link.send(packet)
+            self.packets_forwarded += 1
+            return
         if packet.kind in (PacketKind.PAUSE, PacketKind.RESUME):
             if packet.dst == self.name:
                 self.handle_pfc(packet, in_port)
@@ -122,29 +161,14 @@ class Switch:
             raise RuntimeError(f"{self.name}: no route to {packet.dst}")
         out_port = ports[packet.flow_id % len(ports)] if len(ports) > 1 else ports[0]
         link = self._out_links[out_port]
-
-        if not packet.is_control:
-            if self._buffered_bytes + packet.size_bytes > self.config.buffer_bytes:
-                self.packets_dropped += 1
-                self.drops_by_port[out_port] = self.drops_by_port.get(out_port, 0) + 1
-                self.drops_by_class["data"] += 1
-                if self.on_drop is not None:
-                    self.on_drop(packet, out_port)
-                return
-            self._maybe_mark_ecn(packet, link)
-            packet._ingress_port = in_port  # for departure accounting
-            self._buffered_bytes += packet.size_bytes
-            self._account_ingress(in_port, packet.size_bytes)
-        else:
-            packet._ingress_port = None
-            self._buffered_bytes += packet.size_bytes
-
+        packet._ingress_port = None
+        self._buffered_bytes += packet.size_bytes
         link.send(packet)
         self.packets_forwarded += 1
 
     def _maybe_mark_ecn(self, packet: Packet, link: Link) -> None:
         cfg = self.config
-        qlen = link.queued_bytes
+        qlen = link._queued_bytes
         if qlen <= cfg.ecn_kmin_bytes:
             return
         if qlen >= cfg.ecn_kmax_bytes:
@@ -158,13 +182,15 @@ class Switch:
 
     # -- PFC -----------------------------------------------------------------
     def _account_ingress(self, in_port: int, delta: int) -> None:
-        self._ingress_bytes[in_port] = self._ingress_bytes.get(in_port, 0) + delta
-        level = self._ingress_bytes[in_port]
-        if level > self.config.pfc_xoff_bytes and in_port not in self._paused_upstream:
-            self._paused_upstream.add(in_port)
+        ingress = self._ingress_bytes
+        level = ingress.get(in_port, 0) + delta
+        ingress[in_port] = level
+        paused = self._paused_upstream
+        if level > self.config.pfc_xoff_bytes and in_port not in paused:
+            paused.add(in_port)
             self._send_pfc(in_port, PacketKind.PAUSE)
-        elif level < self.config.pfc_xon_bytes and in_port in self._paused_upstream:
-            self._paused_upstream.discard(in_port)
+        elif paused and level < self.config.pfc_xon_bytes and in_port in paused:
+            paused.discard(in_port)
             self._send_pfc(in_port, PacketKind.RESUME)
 
     def _send_pfc(self, in_port: int, kind: PacketKind) -> None:

@@ -38,11 +38,13 @@ from repro.profiling.bench import (
     run_incast_cell,
 )
 from repro.sim.engine import MaxEventsExceeded, Simulator
+from repro.sim.events import HANDLED_MARK
 
 __all__ = [
     "BenchResult",
     "EngineProfile",
     "InstrumentedSimulator",
+    "SanitizerCostProfile",
     "build_incast_cell",
     "engine_microbench",
     "incast_outputs",
@@ -101,6 +103,78 @@ class EngineProfile:
         return "\n".join(lines)
 
 
+@dataclass
+class SanitizerCostProfile:
+    """Where the runtime sanitizer's checking budget went.
+
+    Snapshot of a :class:`repro.analysis.sanitizer.Sanitizer`'s
+    per-invariant-group counters: how many sweeps each group ran, how
+    many violations it reported, and — when the sanitizer had
+    ``enable_cost_tracking()`` on — the cumulative wall nanoseconds per
+    group.  This is the number behind the stride-sampling trade-off:
+    ``events_checked / events_dispatched`` quantifies what ``stride:K``
+    saved, the per-group split says which invariant to thin out next.
+    """
+
+    #: Dispatched events that ran the full component sweep.
+    events_checked: int = 0
+    #: Total events the run dispatched (for the sampling-rate context).
+    events_dispatched: int = 0
+    #: group -> sweeps run / violations found / cumulative wall ns.
+    check_counts: dict[str, int] = field(default_factory=dict)
+    violation_counts: dict[str, int] = field(default_factory=dict)
+    check_ns: dict[str, int] = field(default_factory=dict)
+
+    @classmethod
+    def from_simulator(cls, sim: Simulator) -> "SanitizerCostProfile":
+        """Snapshot a sanitizing simulator's counters (post-run)."""
+        sanitizer = sim.sanitizer
+        if sanitizer is None:
+            raise ValueError("simulator has no sanitizer attached")
+        return cls(
+            events_checked=sanitizer.events_checked,
+            events_dispatched=sim.events_dispatched,
+            check_counts=dict(sanitizer.check_counts),
+            violation_counts=dict(sanitizer.violation_counts),
+            check_ns=dict(sanitizer.check_ns),
+        )
+
+    @property
+    def sampling_rate(self) -> float:
+        """Fraction of dispatched events that paid a full sweep."""
+        if self.events_dispatched <= 0:
+            return 0.0
+        return self.events_checked / self.events_dispatched
+
+    def as_dict(self) -> dict:
+        return {
+            "events_checked": self.events_checked,
+            "events_dispatched": self.events_dispatched,
+            "sampling_rate": round(self.sampling_rate, 6),
+            "check_counts": dict(self.check_counts),
+            "violation_counts": dict(self.violation_counts),
+            "check_ns": dict(self.check_ns),
+        }
+
+    def format(self) -> str:
+        lines = [
+            f"events checked    : {self.events_checked} of "
+            f"{self.events_dispatched} dispatched "
+            f"({100.0 * self.sampling_rate:.1f}%)",
+            "per invariant group:",
+        ]
+        total_ns = max(1, sum(self.check_ns.values()))
+        timed = any(self.check_ns.values())
+        for group in self.check_counts:
+            ns = self.check_ns.get(group, 0)
+            cost = f"  {ns:>12} ns {100.0 * ns / total_ns:5.1f}%" if timed else ""
+            lines.append(
+                f"  {group:<10} {self.check_counts[group]:>10} sweeps"
+                f"  {self.violation_counts.get(group, 0):>3} violations{cost}"
+            )
+        return "\n".join(lines)
+
+
 class InstrumentedSimulator(Simulator):
     """A :class:`Simulator` that accounts every dispatch.
 
@@ -108,6 +182,8 @@ class InstrumentedSimulator(Simulator):
     ``until``/``max_events`` semantics — simulations are bit-identical)
     but additionally tallies per-callback-site counts and wall time.
     """
+
+    __slots__ = ("site_counts", "run_wall_s")
 
     def __init__(self, *, trace: bool = False) -> None:
         super().__init__(trace=trace)
@@ -120,31 +196,64 @@ class InstrumentedSimulator(Simulator):
         heappop = heapq.heappop
         trace = self._trace
         site_counts = self.site_counts
+        batch_map = self._batch_callbacks
+        coalesce = batch_map and max_events is None
         dispatched = 0
         t0 = _time.perf_counter()
         try:
             while heap:
-                time, _seq, ev = heap[0]
-                if ev.cancelled:
-                    heappop(heap)
-                    queue._dead -= 1
-                    continue
+                time, _seq, callback, tail = heap[0]
                 if until is not None and time > until:
                     break
                 heappop(heap)
-                ev._queue = None
-                queue._live -= 1
-                self.now = time
-                callback = ev.callback
-                name = site_label(callback)
-                site_counts[name] = site_counts.get(name, 0) + 1
-                if trace:
-                    self.dispatch_log.append((time, name))
-                args = ev.args
-                if args:
-                    callback(*args)
+                if callback is not HANDLED_MARK:
+                    queue._live -= 1
+                    self.now = time
+                    name = site_label(callback)
+                    if (
+                        coalesce
+                        and heap
+                        and (head := heap[0])[0] == time
+                        and head[2] is callback
+                    ):
+                        batch_callback = batch_map.get(callback)
+                        if batch_callback is not None:
+                            batch = [tail]
+                            while heap:
+                                head = heap[0]
+                                if head[0] != time or head[2] is not callback:
+                                    break
+                                heappop(heap)
+                                batch.append(head[3])
+                            queue._live -= len(batch) - 1
+                            site_counts[name] = site_counts.get(name, 0) + len(batch)
+                            if trace:
+                                self.dispatch_log.extend((time, name) for _ in batch)
+                            batch_callback(batch)
+                            dispatched += len(batch)
+                            continue
+                    site_counts[name] = site_counts.get(name, 0) + 1
+                    if trace:
+                        self.dispatch_log.append((time, name))
+                    callback(*tail)
                 else:
-                    callback()
+                    ev = tail
+                    if ev.cancelled:
+                        queue._dead -= 1
+                        continue
+                    ev._queue = None
+                    queue._live -= 1
+                    self.now = time
+                    callback = ev.callback
+                    name = site_label(callback)
+                    site_counts[name] = site_counts.get(name, 0) + 1
+                    if trace:
+                        self.dispatch_log.append((time, name))
+                    args = ev.args
+                    if args:
+                        callback(*args)
+                    else:
+                        callback()
                 dispatched += 1
                 if max_events is not None and dispatched >= max_events:
                     raise MaxEventsExceeded(

@@ -110,7 +110,7 @@ def engine_microbench(
 class _Feeder:
     """Keeps one sender's TXQ loaded with fixed-size messages."""
 
-    __slots__ = ("sim", "nic", "dst", "message_bytes", "gap_ns", "end_ns")
+    __slots__ = ("sim", "nic", "dst", "message_bytes", "gap_ns", "end_ns", "_feed_cb")
 
     def __init__(self, sim, nic, dst, message_bytes, gap_ns, end_ns) -> None:
         self.sim = sim
@@ -119,12 +119,13 @@ class _Feeder:
         self.message_bytes = message_bytes
         self.gap_ns = gap_ns
         self.end_ns = end_ns
+        self._feed_cb = self.feed  # bound once; rescheduled every tick
 
     def feed(self) -> None:
         if self.sim.now >= self.end_ns:
             return
         self.nic.send_message(self.dst, self.message_bytes)
-        self.sim.schedule(self.gap_ns, self.feed)
+        self.sim.schedule_anon(self.gap_ns, self._feed_cb)
 
 
 def build_incast_cell(

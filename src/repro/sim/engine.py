@@ -12,6 +12,21 @@ fastest way to push millions of events through CPython (see
 queue's tuple heap: each iteration peeks the head tuple once, pops it,
 and dispatches, instead of paying a ``peek_time()`` + ``pop()`` double
 traversal per event.
+
+Two event kinds flow through the loop (see :mod:`repro.sim.events`):
+handled ``(time, seq, HANDLED_MARK, Event)`` entries for anything that
+might be cancelled, and anonymous ``(time, seq, callback, args)``
+entries (:meth:`Simulator.schedule_anon`) for fire-and-forget hot
+paths; one sentinel identity check per dispatch tells them apart.
+Adjacent anonymous entries at the *same timestamp* with the *same
+callback object* are coalesced into one batch dispatch when the
+callback has a batch handler registered via
+:meth:`Simulator.register_batch` — a burst of packets landing on a link
+in one tick then costs one Python call instead of N.  Coalescing is
+strictly order-preserving: batch members are exactly the consecutive
+run of equal-``(time, callback)`` heap heads, popped in sequence order,
+and anonymous events cannot be cancelled, so a batched dispatch is
+semantically identical to dispatching the members one by one.
 """
 
 from __future__ import annotations
@@ -20,11 +35,16 @@ import heapq
 import os
 from typing import TYPE_CHECKING, Any, Callable
 
-from repro.sim.events import Event, EventQueue
+from repro.sim.events import HANDLED_MARK, Event, EventQueue
 
 if TYPE_CHECKING:
     from repro.analysis.sanitizer import Sanitizer
     from repro.core.units import Nanoseconds
+
+#: Sentinel "no deadline" for the run loop's ``until`` comparison —
+#: far beyond any simulated instant, so one int compare replaces an
+#: ``is not None`` check per dispatched event.
+_NO_DEADLINE = 1 << 62
 
 
 class MaxEventsExceeded(RuntimeError):
@@ -61,7 +81,9 @@ class Simulator:
     trace:
         When true, every dispatched event is appended to
         :attr:`dispatch_log` as ``(time, callback_qualname)`` — useful in
-        tests, far too slow for real runs.
+        tests, far too slow for real runs.  Batched dispatches log one
+        line per batch *member*, so a traced run produces the same log
+        whether or not coalescing fired.
     sanitize:
         When true (or when the ``REPRO_SANITIZE`` environment variable
         is set and ``sanitize`` is left as ``None``), constructing
@@ -70,40 +92,59 @@ class Simulator:
         dispatch loop checks runtime invariants (clock monotonicity,
         queue depths, byte conservation, ...) and raises
         :class:`~repro.analysis.sanitizer.SanitizerError` on violation.
+        The string form ``"stride:K"`` (e.g. ``"stride:64"``, also
+        accepted in ``REPRO_SANITIZE``) samples the invariant sweep
+        every K-th event instead of every event — see DESIGN.md §6.
         The sanitized run is bit-identical to a plain one, just slower.
     """
 
-    #: Set by :class:`~repro.analysis.sanitizer.SanitizingSimulator`;
-    #: components register themselves here when it is not ``None``.
-    sanitizer: "Sanitizer | None" = None
-
-    #: Quiescence hook (e.g. the stuck-I/O watchdog from
-    #: :mod:`repro.faults.watchdog`): called with the simulator once per
-    #: :meth:`run` call, only when the event heap fully drained — i.e.
-    #: the model has nothing left to do.  Zero per-event cost.  The hook
-    #: may raise (``StuckIOError``) to turn a silent wedge into a
-    #: diagnostic failure.
-    watchdog: "Callable[[Simulator], None] | None" = None
+    #: ``__slots__`` keeps every hot attribute (``now`` above all — read
+    #: and written once per dispatched event) a fixed-offset slot load
+    #: instead of a dict lookup.  Subclasses declare their own additions.
+    __slots__ = (
+        "now",
+        "_queue",
+        "_trace",
+        "dispatch_log",
+        "events_dispatched",
+        "_batch_callbacks",
+        "sanitizer",
+        "watchdog",
+    )
 
     def __new__(cls, *args: Any, **kwargs: Any) -> "Simulator":
         if cls is Simulator:
             sanitize = kwargs.get("sanitize")
             if sanitize is None:
-                from repro.analysis.sanitizer import env_sanitize_enabled
+                from repro.analysis.sanitizer import env_sanitize_mode
 
-                sanitize = env_sanitize_enabled(os.environ.get("REPRO_SANITIZE"))
+                sanitize = env_sanitize_mode(os.environ.get("REPRO_SANITIZE"))
             if sanitize:
                 from repro.analysis.sanitizer import SanitizingSimulator
 
                 return object.__new__(SanitizingSimulator)
         return object.__new__(cls)
 
-    def __init__(self, *, trace: bool = False, sanitize: bool | None = None) -> None:
+    def __init__(
+        self, *, trace: bool = False, sanitize: bool | str | None = None
+    ) -> None:
         self.now: Nanoseconds = 0
         self._queue = EventQueue()
         self._trace = trace
         self.dispatch_log: list[tuple[int, str]] = []
         self.events_dispatched: int = 0
+        #: item callback -> batch callback (see :meth:`register_batch`).
+        self._batch_callbacks: dict[Callable[..., None], Callable[..., None]] = {}
+        #: Set by :class:`~repro.analysis.sanitizer.SanitizingSimulator`;
+        #: components register themselves here when it is not ``None``.
+        self.sanitizer: "Sanitizer | None" = None
+        #: Quiescence hook (e.g. the stuck-I/O watchdog from
+        #: :mod:`repro.faults.watchdog`): called with the simulator once
+        #: per :meth:`run` call, only when the event heap fully drained —
+        #: i.e. the model has nothing left to do.  Zero per-event cost.
+        #: The hook may raise (``StuckIOError``) to turn a silent wedge
+        #: into a diagnostic failure.
+        self.watchdog: "Callable[[Simulator], None] | None" = None
 
     # -- scheduling -----------------------------------------------------
     def schedule(
@@ -127,6 +168,62 @@ class Simulator:
             raise ValueError(f"cannot schedule in the past: {time} < {self.now}")
         return self._queue.push(time, callback, *args)
 
+    def schedule_anon(
+        self, delay: Nanoseconds, callback: Callable[..., None], *args: Any
+    ) -> None:
+        """Schedule ``callback(*args)`` ``delay`` ns from now, handle-free.
+
+        The anonymous twin of :meth:`schedule`: no :class:`Event` is
+        allocated and the call cannot be cancelled.  Use on
+        fire-and-forget hot paths (per-packet link steps); keep
+        :meth:`schedule` for anything a component may need to cancel.
+        """
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        # push_anon inlined: this is the per-packet scheduling path, and
+        # the extra call frame measurably shows up on the incast cell.
+        queue = self._queue
+        seq = queue._seq
+        queue._seq = seq + 1
+        heap = queue._heap
+        heapq.heappush(heap, (self.now + delay, seq, callback, args))
+        queue._live += 1
+        if len(heap) > queue.high_water:
+            queue.high_water = len(heap)
+
+    def schedule_at_anon(
+        self, time: Nanoseconds, callback: Callable[..., None], *args: Any
+    ) -> None:
+        """Schedule ``callback(*args)`` at absolute ``time``, handle-free."""
+        if time < self.now:
+            raise ValueError(f"cannot schedule in the past: {time} < {self.now}")
+        queue = self._queue
+        seq = queue._seq
+        queue._seq = seq + 1
+        heap = queue._heap
+        heapq.heappush(heap, (time, seq, callback, args))
+        queue._live += 1
+        if len(heap) > queue.high_water:
+            queue.high_water = len(heap)
+
+    def register_batch(
+        self,
+        callback: Callable[..., None],
+        batch_callback: Callable[[list[tuple[Any, ...]]], None],
+    ) -> None:
+        """Declare ``batch_callback`` the coalesced form of ``callback``.
+
+        When consecutive *anonymous* heap entries share one timestamp
+        and the same ``callback`` object, the run loop pops the whole
+        run and dispatches ``batch_callback([args, args, ...])`` once —
+        each element the args tuple of one member, in dispatch order.
+        The callback must be the identical object across schedules
+        (e.g. a bound method cached once at construction); equal-but-
+        distinct bound methods never coalesce, they just dispatch
+        one by one.
+        """
+        self._batch_callbacks[callback] = batch_callback
+
     # -- execution ------------------------------------------------------
     def run(
         self, until: Nanoseconds | None = None, max_events: int | None = None
@@ -145,41 +242,139 @@ class Simulator:
             rather than hanging CI.  The simulator is left mid-run —
             clock advanced, remaining events queued — but consistent, so
             callers may inspect ``now``, ``pending()``, and
-            ``events_dispatched`` after catching the error.
+            ``events_dispatched`` after catching the error.  Batch
+            coalescing is disabled under ``max_events`` so the limit is
+            exact to the single event.
 
         Returns
         -------
         int
-            The number of events dispatched during this call.
+            The number of events dispatched during this call (batch
+            members count individually).
         """
         queue = self._queue
         heap = queue._heap  # the queue compacts in place; alias stays valid
         heappop = heapq.heappop
         trace = self._trace
+        batch_map = self._batch_callbacks
+        deadline = _NO_DEADLINE if until is None else until
+        coalesce = batch_map and max_events is None
         dispatched = 0
+        if not trace and max_events is None:
+            # Lean loop for the overwhelmingly common configuration: no
+            # dispatch log, no event limit.  Identical semantics to the
+            # general loop below minus its per-event trace/limit checks,
+            # which measurably add up at millions of events.
+            try:
+                while heap:
+                    time, _seq, callback, tail = heap[0]
+                    if time > deadline:
+                        break
+                    heappop(heap)
+                    if callback is not HANDLED_MARK:
+                        queue._live -= 1
+                        self.now = time
+                        if (
+                            coalesce
+                            and heap
+                            and (head := heap[0])[0] == time
+                            and head[2] is callback
+                        ):
+                            batch_callback = batch_map.get(callback)
+                            if batch_callback is not None:
+                                batch = [tail]
+                                append = batch.append
+                                while heap:
+                                    head = heap[0]
+                                    if head[0] != time or head[2] is not callback:
+                                        break
+                                    heappop(heap)
+                                    append(head[3])
+                                queue._live -= len(batch) - 1
+                                batch_callback(batch)
+                                dispatched += len(batch)
+                                continue
+                        callback(*tail)
+                    else:
+                        ev = tail
+                        if ev.cancelled:
+                            queue._dead -= 1
+                            continue
+                        ev._queue = None
+                        queue._live -= 1
+                        self.now = time
+                        args = ev.args
+                        if args:
+                            ev.callback(*args)
+                        else:
+                            ev.callback()
+                    dispatched += 1
+            finally:
+                self.events_dispatched += dispatched
+            if until is not None and until > self.now:
+                self.now = until
+            if self.watchdog is not None and not heap:
+                self.watchdog(self)
+            return dispatched
         try:
             while heap:
-                time, _seq, ev = heap[0]
-                if ev.cancelled:
-                    heappop(heap)
-                    queue._dead -= 1
-                    continue
-                if until is not None and time > until:
+                time, _seq, callback, tail = heap[0]
+                if time > deadline:
                     break
                 heappop(heap)
-                ev._queue = None
-                queue._live -= 1
-                self.now = time
-                callback = ev.callback
-                if trace:
-                    self.dispatch_log.append(
-                        (time, getattr(callback, "__qualname__", repr(callback)))
-                    )
-                args = ev.args
-                if args:
-                    callback(*args)
+                if callback is not HANDLED_MARK:
+                    queue._live -= 1
+                    self.now = time
+                    if (
+                        coalesce
+                        and heap
+                        and (head := heap[0])[0] == time
+                        and head[2] is callback
+                    ):
+                        batch_callback = batch_map.get(callback)
+                        if batch_callback is not None:
+                            batch = [tail]
+                            append = batch.append
+                            while heap:
+                                head = heap[0]
+                                if head[0] != time or head[2] is not callback:
+                                    break
+                                heappop(heap)
+                                append(head[3])
+                            queue._live -= len(batch) - 1
+                            if trace:
+                                name = getattr(
+                                    callback, "__qualname__", repr(callback)
+                                )
+                                self.dispatch_log.extend(
+                                    (time, name) for _ in batch
+                                )
+                            batch_callback(batch)
+                            dispatched += len(batch)
+                            continue
+                    if trace:
+                        self.dispatch_log.append(
+                            (time, getattr(callback, "__qualname__", repr(callback)))
+                        )
+                    callback(*tail)
                 else:
-                    callback()
+                    ev = tail
+                    if ev.cancelled:
+                        queue._dead -= 1
+                        continue
+                    ev._queue = None
+                    queue._live -= 1
+                    self.now = time
+                    callback = ev.callback
+                    if trace:
+                        self.dispatch_log.append(
+                            (time, getattr(callback, "__qualname__", repr(callback)))
+                        )
+                    args = ev.args
+                    if args:
+                        callback(*args)
+                    else:
+                        callback()
                 dispatched += 1
                 if max_events is not None and dispatched >= max_events:
                     raise MaxEventsExceeded(

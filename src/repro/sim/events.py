@@ -2,22 +2,36 @@
 
 An :class:`Event` couples a firing time with a callback (plus optional
 pre-bound arguments).  :class:`EventQueue` is a binary heap of plain
-``(time, seq, Event)`` tuples — the monotonically increasing sequence
-number makes ordering deterministic for events scheduled at the same
-instant, which in turn makes every simulation in the library exactly
-reproducible for a fixed seed.
+tuples — the monotonically increasing sequence number makes ordering
+deterministic for events scheduled at the same instant, which in turn
+makes every simulation in the library exactly reproducible for a fixed
+seed.
 
-The tuple heap is the hot-path representation: CPython compares the
-leading ``int`` of a tuple far faster than it dispatches a dataclass's
-generated ``__lt__``, and the :class:`Event` handle itself (``__slots__``,
-no ordering protocol) exists only so callers can cancel or inspect a
-scheduled callback.
+Every heap entry is a 4-tuple; the third element discriminates two
+kinds:
 
-Cancellation is lazy (cancelled entries stay in the heap and are
-skipped when they surface) but *accounted*: a live-event counter makes
-``len()`` O(1), and when dead entries outnumber live ones the heap is
-compacted in place, so cancel-and-reschedule patterns (DCQCN timers,
-NIC pacing) cannot bloat the heap.
+* ``(time, seq, HANDLED_MARK, Event)`` — a *handled* event: the
+  :class:`Event` object (``__slots__``, no ordering protocol) exists so
+  callers can cancel or inspect the scheduled callback.
+* ``(time, seq, callback, args)`` — an *anonymous* event pushed with
+  :meth:`EventQueue.push_anon`: no handle, no cancellation, no per-event
+  object allocation.  This is the hot-path shape for fire-and-forget
+  work (link serialization/propagation, feeder ticks) where the handle
+  was pure overhead.
+
+``HANDLED_MARK`` is a unique sentinel that can never equal a real
+callback, so dispatch loops discriminate with a single identity check
+(``entry[2] is HANDLED_MARK``) — measurably cheaper than a ``len()``
+call per dispatched event.  The two kinds never confuse the heap
+ordering: sequence numbers are unique, so tuple comparison is decided
+at element 0 or 1 and never reaches the third element.
+
+Cancellation (handled events only) is lazy (cancelled entries stay in
+the heap and are skipped when they surface) but *accounted*: a
+live-event counter makes ``len()`` O(1), and when dead entries
+outnumber live ones the heap is compacted in place, so
+cancel-and-reschedule patterns (DCQCN timers, NIC pacing) cannot bloat
+the heap.
 """
 
 from __future__ import annotations
@@ -28,6 +42,19 @@ from typing import Any, Callable
 #: Compaction triggers only above this many dead entries (small heaps
 #: never pay the rebuild) and only when dead entries outnumber live ones.
 _COMPACT_MIN_DEAD = 64
+
+
+class _HandledMark:
+    """Sentinel type marking handled heap entries (single instance)."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<HANDLED_MARK>"
+
+
+#: The sentinel occupying slot 2 of every handled heap entry.
+HANDLED_MARK = _HandledMark()
 
 
 class Event:
@@ -78,12 +105,12 @@ class Event:
 
 
 class EventQueue:
-    """A deterministic min-heap of ``(time, seq, Event)`` tuples."""
+    """A deterministic min-heap of handled and anonymous event tuples."""
 
     __slots__ = ("_heap", "_seq", "_live", "_dead", "high_water")
 
     def __init__(self) -> None:
-        self._heap: list[tuple[int, int, Event]] = []
+        self._heap: list[tuple[Any, ...]] = []
         self._seq = 0
         self._live = 0  # pending, non-cancelled events
         self._dead = 0  # cancelled entries still sitting in the heap
@@ -101,17 +128,45 @@ class EventQueue:
         self._seq = seq + 1
         ev = Event(time, seq, callback, args, self)
         heap = self._heap
-        heapq.heappush(heap, (time, seq, ev))
+        heapq.heappush(heap, (time, seq, HANDLED_MARK, ev))
         self._live += 1
         if len(heap) > self.high_water:
             self.high_water = len(heap)
         return ev
 
+    def push_anon(
+        self, time: int, callback: Callable[..., None], args: tuple = ()
+    ) -> None:
+        """Schedule ``callback(*args)`` at ``time`` with no handle.
+
+        Anonymous events cannot be cancelled or inspected; in exchange
+        they skip the per-event :class:`Event` allocation entirely.  Use
+        for fire-and-forget hot paths.
+        """
+        if time < 0:
+            raise ValueError(f"event time must be non-negative, got {time}")
+        seq = self._seq
+        self._seq = seq + 1
+        heap = self._heap
+        heapq.heappush(heap, (time, seq, callback, args))
+        self._live += 1
+        if len(heap) > self.high_water:
+            self.high_water = len(heap)
+
     def pop(self) -> Event | None:
-        """Pop the earliest non-cancelled event, or ``None`` if drained."""
+        """Pop the earliest non-cancelled event, or ``None`` if drained.
+
+        Anonymous entries come back wrapped in a detached (queue-less)
+        :class:`Event` so callers see one handle type; this is a cold
+        path — the engine's run loop dispatches raw tuples directly.
+        """
         heap = self._heap
         while heap:
-            ev = heapq.heappop(heap)[2]
+            entry = heapq.heappop(heap)
+            if entry[2] is not HANDLED_MARK:
+                self._live -= 1
+                return Event(entry[0], entry[1], entry[2], entry[3], None)
+            ev: Event = entry[3]
             if ev.cancelled:
                 self._dead -= 1
                 continue
@@ -125,11 +180,11 @@ class EventQueue:
         heap = self._heap
         while heap:
             entry = heap[0]
-            if entry[2].cancelled:
+            if entry[2] is HANDLED_MARK and entry[3].cancelled:
                 heapq.heappop(heap)
                 self._dead -= 1
                 continue
-            return entry[0]
+            return int(entry[0])
         return None
 
     def _compact(self) -> None:
@@ -137,9 +192,17 @@ class EventQueue:
 
         In-place (``heap[:] =``) so the engine's loop-local alias of the
         heap list stays valid even when a callback cancels enough events
-        to trigger compaction mid-run.
+        to trigger compaction mid-run.  Surviving entries keep their
+        original ``(time, seq)`` keys — anonymous entries are always
+        live and always survive — so the heapify rebuilds exactly the
+        dispatch order of an uncompacted heap (sequence numbers are
+        unique; no comparison ever ties).
         """
         heap = self._heap
-        heap[:] = [entry for entry in heap if not entry[2].cancelled]
+        heap[:] = [
+            entry
+            for entry in heap
+            if entry[2] is not HANDLED_MARK or not entry[3].cancelled
+        ]
         heapq.heapify(heap)
         self._dead = 0

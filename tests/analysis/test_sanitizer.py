@@ -16,11 +16,13 @@ from repro.analysis.sanitizer import (
     SanitizerError,
     SanitizingSimulator,
     env_sanitize_enabled,
+    escalate,
     ftl_mapping_violation,
+    parse_stride,
 )
 from repro.net.topology import build_star
 from repro.nvme.wrr import TokenWRR
-from repro.profiling import InstrumentedSimulator
+from repro.profiling import InstrumentedSimulator, SanitizerCostProfile
 from repro.profiling.bench import incast_outputs, run_incast_cell
 from repro.sim.engine import MaxEventsExceeded, Simulator
 from repro.sim.units import US
@@ -236,3 +238,193 @@ def test_max_events_valve_still_works_sanitized():
     with pytest.raises(MaxEventsExceeded):
         sim.run(max_events=5)
     assert sim.events_dispatched == 5
+
+
+# -- stride sampling ----------------------------------------------------------
+
+def test_parse_stride():
+    assert parse_stride(True) == 1
+    assert parse_stride("1") == 1
+    assert parse_stride("stride:1") == 1
+    assert parse_stride("stride:64") == 64
+    assert parse_stride("STRIDE:8") == 8
+    with pytest.raises(ValueError):
+        parse_stride("stride:0")
+    with pytest.raises(ValueError):
+        parse_stride("stride:x")
+
+
+def test_stride_kwarg_and_env_promote_construction(monkeypatch):
+    monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+    sim = Simulator(sanitize="stride:16")
+    assert isinstance(sim, SanitizingSimulator)
+    assert sim.check_stride == 16
+    monkeypatch.setenv("REPRO_SANITIZE", "stride:8")
+    sim = Simulator()
+    assert isinstance(sim, SanitizingSimulator)
+    assert sim.check_stride == 8
+
+
+def _corrupting_cell(corrupt_at_tick, depth):
+    """Scenario factory: a tick chain that corrupts a tracked WRR.
+
+    Returns ``scenario(sanitize)`` for :func:`escalate`: builds a fresh
+    simulator, runs ``depth`` self-rescheduling ticks, and at tick index
+    ``corrupt_at_tick`` (a specific simulated instant, deterministic
+    across re-runs) pushes a tracked TokenWRR's balance out of bounds —
+    a *sticky* corruption, exactly the class stride sampling is allowed
+    to catch late but never to miss.
+    """
+
+    def scenario(sanitize):
+        sim = Simulator(sanitize=sanitize)
+        wrr = TokenWRR(2, 4)
+        sim.sanitizer.track_wrr(wrr, name="strided.wrr")
+        state = {"n": 0}
+
+        def tick() -> None:
+            state["n"] += 1
+            if state["n"] == corrupt_at_tick:
+                wrr.read_tokens = 99
+            if state["n"] < depth:
+                sim.schedule(10, tick)
+
+        sim.schedule(1, tick)
+        sim.run()
+        return sim
+
+    return scenario
+
+
+@pytest.mark.parametrize("stride", [1, 2, 3, 5, 7, 16, 33, 64])
+def test_stride_catches_sticky_violation_for_every_stride(stride):
+    """A violation at event N is caught by ``stride:K`` for every K <= N.
+
+    The mid-run sampled sweep fires at events K, 2K, ...; a sticky
+    corruption planted at event N <= the run length is therefore seen
+    at the first multiple of K past N — and the end-of-run full sweep
+    backstops even a window the run ended inside.
+    """
+    scenario = _corrupting_cell(corrupt_at_tick=64, depth=100)
+    with pytest.raises(SanitizerError) as ei:
+        scenario(f"stride:{stride}")
+    assert ei.value.invariant == "wrr-tokens"
+    assert "strided.wrr" in ei.value.detail
+
+
+def test_stride_larger_than_run_caught_by_end_sweep():
+    """K beyond the event count: only the end-of-run sweep can fire."""
+    scenario = _corrupting_cell(corrupt_at_tick=5, depth=10)
+    with pytest.raises(SanitizerError) as ei:
+        scenario("stride:100000")
+    assert "end-of-run sweep" in ei.value.detail
+
+
+def test_strided_detection_is_coarse_then_escalation_is_exact():
+    """Stride localises late; ``escalate`` replays full and pinpoints.
+
+    The corruption lands at tick 64 (t=631); stride:48's next sampled
+    sweep is event 96 — the coarse error must carry the *later* instant,
+    and the full-fidelity replay must stop at exactly t=631.
+    """
+    scenario = _corrupting_cell(corrupt_at_tick=64, depth=200)
+    corrupt_time = 1 + 63 * 10  # tick 1 fires at t=1, then +10 each
+    with pytest.raises(SanitizerError) as coarse:
+        scenario("stride:48")
+    assert coarse.value.time_ns > corrupt_time
+    with pytest.raises(SanitizerError) as exact:
+        escalate(scenario, stride=48)
+    assert exact.value.time_ns == corrupt_time
+    assert exact.value.site and "tick" in exact.value.site
+    # The exact error chains back to the coarse strided one.
+    assert isinstance(exact.value.__context__, SanitizerError)
+
+
+def test_escalate_returns_result_when_clean():
+    scenario = _corrupting_cell(corrupt_at_tick=10**9, depth=50)
+    sim = escalate(scenario, stride=8)
+    assert sim.events_dispatched == 50
+
+
+def test_strided_incast_is_bit_identical_to_unsanitized():
+    """A clean ``stride:64`` incast run == the plain engine, byte for byte.
+
+    Same dispatch log (the engine logs batch members individually, so
+    coalescing differences cannot hide here) and same externally
+    visible outputs — the strided sanitizer is a pure observer.
+    """
+    plain, plain_sim, plain_net = run_incast_cell(
+        duration_ns=200 * US, sim=Simulator(trace=True)
+    )
+    strided, strided_sim, strided_net = run_incast_cell(
+        duration_ns=200 * US, sim=Simulator(trace=True, sanitize="stride:64")
+    )
+    assert plain_sim.dispatch_log == strided_sim.dispatch_log
+    assert incast_outputs(plain_net) == incast_outputs(strided_net)
+    assert plain.events == strided.events
+    # ... while checking only ~1/64th of the events mid-run.
+    checked = strided_sim.sanitizer.events_checked
+    assert checked < strided.events // 32
+    assert checked >= strided.events // 64
+
+
+def test_stride_countdown_survives_run_boundaries():
+    """Sampling phase carries across run() calls, not reset per call."""
+    sim = Simulator(sanitize="stride:10")
+    _tick(sim, depth=25)
+    sim.run(until=8 * 10)  # 8 events: mid-window
+    first_leg = sim.sanitizer.events_checked
+    sim.run()
+    # 25 events total -> exactly 2 mid-run sweeps (at events 10 and 20)
+    # plus one end-of-run sweep per run() call that dispatched.
+    assert sim.sanitizer.events_checked - first_leg >= 1
+    assert sim.events_dispatched == 25
+
+
+# -- per-invariant cost counters ----------------------------------------------
+
+def test_cost_counters_and_profile():
+    sim = Simulator(sanitize=True)
+    sim.sanitizer.enable_cost_tracking()
+    net = build_star(sim, ["a", "b"], rate_gbps=40.0, delay_ns=US)
+    net.hosts["a"].send_message("b", 64 * 1024)
+    sim.run()
+    sanitizer = sim.sanitizer
+    assert sanitizer.events_checked == sim.events_dispatched
+    for group in ("links", "switches", "nics", "wrrs"):
+        assert sanitizer.check_counts[group] == sanitizer.events_checked
+        assert sanitizer.violation_counts[group] == 0
+    # Cost tracking actually timed the sweeps.
+    assert sum(sanitizer.check_ns.values()) > 0
+    profile = SanitizerCostProfile.from_simulator(sim)
+    assert profile.sampling_rate == pytest.approx(1.0)
+    assert profile.as_dict()["check_counts"] == sanitizer.check_counts
+    text = profile.format()
+    assert "links" in text and "violations" in text and "ns" in text
+
+
+def test_cost_counters_untimed_by_default():
+    sim = Simulator(sanitize="stride:4")
+    _tick(sim, depth=20)
+    sim.run()
+    assert sum(sim.sanitizer.check_ns.values()) == 0  # no clock reads
+    assert sim.sanitizer.events_checked > 0
+    profile = SanitizerCostProfile.from_simulator(sim)
+    assert 0.0 < profile.sampling_rate < 1.0
+    assert " ns " not in profile.format().split("per invariant")[1]
+
+
+def test_cost_profile_requires_sanitizer():
+    with pytest.raises(ValueError):
+        SanitizerCostProfile.from_simulator(Simulator())
+
+
+def test_violation_counter_increments():
+    sim = Simulator(sanitize=True)
+    wrr = TokenWRR(1, 4)
+    sim.sanitizer.track_wrr(wrr)
+    _tick(sim, depth=5)
+    sim.schedule(20, lambda: setattr(wrr, "read_tokens", 7))
+    with pytest.raises(SanitizerError):
+        sim.run()
+    assert sim.sanitizer.violation_counts["wrrs"] == 1

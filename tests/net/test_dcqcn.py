@@ -1,8 +1,22 @@
-"""DCQCN reaction-point state machine tests."""
+"""DCQCN reaction-point state machine tests.
+
+Three layers:
+
+* behavioural tests of the scalar :class:`DCQCNRateControl`;
+* regression tests pinning the *lazy* alpha evaluation against an
+  embedded eager reference (:class:`_EagerDCQCN`, the pre-lazy
+  implementation with both timers as real scheduled events) — in
+  particular the CNP-exactly-on-a-decay-boundary and the
+  recovery-exactly-on-a-decay-boundary tie-breaks;
+* equivalence tests pinning the batched :class:`RateTable` against the
+  scalar reference, flow by flow, bit for bit.
+"""
+
+import random
 
 import pytest
 
-from repro.net.dcqcn import DCQCNConfig, DCQCNRateControl
+from repro.net.dcqcn import DCQCNConfig, DCQCNRateControl, RateTable
 from repro.sim.engine import Simulator
 
 
@@ -111,3 +125,461 @@ def test_rate_never_exceeds_line_or_drops_below_min():
         rp.on_cnp()
         sim.run(until=sim.now + 55_000)
         assert 0.1 <= rp.current_rate_gbps <= 40.0
+
+
+# -- eager reference (pre-lazy-alpha implementation) --------------------------
+
+class _EagerDCQCN:
+    """The pre-lazy RP: both timers as real self-rescheduling events.
+
+    This is the implementation the lazy ``DCQCNRateControl`` replaced.
+    Alpha decay is an actual scheduled event firing every
+    ``alpha_timer_ns``, so same-timestamp ordering against CNPs and
+    increase ticks is decided by the engine's sequence numbers — which
+    is precisely the semantics the lazy replay must reproduce.  Kept
+    minimal (no listeners, no pacing mirror): the comparison axis is
+    the (alpha, current, target) trajectory.
+    """
+
+    def __init__(self, sim, config=None):
+        self.sim = sim
+        self.config = config or DCQCNConfig()
+        self.current_rate_gbps = self.config.line_rate_gbps
+        self.target_rate_gbps = self.config.line_rate_gbps
+        self.alpha = self.config.initial_alpha
+        self._bytes_since_increase = 0
+        self._timer_stage = 0
+        self._byte_stage = 0
+        self._congested = False
+        self._alpha_timer_event = None
+        self._increase_timer_event = None
+
+    def _set_rate(self, rate_gbps):
+        self.current_rate_gbps = min(
+            self.config.line_rate_gbps, max(self.config.min_rate_gbps, rate_gbps)
+        )
+
+    def on_cnp(self):
+        self.target_rate_gbps = self.current_rate_gbps
+        self._set_rate(self.current_rate_gbps * (1.0 - self.alpha / 2.0))
+        self.alpha = (1.0 - self.config.g) * self.alpha + self.config.g
+        self._congested = True
+        self._timer_stage = 0
+        self._byte_stage = 0
+        self._bytes_since_increase = 0
+        for ev in (self._alpha_timer_event, self._increase_timer_event):
+            if ev is not None:
+                ev.cancel()
+        self._alpha_timer_event = self.sim.schedule(
+            self.config.alpha_timer_ns, self._alpha_decay
+        )
+        self._increase_timer_event = self.sim.schedule(
+            self.config.increase_timer_ns, self._timer_tick
+        )
+
+    def _alpha_decay(self):
+        # Applies unconditionally — an event already in the heap fires
+        # even if an earlier same-instant tick just cleared congestion.
+        self.alpha *= 1.0 - self.config.g
+        if self._congested:
+            self._alpha_timer_event = self.sim.schedule(
+                self.config.alpha_timer_ns, self._alpha_decay
+            )
+
+    def _timer_tick(self):
+        if not self._congested:
+            return
+        self._timer_stage += 1
+        self._increase_rate()
+        self._increase_timer_event = self.sim.schedule(
+            self.config.increase_timer_ns, self._timer_tick
+        )
+
+    def on_bytes_sent(self, nbytes):
+        if not self._congested:
+            return
+        self._bytes_since_increase += nbytes
+        if self._bytes_since_increase >= self.config.byte_counter_bytes:
+            self._bytes_since_increase = 0
+            self._byte_stage += 1
+            self._increase_rate()
+
+    def _increase_rate(self):
+        cfg = self.config
+        if max(self._timer_stage, self._byte_stage) <= cfg.fast_recovery_threshold:
+            pass
+        elif min(self._timer_stage, self._byte_stage) <= cfg.fast_recovery_threshold:
+            self.target_rate_gbps = min(
+                cfg.line_rate_gbps, self.target_rate_gbps + cfg.rate_ai_gbps
+            )
+        else:
+            self.target_rate_gbps = min(
+                cfg.line_rate_gbps, self.target_rate_gbps + cfg.rate_hai_gbps
+            )
+        self._set_rate((self.target_rate_gbps + self.current_rate_gbps) / 2.0)
+        if (
+            self.current_rate_gbps >= cfg.line_rate_gbps
+            and self.target_rate_gbps >= cfg.line_rate_gbps
+        ):
+            self._congested = False
+
+
+def _drive(sim, rp, schedule, ordering, probes):
+    """Schedule CNP/bytes events plus probes; return the observation log.
+
+    ``ordering`` controls the sequence number a CNP event carries
+    relative to any eager decay event due at the same instant:
+    ``"cnp-first"`` pushes the CNP up-front (low seq — the CNP
+    dispatches before a coincident decay), ``"decay-first"`` defers the
+    push to one nanosecond before the deadline (high seq — the decay
+    event, pushed a full alpha period earlier, dispatches first).  The
+    realistic network ordering is decay-first: a CNP's arrival event is
+    pushed one propagation delay before it fires, well under an alpha
+    period.
+    """
+    log = []
+
+    def cnp():
+        rp.on_cnp()
+        log.append(
+            ("cnp", sim.now, rp.alpha, rp.current_rate_gbps, rp.target_rate_gbps)
+        )
+
+    def sent(nbytes):
+        rp.on_bytes_sent(nbytes)
+        log.append(
+            ("sent", sim.now, rp.alpha, rp.current_rate_gbps, rp.target_rate_gbps)
+        )
+
+    def probe():
+        log.append(
+            ("probe", sim.now, rp.alpha, rp.current_rate_gbps, rp.target_rate_gbps)
+        )
+
+    for kind, t, *rest in schedule:
+        if ordering == "cnp-first":
+            if kind == "cnp":
+                sim.schedule_at(t, cnp)
+            else:
+                sim.schedule_at(t, sent, rest[0])
+        elif kind == "cnp":
+            sim.schedule_at(max(0, t - 1), lambda t=t: sim.schedule_at(t, cnp))
+        else:
+            # Byte counters fire from the NIC pump, whose wake-up is
+            # likewise pushed well under one alpha period ahead.
+            sim.schedule_at(
+                max(0, t - 1),
+                lambda t=t, nb=rest[0]: sim.schedule_at(t, sent, nb),
+            )
+    for t in probes:
+        # Probes read lazily-evaluated state, so their intra-instant
+        # position is irrelevant; push them late for symmetry anyway.
+        sim.schedule_at(max(0, t - 1), lambda t=t: sim.schedule_at(t, probe))
+    sim.run()
+    return log
+
+
+def _run_lazy(schedule, ordering, probes, config):
+    sim = Simulator()
+    return _drive(sim, DCQCNRateControl(sim, config), schedule, ordering, probes)
+
+
+def _run_eager(schedule, ordering, probes, config):
+    sim = Simulator()
+    return _drive(sim, _EagerDCQCN(sim, config), schedule, ordering, probes)
+
+
+P = DCQCNConfig().alpha_timer_ns  # 55_000
+
+
+@pytest.mark.parametrize("k", [1, 2, 3, 5, 6])
+def test_cnp_exactly_on_decay_boundary_applies_k_decays(k):
+    """A CNP at ``anchor + k*alpha_timer_ns`` sees k decays, not k-1.
+
+    The eager implementation fired the decay timer before processing a
+    same-timestamp CNP (the decay event carries the lower sequence
+    number); the lazy replay must count the boundary coinciding with
+    the CNP as already fired.
+    """
+    cfg = DCQCNConfig()
+    sim, rp = make(cfg)
+    sim.schedule_at(10, rp.on_cnp)
+    sim.run(until=10)
+    alpha_after_first = rp._alpha_value
+    # Read alpha exactly on the k-th boundary: k decays materialised.
+    sim.run(until=10 + k * P)
+    expected = alpha_after_first
+    for _ in range(k):
+        expected *= 1.0 - cfg.g
+    assert rp.alpha == expected
+    under_decayed = alpha_after_first
+    for _ in range(k - 1):
+        under_decayed *= 1.0 - cfg.g
+    assert rp.alpha != under_decayed  # k-1 decays would be the old bug
+    # The second CNP's rate cut uses the k-times-decayed alpha.
+    rate_before = rp.current_rate_gbps
+    rp.on_cnp()
+    assert rp.current_rate_gbps == pytest.approx(
+        max(cfg.min_rate_gbps, rate_before * (1.0 - expected / 2.0))
+    )
+
+
+def _boundary_schedules():
+    """Schedules that land CNPs and byte counters on decay boundaries."""
+    cases = []
+    for k in (1, 2, 3, 6):
+        cases.append(
+            (
+                [("cnp", 10), ("cnp", 10 + k * P)],
+                [10 + k * P + 1, 10 + (k + 3) * P + 7, 10 + 600 * P],
+            )
+        )
+    cases.append(
+        (
+            [("cnp", 10), ("cnp", 10 + 3 * P - 1), ("cnp", 10 + 5 * P + 1)],
+            [10 + 7 * P, 10 + 600 * P],
+        )
+    )
+    cases.append(
+        (
+            [
+                ("cnp", 10),
+                ("sent", 10 + P // 2, 11 * 1024 * 1024),
+                ("cnp", 10 + 2 * P),
+                ("sent", 10 + 3 * P, 11 * 1024 * 1024),
+            ],
+            [10 + 4 * P, 10 + 600 * P],
+        )
+    )
+    return cases
+
+
+@pytest.mark.parametrize("schedule,probes", _boundary_schedules())
+def test_lazy_matches_eager_reference_decay_first(schedule, probes):
+    """Lazy trajectory == eager with realistic (decay-first) ordering."""
+    cfg = DCQCNConfig()
+    assert _run_lazy(schedule, "decay-first", probes, cfg) == _run_eager(
+        schedule, "decay-first", probes, cfg
+    )
+
+
+@pytest.mark.parametrize("k", [1, 2, 4])
+def test_lazy_alpha_tie_is_push_order_independent(k):
+    """The alpha tie-break does not depend on how the CNP was pushed.
+
+    Config chosen so no increase tick coincides with a decay boundary
+    (13_000 does not divide k * 55_000 for small k): the only same-
+    instant race is CNP-vs-decay.  The lazy RP has no decay events to
+    race against, so both push orderings yield one trajectory — the
+    decay-first one (the realistic ordering: a decay event is pushed a
+    full alpha period before it fires, a CNP arrival one propagation
+    delay).  The eager reference under cnp-first ordering diverges by
+    exactly the boundary decay, proving the tie is real.
+    """
+    cfg = DCQCNConfig(alpha_timer_ns=55_000, increase_timer_ns=13_000)
+    schedule = [("cnp", 10), ("cnp", 10 + k * 55_000)]
+    probes = [10 + k * 55_000 + 3, 10 + (k + 300) * 55_000]
+    decay_first = _run_lazy(schedule, "decay-first", probes, cfg)
+    assert _run_lazy(schedule, "cnp-first", probes, cfg) == decay_first
+    assert _run_eager(schedule, "decay-first", probes, cfg) == decay_first
+    assert _run_eager(schedule, "cnp-first", probes, cfg) != decay_first
+
+
+def test_eager_orderings_genuinely_differ_on_boundaries():
+    """The tie the lazy RP pins is real: eager orderings disagree.
+
+    With a CNP exactly on a decay boundary, eager cnp-first cuts the
+    rate from an alpha one decay behind eager decay-first — so the test
+    above is pinning an actual semantic choice, not a vacuous equality.
+    """
+    cfg = DCQCNConfig()
+    schedule = [("cnp", 10), ("cnp", 10 + 2 * P)]
+    probes = [10 + 2 * P + 3]
+    assert _run_eager(schedule, "cnp-first", probes, cfg) != _run_eager(
+        schedule, "decay-first", probes, cfg
+    )
+
+
+@pytest.mark.parametrize(
+    "alpha_timer_ns,increase_timer_ns",
+    [
+        (10_000, 13_000),  # alpha < increase: the clearing tick wins ties
+        (55_000, 55_000),  # equal periods: the decay event wins ties
+        (60_000, 13_000),  # alpha > increase: the decay event wins ties
+    ],
+)
+def test_decay_cap_after_recovery_matches_eager(alpha_timer_ns, increase_timer_ns):
+    """Recovery landing exactly on a decay boundary freezes the right cap.
+
+    Regression for the clear-on-boundary off-by-one: the old cap
+    formula unconditionally counted a boundary coinciding with the
+    clearing instant as fired, but when ``alpha_timer < increase_timer``
+    the clearing increase tick carries the *lower* sequence number and
+    the eager reference applies one decay fewer.  Seeded differential
+    fuzz against the eager reference under decay-first CNP ordering;
+    the (10_000, 13_000) case reproduced the bug deterministically.
+    """
+    cfg = DCQCNConfig(
+        alpha_timer_ns=alpha_timer_ns, increase_timer_ns=increase_timer_ns
+    )
+    rng = random.Random(hash((alpha_timer_ns, increase_timer_ns)) & 0xFFFF)
+    period = alpha_timer_ns
+    for _ in range(25):
+        t = 10
+        schedule = [("cnp", t)]
+        for _ in range(rng.randint(1, 4)):
+            # Mix boundary-exact and off-boundary CNPs, far enough apart
+            # for full recovery (and its decay cap) to engage sometimes.
+            gap_periods = rng.choice([1, 2, 3, 7, 60, 90, 150])
+            t += gap_periods * period + rng.choice([0, 0, 0, 1, -1, 17])
+            schedule.append(("cnp", t))
+            if rng.random() < 0.3:
+                schedule.append(("sent", t + rng.randint(1, period), 11 * 2**20))
+        probes = [t + k * period for k in (1, 2, 5, 100, 300)]
+        probes += [t + k * period + 7 for k in (3, 50, 200)]
+        lazy = _run_lazy(schedule, "decay-first", probes, cfg)
+        eager = _run_eager(schedule, "decay-first", probes, cfg)
+        assert lazy == eager, f"schedule={schedule}"
+
+
+# -- RateTable equivalence ----------------------------------------------------
+
+def _random_config(rng):
+    return DCQCNConfig(
+        alpha_timer_ns=rng.choice([10_000, 13_000, 55_000, 60_000]),
+        increase_timer_ns=rng.choice([13_000, 55_000]),
+        g=rng.choice([1 / 16, 1 / 256]),
+        byte_counter_bytes=rng.choice([64 * 1024, 10 * 2**20]),
+        fast_recovery_threshold=rng.choice([1, 5]),
+    )
+
+
+def _pair_logs(sim, scalar, view):
+    """Attach listeners to a scalar/view pair; return their change logs."""
+    a, b = [], []
+    scalar.listeners.append(lambda c: a.append((c.time_ns, c.rate_gbps, c.decreased)))
+    view.listeners.append(lambda c: b.append((c.time_ns, c.rate_gbps, c.decreased)))
+    return a, b
+
+
+def test_rate_table_matches_scalar_reference_fuzz():
+    """Packed-table flows track the scalar reference bit for bit.
+
+    Each trial drives N scalar controls and N table views with
+    identical per-flow CNP / bytes-sent schedules inside *one*
+    simulator (so every lazy-alpha read happens at a common instant),
+    then compares full listener trajectories and final state exactly.
+    Shared CNP instants across flows force multi-row due sets through
+    the vectorized ``RateTable._tick`` sweep.
+    """
+    rng = random.Random(0xD0C4)
+    for trial in range(20):
+        cfg = _random_config(rng)
+        period = cfg.alpha_timer_ns
+        sim = Simulator()
+        table = RateTable(sim, cfg)
+        n_flows = rng.randint(1, 5)
+        pairs = []
+        for _ in range(n_flows):
+            scalar = DCQCNRateControl(sim, cfg)
+            view = table.new_flow()
+            pairs.append((scalar, view, *_pair_logs(sim, scalar, view)))
+        # Half the trials synchronise CNPs across flows (vector path
+        # with due.size == n_flows); the rest stagger them.
+        synchronise = trial % 2 == 0
+        shared_times = sorted(
+            {
+                10 + rng.randint(0, 20) * period + rng.choice([0, 0, 1, -1, 23])
+                for _ in range(rng.randint(1, 5))
+            }
+        )
+        for scalar, view, _, _ in pairs:
+            times = (
+                shared_times
+                if synchronise
+                else sorted(
+                    {
+                        10
+                        + rng.randint(0, 20) * period
+                        + rng.choice([0, 0, 1, -1, 23])
+                        for _ in range(rng.randint(1, 5))
+                    }
+                )
+            )
+            for t in times:
+                t = max(0, t)
+                sim.schedule_at(t, scalar.on_cnp)
+                sim.schedule_at(t, view.on_cnp)
+                if rng.random() < 0.4:
+                    nbytes = rng.choice([cfg.byte_counter_bytes, 2**20])
+                    ts = t + rng.randint(1, 3 * period)
+                    sim.schedule_at(ts, scalar.on_bytes_sent, nbytes)
+                    sim.schedule_at(ts, view.on_bytes_sent, nbytes)
+        sim.run()  # drain: both sides end at the same sim.now
+        for scalar, view, scalar_log, view_log in pairs:
+            assert view_log == scalar_log, f"trial={trial} cfg={cfg}"
+            assert view.current_rate_gbps == scalar.current_rate_gbps
+            assert view.target_rate_gbps == scalar.target_rate_gbps
+            assert view.current_bytes_per_ns == scalar.current_bytes_per_ns
+            assert view.alpha == scalar.alpha
+            assert view._congested == scalar._congested
+            assert view.cnp_count == scalar.cnp_count
+
+
+def test_rate_table_view_is_api_drop_in():
+    """The view answers the whole scalar surface the NIC relies on."""
+    sim = Simulator()
+    table = RateTable(sim)
+    view = table.new_flow()
+    assert view.current_rate_gbps == 40.0
+    assert view.alpha == 1.0
+    assert view.config is table.config
+    changes = []
+    view.listeners.append(changes.append)
+    view.on_cnp()
+    assert view.cnp_count == 1
+    assert view.current_rate_gbps == pytest.approx(20.0)
+    assert changes and changes[0].decreased
+    sim.run(until=2 * P)
+    assert view.current_rate_gbps > 20.0  # shared timer drove recovery
+
+
+def test_rate_table_row_growth_preserves_state():
+    """Allocating past the initial capacity keeps live rows intact."""
+    sim = Simulator()
+    table = RateTable(sim)
+    first = table.new_flow()
+    first.on_cnp()
+    cut = first.current_rate_gbps
+    views = [table.new_flow() for _ in range(20)]  # forces array growth
+    assert first.current_rate_gbps == cut
+    assert float(table.current_rate[first.row]) == cut
+    assert all(v.current_rate_gbps == 40.0 for v in views)
+    sim.run()
+    assert first.current_rate_gbps == pytest.approx(40.0)
+
+
+def test_rate_table_shared_timer_is_exact():
+    """The single shared event always sits at min(next_tick).
+
+    Cancel-and-reschedule on every CNP means a stale deadline can never
+    fire: after each mutation the scheduled event matches the array
+    minimum exactly.
+    """
+    sim = Simulator()
+    table = RateTable(sim)
+    a, b = table.new_flow(), table.new_flow()
+    sim.schedule_at(5, a.on_cnp)
+    sim.schedule_at(11, b.on_cnp)
+
+    def check():
+        expected = int(table.next_tick[: table._n].min())
+        if table._timer_event is None:
+            assert expected == table._deadline
+        else:
+            assert table._timer_event.time == expected == table._deadline
+
+    for t in (6, 12, 30_000, 70_000, 200_000):
+        sim.schedule_at(t, check)
+    sim.run()
+    assert table._timer_event is None  # fully recovered: timer retired

@@ -23,6 +23,20 @@ The golden file stores a SHA-256 of the canonical normalised log plus
 per-tag counts, head/tail excerpts, and the run's externally visible
 outputs, so a mismatch pinpoints *which* callback class diverged.
 
+Re-baselining policy: the golden file may only be regenerated together
+with a written justification here, and only when the run's ``outputs``
+block is byte-identical before and after (or the behaviour change is
+itself the point of the PR and is called out as such).
+
+* **v2 (2026-08, batched dispatch + rate table).**  Outputs identical
+  to v1 to the last float bit.  Two bookkeeping shifts: the per-flow
+  DCQCN increase timers became one shared ``RateTable._tick`` event
+  (same 14 dispatches at the same instants — normalised above), and
+  ``Flow.pump`` wake-ups changed from cancel-and-reschedule to
+  fire-and-check, so formerly-cancelled wake-ups now dispatch as cheap
+  no-ops (237 -> 491 pump entries; ``link.finish``/``link.deliver``
+  counts and times unchanged, proving packet timing did not move).
+
 Regenerate (only when intentionally changing simulation behaviour)::
 
     PYTHONPATH=src python tests/net/test_golden_trace.py --regen
@@ -49,8 +63,11 @@ NORMALIZE = {
     "Link._try_start.<locals>.finish.<locals>.<lambda>": "link.deliver",
     "Link._finish": "link.finish",
     "Link._deliver": "link.deliver",
-    # DCQCN rate-increase timer keeps firing as a real event.
+    # DCQCN rate-increase timer keeps firing as a real event; the
+    # per-flow events became one shared RateTable tick (same instants,
+    # same count — the table wakes at min over per-row deadlines).
     "DCQCNRateControl._timer_tick": "dcqcn.timer_tick",
+    "RateTable._tick": "dcqcn.timer_tick",
 }
 
 #: Dispatches with no externally visible effect, removed by the lazy-
