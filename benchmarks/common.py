@@ -278,6 +278,46 @@ def save_faults_perf(off: dict, on: dict) -> dict:
     return payload
 
 
+#: Minimum acceptable event-count reduction of the dual-fidelity Clos
+#: cell: the all-packet projection (dispatched events plus what serving
+#: the fluid bytes as MTU packets would have cost) over the events
+#: actually dispatched.  The acceptance-scale cell (4-pod Clos, 200
+#: tenants, 8 foreground flows, 100 ms) measures ~16x; 10x is the
+#: contract — dropping below it means fluid flows started costing
+#: per-packet work again (e.g. the coupling accidentally forcing
+#: per-packet updates) and the whole mode lost its reason to exist.
+DUAL_FIDELITY_EVENT_REDUCTION_FLOOR = 10.0
+
+#: Minimum events/sec of the dual-fidelity Clos cell's dispatch loop.
+#: Measured ~210k on the reference box (the cell is heavier per event
+#: than the incast smoke: 256 NICs, five-hop paths, burst math); half
+#: of that catches order-of-magnitude regressions without tracking
+#: machine jitter.
+DUAL_FIDELITY_EVENTS_PER_SEC_FLOOR = 100_000
+
+
+def save_clos_scale(result: dict) -> dict:
+    """Persist the dual-fidelity Clos cell's numbers as JSON.
+
+    ``result`` is a :class:`repro.experiments.ClosScaleResult` dict; the
+    payload adds the two floors the guard enforces so the artifact is
+    self-describing.
+    """
+    payload = {
+        "scenario": "clos_scale_dual_fidelity",
+        "result": result,
+        "event_reduction_floor": DUAL_FIDELITY_EVENT_REDUCTION_FLOOR,
+        "events_per_sec_floor": DUAL_FIDELITY_EVENTS_PER_SEC_FLOOR,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "clos_scale.json").write_text(json.dumps(payload, indent=2) + "\n")
+    SESSION_PERF["clos_scale"] = {
+        "events_per_sec": result["events_per_sec"],
+        "event_reduction": result["event_reduction"],
+    }
+    return payload
+
+
 #: Training sweep used for every TPM in the benchmark suite: the Fig. 5
 #: axes (10–25 µs, 10–44 KB) extended with two lighter inter-arrival
 #: points (40/60 µs) so the model sees both saturated and unsaturated

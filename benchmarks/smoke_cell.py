@@ -43,12 +43,24 @@ and the slowdown must stay within
 ``benchmarks.common.FAULT_HOOK_OVERHEAD_BUDGET``.  Numbers land in
 ``benchmarks/results/faults_overhead.json``.
 
+With ``--dual-fidelity`` it runs the acceptance-scale dual-fidelity
+Clos cell (full 4-pod fabric, 200 fluid tenants, 8 packet-level
+foreground flows, 100 ms simulated) and enforces two floors from
+:mod:`benchmarks.common`: the >= 10x event-count reduction against the
+all-packet projection (``DUAL_FIDELITY_EVENT_REDUCTION_FLOOR``) and the
+dispatch-loop events/sec floor (``DUAL_FIDELITY_EVENTS_PER_SEC_FLOOR``).
+Numbers land in ``benchmarks/results/clos_scale.json``.  A second,
+smaller Clos cell then runs under the stride-sampled sanitizer
+(``stride:64``) — the fluid conservation/envelope sweep included — and
+must finish violation-free.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/smoke_cell.py
     PYTHONPATH=src python benchmarks/smoke_cell.py --sanitizer
     PYTHONPATH=src python benchmarks/smoke_cell.py --stride-sanitizer
     PYTHONPATH=src python benchmarks/smoke_cell.py --faults
+    PYTHONPATH=src python benchmarks/smoke_cell.py --dual-fidelity
 """
 
 from __future__ import annotations
@@ -62,11 +74,14 @@ import numpy as np
 sys.path.insert(0, str(Path(__file__).parent.parent))
 
 from benchmarks.common import (
+    DUAL_FIDELITY_EVENT_REDUCTION_FLOOR,
+    DUAL_FIDELITY_EVENTS_PER_SEC_FLOOR,
     FAULT_HOOK_OVERHEAD_BUDGET,
     SANITIZER_OVERHEAD_BUDGET,
     STRIDE_SANITIZER_OVERHEAD_BUDGET,
     STRIDE_SANITIZER_STRIDE,
     load_engine_floor,
+    save_clos_scale,
     save_engine_perf,
     save_faults_perf,
     save_sanitizer_perf,
@@ -370,6 +385,72 @@ def faults_guard() -> int:
     return 0
 
 
+def dual_fidelity_guard() -> int:
+    """Run the Clos-scale dual-fidelity cell and enforce its floors.
+
+    One acceptance-scale run (the cell is ~3-4 s of wall time, so no
+    best-of sampling — the floors carry 2x slack instead), then a small
+    sanitized ``stride:64`` Clos cell where the fluid conservation and
+    arrival-curve envelope sweeps run live; a
+    :class:`repro.analysis.SanitizerError` escaping fails the guard.
+    """
+    from repro.analysis.sanitizer import SanitizerError
+    from repro.experiments.clos_scale import ClosScaleConfig, run_clos_scale_cell
+
+    result = run_clos_scale_cell(ClosScaleConfig())
+    payload = save_clos_scale(result.as_dict())
+    print("dual-fidelity Clos cell (4 pods, 200 fluid tenants, 8 fg flows):")
+    print(json.dumps(payload, indent=2))
+
+    failed = False
+    if result.event_reduction < DUAL_FIDELITY_EVENT_REDUCTION_FLOOR:
+        print(
+            f"FAIL: event reduction {result.event_reduction:.1f}x is below "
+            f"the {DUAL_FIDELITY_EVENT_REDUCTION_FLOOR}x floor",
+            file=sys.stderr,
+        )
+        failed = True
+    else:
+        print(
+            f"event reduction OK: {result.event_reduction:.1f}x >= "
+            f"{DUAL_FIDELITY_EVENT_REDUCTION_FLOOR}x floor"
+        )
+    if result.events_per_sec < DUAL_FIDELITY_EVENTS_PER_SEC_FLOOR:
+        print(
+            f"FAIL: {round(result.events_per_sec)} events/sec is below the "
+            f"{DUAL_FIDELITY_EVENTS_PER_SEC_FLOOR} floor",
+            file=sys.stderr,
+        )
+        failed = True
+    else:
+        print(
+            f"dispatch rate OK: {round(result.events_per_sec)} events/sec >= "
+            f"{DUAL_FIDELITY_EVENTS_PER_SEC_FLOOR} floor"
+        )
+
+    sanitized = ClosScaleConfig(
+        n_pods=2,
+        tors_per_pod=2,
+        hosts_per_tor=4,
+        fluid_hosts_per_tor=2,
+        n_tenants=24,
+        n_foreground_flows=4,
+        duration_ns=5 * MS,
+        sanitize=f"stride:{STRIDE_SANITIZER_STRIDE}",
+    )
+    try:
+        check = run_clos_scale_cell(sanitized)
+    except SanitizerError as err:
+        print(f"FAIL: sanitized Clos cell tripped an invariant: {err}", file=sys.stderr)
+        return 1
+    print(
+        f"sanitized Clos cell OK (stride:{STRIDE_SANITIZER_STRIDE}): "
+        f"{check.events_dispatched} events, {check.fluid_updates} fluid "
+        f"updates, zero violations"
+    )
+    return 1 if failed else 0
+
+
 def dispatch(argv: list[str]) -> int:
     if "--sanitizer" in argv:
         return sanitizer_guard()
@@ -377,6 +458,8 @@ def dispatch(argv: list[str]) -> int:
         return stride_guard()
     if "--faults" in argv:
         return faults_guard()
+    if "--dual-fidelity" in argv:
+        return dual_fidelity_guard()
     return main()
 
 

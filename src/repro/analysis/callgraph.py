@@ -51,12 +51,19 @@ __all__ = [
 ]
 
 #: Method names treated as the scheduler indirection.  The callback
-#: argument position is 1 for all four (``schedule(delay, cb, *args)``,
-#: ``schedule_at(time, cb, *args)`` and their handle-free ``_anon``
-#: twins) — anonymous events dispatch exactly like handled ones, so
-#: their callbacks are SIM2xx entry points too.
+#: argument position is 1 for all five (``schedule(delay, cb, *args)``,
+#: ``schedule_at(time, cb, *args)``, their handle-free ``_anon`` twins,
+#: and ``schedule_recurring_anon(interval, cb, *, until_ns)``) —
+#: anonymous events dispatch exactly like handled ones, so their
+#: callbacks are SIM2xx entry points too.
 SCHEDULE_METHODS: frozenset[str] = frozenset(
-    {"schedule", "schedule_at", "schedule_anon", "schedule_at_anon"}
+    {
+        "schedule",
+        "schedule_at",
+        "schedule_anon",
+        "schedule_at_anon",
+        "schedule_recurring_anon",
+    }
 )
 
 #: ``register_batch(callback, batch_callback)``: both arguments are

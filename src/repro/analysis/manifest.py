@@ -50,6 +50,8 @@ COMPONENT_CLASSES: tuple[str, ...] = (
     "repro.net.nic.Flow",
     "repro.net.reliability.FlowReliability",
     "repro.net.dcqcn.DCQCNRateControl",
+    "repro.net.fluid.FluidDomain",
+    "repro.net.fluid.FluidFlow",
     "repro.ssd.flash.FlashBackend",
     "repro.ssd.controller.SSDController",
     "repro.nvme.wrr.TokenWRR",
@@ -71,6 +73,7 @@ UNITS_EXEMPT_MODULES: tuple[str, ...] = (
 SLOTS_MANIFEST: dict[str, tuple[str, ...]] = {
     "repro.sim.events": ("Event", "EventQueue"),
     "repro.net.packet": ("Packet",),
+    "repro.net.fluid": ("FluidFlow",),
     "repro.net.nic": ("Flow", "_Message"),
     "repro.net.reliability": ("FlowReliability", "_Segment"),
     "repro.ssd.transactions": ("PageTransaction",),

@@ -78,6 +78,7 @@ from repro.sim.engine import MaxEventsExceeded, Simulator
 from repro.sim.events import HANDLED_MARK
 
 if TYPE_CHECKING:
+    from repro.net.fluid import FluidDomain
     from repro.net.link import Link
     from repro.net.nic import NIC
     from repro.net.switch import Switch
@@ -159,7 +160,7 @@ def ftl_mapping_violation(ftl: "FTL") -> str | None:
 
 
 #: Invariant-group keys, in sweep order (the cost-counter axis).
-CHECK_GROUPS = ("links", "switches", "nics", "wrrs")
+CHECK_GROUPS = ("links", "switches", "nics", "wrrs", "fluids")
 
 
 class Sanitizer:
@@ -180,6 +181,7 @@ class Sanitizer:
         "_nics",
         "_wrrs",
         "_ftls",
+        "_fluids",
         "events_checked",
         "check_counts",
         "violation_counts",
@@ -193,6 +195,7 @@ class Sanitizer:
         self._nics: list[NIC] = []
         self._wrrs: list[tuple[str, TokenWRR]] = []
         self._ftls: list[FTL] = []
+        self._fluids: list[FluidDomain] = []
         self.events_checked = 0
         #: group -> component sweeps run (one per checked event).
         self.check_counts: dict[str, int] = {g: 0 for g in CHECK_GROUPS}
@@ -223,6 +226,9 @@ class Sanitizer:
 
     def track_wrr(self, wrr: "TokenWRR", *, name: str = "TokenWRR") -> None:
         self._wrrs.append((name, wrr))
+
+    def track_fluid(self, domain: "FluidDomain") -> None:
+        self._fluids.append(domain)
 
     def track_ftl(self, ftl: "FTL") -> None:
         """Wrap ``ftl.finish_gc`` with a full mapping-consistency walk."""
@@ -348,12 +354,20 @@ class Sanitizer:
                 )
         return None
 
+    def _check_fluids(self) -> tuple[str, str] | None:
+        for domain in self._fluids:
+            failure = domain.fluid_violation()
+            if failure is not None:
+                return failure
+        return None
+
     #: Group key -> bound sweep, filled per instance in ``check``.
     _GROUP_METHODS = (
         ("links", _check_links),
         ("switches", _check_switches),
         ("nics", _check_nics),
         ("wrrs", _check_wrrs),
+        ("fluids", _check_fluids),
     )
 
     def check(self) -> tuple[str, str] | None:

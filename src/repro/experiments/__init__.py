@@ -47,6 +47,11 @@ from repro.experiments.comparison import (
     intensity_analysis,
     intensity_analysis_with_report,
 )
+from repro.experiments.clos_scale import (
+    ClosScaleConfig,
+    ClosScaleResult,
+    run_clos_scale_cell,
+)
 from repro.experiments.latency import LatencyReport, LatencySummary, latency_report
 from repro.experiments.tables import format_gbps, format_percent, format_table
 
@@ -87,4 +92,7 @@ __all__ = [
     "LatencyReport",
     "LatencySummary",
     "latency_report",
+    "ClosScaleConfig",
+    "ClosScaleResult",
+    "run_clos_scale_cell",
 ]

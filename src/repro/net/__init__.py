@@ -12,12 +12,16 @@ Components:
 * :mod:`repro.net.nic` — host NICs: per-flow message queues (the RDMA
   TXQ), DCQCN pacing, notification-point CNP generation, reassembly;
 * :mod:`repro.net.topology` — network container, Clos/fat-tree builder,
-  ECMP routing tables.
+  ECMP routing tables;
+* :mod:`repro.net.fluid` — fluid-approximated background flows for
+  dual-fidelity runs (max-min shares + mean-field DCQCN coupled to the
+  packet domain through ``Link.set_fluid_load``).
 """
 
 from repro.net.packet import Packet, PacketKind
 from repro.net.link import Link
-from repro.net.dcqcn import DCQCNConfig, DCQCNRateControl, RateChange
+from repro.net.dcqcn import DCQCNConfig, DCQCNRateControl, RateChange, fluid_rate_step
+from repro.net.fluid import FluidConfig, FluidDomain, FluidFlow
 from repro.net.switch import Switch, SwitchConfig
 from repro.net.nic import NIC, Flow, NICConfig
 from repro.net.reliability import ReliabilityConfig
@@ -30,6 +34,10 @@ __all__ = [
     "DCQCNConfig",
     "DCQCNRateControl",
     "RateChange",
+    "fluid_rate_step",
+    "FluidConfig",
+    "FluidDomain",
+    "FluidFlow",
     "Switch",
     "SwitchConfig",
     "NIC",

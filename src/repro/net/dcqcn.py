@@ -628,3 +628,35 @@ class RateTable:
             if recovered[k]:
                 self._clear_congestion(row, view, tie_decay_first=tie_decay_first)
         self._retime()
+
+
+def fluid_rate_step(
+    rate_gbps: float, alpha: float, mark_prob: float, config: DCQCNConfig
+) -> tuple[float, float]:
+    """One mean-field DCQCN update for a fluid-modelled flow.
+
+    The fluid domain (:mod:`repro.net.fluid`) does not see individual
+    CNPs; it sees a per-interval ECN marking *probability* derived from
+    link utilization.  This function is the expectation of the packet-
+    level RP over one control interval under that probability:
+
+    * alpha tracks congestion severity exactly as the RP's EWMA does,
+      with the CNP indicator replaced by its mean ``mark_prob``;
+    * the multiplicative cut ``rate * alpha/2`` is applied weighted by
+      the probability a CNP would have arrived this interval;
+    * recovery is the additive-increase step weighted by the
+      probability the interval stayed clean (fast recovery and hyper
+      increase average out of the mean-field limit — they accelerate
+      convergence, not the fixed point).
+
+    Returns the clamped ``(new_rate_gbps, new_alpha)`` pair.  Pure
+    function of its arguments so the solver stays trivially replayable.
+    """
+    if not 0.0 <= mark_prob <= 1.0:
+        raise ValueError(f"mark probability must be in [0, 1], got {mark_prob}")
+    g = config.g
+    new_alpha = (1.0 - g) * alpha + g * mark_prob
+    new_rate = rate_gbps * (1.0 - mark_prob * new_alpha / 2.0)
+    new_rate += config.rate_ai_gbps * (1.0 - mark_prob)
+    new_rate = min(config.line_rate_gbps, max(config.min_rate_gbps, new_rate))
+    return new_rate, new_alpha

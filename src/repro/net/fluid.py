@@ -1,0 +1,473 @@
+"""Fluid-approximated background flows for dual-fidelity simulation.
+
+Packet-level DES costs ~2 heap events per packet per hop, which caps a
+full Clos fabric with hundreds of tenants well below the paper's
+evaluation scale.  This module implements the flow-level escape hatch
+("Scalable Tail Latency Estimation for Data Center Networks",
+PAPERS.md): flows tagged *fluid* are modelled as piecewise-constant
+rates instead of packets.  Between control updates nothing about a
+fluid flow is simulated at all — its state advances in closed form — so
+a tenant pushing gigabytes costs a handful of events per millisecond
+rather than hundreds of thousands.
+
+The pieces:
+
+* :class:`FluidFlow` — one background flow: an offered demand, the path
+  of :class:`~repro.net.link.Link` objects its packets would have
+  taken (same ECMP pick, see :meth:`repro.net.topology.Network.
+  path_links`), a mean-field DCQCN rate limit, and the max-min share
+  the solver last granted it.
+* :class:`FluidDomain` — owns the flows and the control loop.  On every
+  flow arrival/departure and on a recurring coarse clock
+  (:meth:`repro.sim.engine.Simulator.schedule_recurring_anon`) it:
+
+  1. accrues ``rate * dt`` served bytes per flow (the piecewise-
+     constant integral);
+  2. samples each shared link's *foreground* (packet-domain) rate from
+     its ``bytes_sent`` delta;
+  3. derives a per-link ECN marking probability from total utilization
+     (the fluid analogue of RED on queue length), combines it along
+     each flow's path, and applies the mean-field DCQCN step
+     (:func:`repro.net.dcqcn.fluid_rate_step`);
+  4. re-solves max-min fair shares by water-filling over link capacity
+     left after headroom and foreground load, each flow capped at
+     ``min(demand, cc_rate)``;
+  5. pushes the summed per-link fluid load into the packet domain via
+     :meth:`~repro.net.link.Link.set_fluid_load`, which stretches
+     foreground serialization to the residual rate.
+
+Steps 2 and 5 are the two directions of the coupling contract: the
+packet domain sees fluid load as reduced link capacity; the fluid
+domain sees packet load as reduced fair-share capacity.
+
+The sanitizer (check group ``"fluids"``) asserts conservation — per-
+link share sums are non-negative, match the pushed load, and never
+exceed capacity — plus the network-calculus arrival-curve envelope
+("Network Calculus Characterization of Congestion Control", PAPERS.md):
+a flow's cumulative served bytes stay under ``rho * t + sigma`` with
+``rho`` its demand and ``sigma`` a configured slack of update
+intervals.  Both hold by construction of the solver, so a violation
+means real state corruption, not model noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.net.dcqcn import DCQCNConfig, fluid_rate_step
+from repro.sim.engine import Simulator
+from repro.sim.units import gbps_to_bytes_per_ns
+
+if TYPE_CHECKING:
+    from repro.core.units import Bytes, Nanoseconds
+    from repro.net.link import Link
+    from repro.net.topology import Network
+
+__all__ = ["FluidConfig", "FluidFlow", "FluidDomain"]
+
+
+@dataclass(frozen=True)
+class FluidConfig:
+    """Control-loop parameters of a :class:`FluidDomain`."""
+
+    #: Coarse control clock: shares, CC state, and served-byte accrual
+    #: advance this often.  ~100 µs ≈ 2x the DCQCN timer period — finer
+    #: buys little (the mean-field CC is already an interval average),
+    #: coarser lets the coupling lag visible congestion.
+    update_interval_ns: Nanoseconds = 100_000
+    #: Fraction of a link's capacity fluid traffic may occupy.  The
+    #: remainder is guaranteed residual bandwidth for foreground
+    #: packets, so the packet domain can never be starved outright.
+    headroom: float = 0.95
+    #: Utilization (fluid + foreground, fraction of capacity) where ECN
+    #: marking starts / saturates — the fluid analogue of the switch's
+    #: Kmin/Kmax queue thresholds.
+    ecn_kmin_util: float = 0.70
+    ecn_kmax_util: float = 0.98
+    #: Marking probability at ``ecn_kmax_util`` (1.0 beyond, like the
+    #: switch's RED ramp).
+    ecn_pmax: float = 0.2
+    #: Mean-field DCQCN parameters (shared by every flow in the domain).
+    dcqcn: DCQCNConfig = field(default_factory=DCQCNConfig)
+    #: Arrival-curve slack ``sigma``, in update intervals: the envelope
+    #: invariant allows ``demand * (elapsed + this * interval)`` served
+    #: bytes.  2 covers the worst case of an arrival mid-interval plus
+    #: the end-of-window accrual granularity.
+    envelope_slack_intervals: int = 2
+
+    def __post_init__(self) -> None:
+        if self.update_interval_ns <= 0:
+            raise ValueError("update interval must be positive")
+        if not 0.0 < self.headroom <= 1.0:
+            raise ValueError("headroom must be in (0, 1]")
+        if not 0.0 < self.ecn_kmin_util <= self.ecn_kmax_util:
+            raise ValueError("need 0 < kmin_util <= kmax_util")
+        if not 0.0 < self.ecn_pmax <= 1.0:
+            raise ValueError("pmax must be in (0, 1]")
+        if self.envelope_slack_intervals < 1:
+            raise ValueError("envelope slack must be >= 1 interval")
+
+
+def _mark_probability(utilization: float, config: FluidConfig) -> float:
+    """RED-style marking ramp over link utilization (not queue length)."""
+    if utilization <= config.ecn_kmin_util:
+        return 0.0
+    if utilization >= config.ecn_kmax_util:
+        return 1.0
+    span = config.ecn_kmax_util - config.ecn_kmin_util
+    return config.ecn_pmax * (utilization - config.ecn_kmin_util) / span
+
+
+class FluidFlow:
+    """One fluid-modelled background flow."""
+
+    __slots__ = (
+        "id",
+        "src",
+        "dst",
+        "demand_bytes_per_ns",
+        "links",
+        "start_ns",
+        "active",
+        "rate_bytes_per_ns",
+        "cc_rate_gbps",
+        "cc_rate_bytes_per_ns",
+        "alpha",
+        "bytes_served",
+    )
+
+    def __init__(
+        self,
+        flow_id: int,
+        src: str,
+        dst: str,
+        demand_bytes_per_ns: float,
+        links: tuple["Link", ...],
+        start_ns: int,
+        line_rate_gbps: float,
+    ) -> None:
+        self.id = flow_id
+        self.src = src
+        self.dst = dst
+        #: Offered load (the arrival-curve rate ``rho``); fixed for the
+        #: flow's lifetime.
+        self.demand_bytes_per_ns = demand_bytes_per_ns
+        #: The directed links the flow occupies, in path order.
+        self.links = links
+        self.start_ns = start_ns
+        self.active = True
+        #: Share the solver last granted (``<= min(demand, cc_rate)``).
+        self.rate_bytes_per_ns = 0.0
+        #: Mean-field DCQCN rate limit; starts at line rate like the RP.
+        self.cc_rate_gbps = line_rate_gbps
+        self.cc_rate_bytes_per_ns = gbps_to_bytes_per_ns(line_rate_gbps)
+        #: Congestion-severity EWMA; 0 until marking is first seen (the
+        #: RP's ``initial_alpha`` only matters once a CNP arrives, and
+        #: the mean-field EWMA converges there within ~1/g updates).
+        self.alpha = 0.0
+        #: Piecewise-constant integral of the granted rate.
+        self.bytes_served = 0.0
+
+    def cap_bytes_per_ns(self) -> float:
+        """The flow's current share ceiling: min(demand, CC limit)."""
+        demand = self.demand_bytes_per_ns
+        cc = self.cc_rate_bytes_per_ns
+        return demand if demand <= cc else cc
+
+    def accrue(self, dt_ns: Nanoseconds) -> None:
+        """Advance the served-bytes integral by one constant-rate piece."""
+        self.bytes_served += self.rate_bytes_per_ns * dt_ns
+
+    def set_rate(self, rate_bytes_per_ns: float) -> None:
+        self.rate_bytes_per_ns = rate_bytes_per_ns
+
+    def cc_step(self, mark_prob: float, config: DCQCNConfig) -> None:
+        """Apply one mean-field DCQCN update at the given marking prob."""
+        rate_gbps, alpha = fluid_rate_step(
+            self.cc_rate_gbps, self.alpha, mark_prob, config
+        )
+        self.cc_rate_gbps = rate_gbps
+        self.cc_rate_bytes_per_ns = gbps_to_bytes_per_ns(rate_gbps)
+        self.alpha = alpha
+
+    def deactivate(self) -> None:
+        """Flow departure: stop serving (accrual already settled)."""
+        self.active = False
+        self.rate_bytes_per_ns = 0.0
+
+
+class FluidDomain:
+    """The fluid half of a dual-fidelity simulation.
+
+    Construct it over a routed :class:`~repro.net.topology.Network`,
+    add flows between fluid-tagged hosts, and :meth:`start` the control
+    loop; the coupling to the packet domain is automatic from there.
+    Arrivals and departures outside the coarse clock are fine — both
+    re-solve shares immediately.
+    """
+
+    def __init__(
+        self, sim: Simulator, net: "Network", config: FluidConfig | None = None
+    ) -> None:
+        self.sim = sim
+        self.net = net
+        self.config = config or FluidConfig()
+        #: Every flow ever added (envelope checks cover departed ones).
+        self.flows: list[FluidFlow] = []
+        self._active: list[FluidFlow] = []
+        #: Links any fluid flow occupies, in first-touch order — the
+        #: deterministic iteration axis for sampling and solving.
+        self._links: list[Link] = []
+        #: link -> ``bytes_sent`` at the last sample (delta = foreground).
+        self._fg_bytes_prev: dict[Link, int] = {}
+        #: link -> sampled foreground rate over the last window.
+        self._fg_rate: dict[Link, float] = {}
+        #: link -> fluid load pushed at the last solve.
+        self._fluid_load: dict[Link, float] = {}
+        self._last_update_ns = sim.now
+        self._next_id = 0
+        self.updates = 0
+        self._update_cb = self._update  # stable identity for scheduling
+        if sim.sanitizer is not None:
+            sim.sanitizer.track_fluid(self)
+
+    # -- membership ------------------------------------------------------
+    def add_flow(self, src: str, dst: str, demand_gbps: float) -> FluidFlow:
+        """Start a fluid flow ``src -> dst`` offering ``demand_gbps``."""
+        if demand_gbps <= 0:
+            raise ValueError(f"demand must be positive, got {demand_gbps}")
+        flow_id = self._next_id
+        self._next_id += 1
+        links = tuple(self.net.path_links(src, dst, flow_id=flow_id))
+        flow = FluidFlow(
+            flow_id,
+            src,
+            dst,
+            gbps_to_bytes_per_ns(demand_gbps),
+            links,
+            self.sim.now,
+            self.config.dcqcn.line_rate_gbps,
+        )
+        for link in links:
+            if link not in self._fg_bytes_prev:
+                self._links.append(link)
+                self._fg_bytes_prev[link] = link.bytes_sent
+                self._fg_rate[link] = 0.0
+                self._fluid_load[link] = 0.0
+        self.flows.append(flow)
+        self._active.append(flow)
+        self._resolve()
+        return flow
+
+    def remove_flow(self, flow: FluidFlow) -> None:
+        """End a fluid flow; settles its accrual and re-solves shares."""
+        if not flow.active:
+            return
+        # Settle the partial window at the rate it actually held, so
+        # departure timing does not leak or invent served bytes.
+        dt_ns = self.sim.now - self._last_update_ns
+        if dt_ns > 0:
+            flow.accrue(dt_ns)
+        flow.deactivate()
+        self._active.remove(flow)
+        self._resolve()
+
+    @property
+    def active_flows(self) -> int:
+        return len(self._active)
+
+    def total_bytes_served(self) -> float:
+        return sum(flow.bytes_served for flow in self.flows)
+
+    # -- control loop ----------------------------------------------------
+    def start(self, until_ns: Nanoseconds) -> None:
+        """Run the recurring control update until ``until_ns``."""
+        self.sim.schedule_recurring_anon(
+            self.config.update_interval_ns, self._update_cb, until_ns=until_ns
+        )
+
+    def _update(self) -> None:
+        """One control tick: accrue, sample foreground, CC, re-solve."""
+        now = self.sim.now
+        dt_ns = now - self._last_update_ns
+        if dt_ns > 0:
+            for flow in self._active:
+                flow.accrue(dt_ns)
+            prev = self._fg_bytes_prev
+            fg = self._fg_rate
+            for link in self._links:
+                sent = link.bytes_sent
+                fg[link] = (sent - prev[link]) / dt_ns
+                prev[link] = sent
+            self._last_update_ns = now
+        config = self.config
+        fluid_load = self._fluid_load
+        fg = self._fg_rate
+        p_link: dict[Link, float] = {}
+        for link in self._links:
+            utilization = (fluid_load[link] + fg[link]) / link._bytes_per_ns
+            p_link[link] = _mark_probability(utilization, config)
+        dcqcn = config.dcqcn
+        for flow in self._active:
+            keep = 1.0
+            for link in flow.links:
+                keep *= 1.0 - p_link[link]
+            flow.cc_step(1.0 - keep, dcqcn)
+        self.updates += 1
+        self._resolve()
+
+    # -- max-min fair share solver ---------------------------------------
+    def _resolve(self) -> None:
+        """Water-filling max-min shares, then push loads into the links.
+
+        Classic progressive filling with per-flow caps: repeatedly find
+        the tightest link (smallest remaining-capacity / unfrozen-flow
+        ratio), freeze cap-limited flows at their cap while it is below
+        the fair share, otherwise freeze the bottleneck link's flows at
+        the share.  Terminates in <= flows rounds; every link ends at or
+        under ``headroom * capacity - foreground``, which is what the
+        sanitizer's conservation sweep re-checks from scratch.
+        """
+        active = self._active
+        links = self._links
+        headroom = self.config.headroom
+        fg = self._fg_rate
+        rem: dict[Link, float] = {}
+        count: dict[Link, int] = {}
+        for link in links:
+            rem[link] = 0.0
+            count[link] = 0
+        for flow in active:
+            for link in flow.links:
+                count[link] += 1
+        for link in links:
+            if count[link]:
+                avail = headroom * link._bytes_per_ns - fg[link]
+                rem[link] = avail if avail > 0.0 else 0.0
+        rate: dict[int, float] = {}
+        pending = list(active)
+        eps = 1e-12
+        while pending:
+            share = -1.0
+            bottleneck = None
+            for link in links:
+                members = count[link]
+                if members > 0:
+                    link_share = rem[link] / members
+                    if bottleneck is None or link_share < share:
+                        share = link_share
+                        bottleneck = link
+            if bottleneck is None:
+                break  # no pending flow crosses a tracked link
+            limited = [
+                flow for flow in pending if flow.cap_bytes_per_ns() <= share + eps
+            ]
+            if limited:
+                to_freeze = [
+                    (flow, min(flow.cap_bytes_per_ns(), share)) for flow in limited
+                ]
+            else:
+                to_freeze = [
+                    (flow, share) for flow in pending if bottleneck in flow.links
+                ]
+            frozen_ids = set()
+            for flow, granted in to_freeze:
+                rate[flow.id] = granted
+                frozen_ids.add(flow.id)
+                for link in flow.links:
+                    residual = rem[link] - granted
+                    rem[link] = residual if residual > 0.0 else 0.0
+                    count[link] -= 1
+            pending = [flow for flow in pending if flow.id not in frozen_ids]
+        loads: dict[Link, float] = {}
+        for link in links:
+            loads[link] = 0.0
+        for flow in active:
+            flow.set_rate(rate.get(flow.id, 0.0))
+            for link in flow.links:
+                loads[link] += flow.rate_bytes_per_ns
+        fluid_load = self._fluid_load
+        for link in links:
+            load = loads[link]
+            fluid_load[link] = load
+            link.set_fluid_load(load)
+
+    # -- invariants (sanitizer check group "fluids") ---------------------
+    def fluid_violation(self) -> tuple[str, str] | None:
+        """Conservation + envelope sweep; ``(invariant, detail)`` or None.
+
+        Recomputes per-link load sums from scratch (instead of trusting
+        the solver's cached sums) so a corrupted rate shows up no matter
+        which side drifted.
+        """
+        loads: dict[Link, float] = {}
+        for flow in self._active:
+            granted = flow.rate_bytes_per_ns
+            if granted < 0.0:
+                return (
+                    "fluid-conservation",
+                    f"fluid flow {flow.id} ({flow.src}->{flow.dst}) rate went "
+                    f"negative ({granted})",
+                )
+            cap = flow.cap_bytes_per_ns()
+            if granted > cap + 1e-9:
+                return (
+                    "fluid-conservation",
+                    f"fluid flow {flow.id} ({flow.src}->{flow.dst}) rate "
+                    f"{granted:.6f} B/ns exceeds its demand/CC cap {cap:.6f}",
+                )
+            for link in flow.links:
+                loads[link] = loads.get(link, 0.0) + granted
+        for link in self._links:
+            load = loads.get(link, 0.0)
+            pushed = self._fluid_load[link]
+            if abs(load - pushed) > 1e-6:
+                return (
+                    "fluid-conservation",
+                    f"link {link.name} carries pushed fluid load {pushed:.6f} "
+                    f"B/ns but its member rates sum to {load:.6f}",
+                )
+            if load > link._bytes_per_ns + 1e-9:
+                return (
+                    "fluid-conservation",
+                    f"link {link.name} fluid load {load:.6f} B/ns exceeds "
+                    f"capacity {link._bytes_per_ns:.6f}",
+                )
+        now = self.sim.now
+        sigma_ns = self.config.envelope_slack_intervals * self.config.update_interval_ns
+        for flow in self.flows:
+            elapsed_ns = now - flow.start_ns
+            # (sigma, rho) arrival curve: served <= rho*t + rho*sigma_t,
+            # +1 byte absorbing float accrual noise.
+            bound = flow.demand_bytes_per_ns * (elapsed_ns + sigma_ns) + 1.0
+            if flow.bytes_served > bound:
+                return (
+                    "fluid-envelope",
+                    f"fluid flow {flow.id} ({flow.src}->{flow.dst}) served "
+                    f"{flow.bytes_served:.0f} B, above its arrival-curve "
+                    f"envelope {bound:.0f} B (rho="
+                    f"{flow.demand_bytes_per_ns:.6f} B/ns over {elapsed_ns} ns)",
+                )
+        return None
+
+    # -- scale accounting -------------------------------------------------
+    def projected_packet_events(self, mtu_bytes: Bytes) -> int:
+        """Events an all-packet run of the served fluid bytes would cost.
+
+        Per MTU segment: one serialization-finish plus one delivery
+        event per path link, plus one sender pump wake-up — the same
+        2·hops+1 bookkeeping the packet domain pays per data packet
+        (CNP/ACK traffic would only add to this, so the projection is
+        conservative).  Used by the Clos-scale cell to report the
+        dual-fidelity event-count reduction.
+        """
+        if mtu_bytes <= 0:
+            raise ValueError("mtu must be positive")
+        total = 0
+        for flow in self.flows:
+            packets = int(flow.bytes_served // mtu_bytes)
+            if flow.bytes_served > packets * mtu_bytes:
+                packets += 1
+            total += packets * (2 * len(flow.links) + 1)
+        return total

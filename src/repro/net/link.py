@@ -28,6 +28,8 @@ from collections import deque
 from heapq import heappush
 from typing import TYPE_CHECKING, Callable, Protocol
 
+import numpy as np
+
 from repro.net.packet import Packet
 from repro.sim.engine import Simulator
 from repro.sim.units import gbps_to_bytes_per_ns
@@ -76,6 +78,11 @@ class Link:
         "_finish_cb",
         "_deliver_cb",
         "_dst_receive_batch",
+        "_fluid_load_bytes_per_ns",
+        "_eff_bytes_per_ns",
+        "_ns_per_byte",
+        "_finish_burst_cb",
+        "_deliver_burst_cb",
     )
 
     def __init__(
@@ -99,6 +106,19 @@ class Link:
         self.dst_port = dst_port
         self.name = name or f"->{dst.name}"
         self._bytes_per_ns = gbps_to_bytes_per_ns(rate_gbps)
+        #: Fluid background load currently riding this link (dual-
+        #: fidelity coupling, see :mod:`repro.net.fluid`); zero outside
+        #: fluid mode.
+        self._fluid_load_bytes_per_ns = 0.0
+        #: Serialization rate the packet domain actually sees: capacity
+        #: minus the fluid load.  Assigned (never derived arithmetically)
+        #: when the load is zero, so packet-only runs use the exact same
+        #: float as ``_bytes_per_ns`` and stay bit-identical.
+        self._eff_bytes_per_ns = self._bytes_per_ns
+        #: Reciprocal, precomputed for the vectorized burst path (NumPy
+        #: multiplies beat divides, and the scalar memo below keeps the
+        #: K=1 path untouched).
+        self._ns_per_byte = 1.0 / self._eff_bytes_per_ns
         self._queue: deque[Packet] = deque()
         self._queued_bytes = 0
         self._busy = False
@@ -130,6 +150,8 @@ class Link:
         # coalesce same-tick deliveries of this link into one batch.
         self._finish_cb = self._finish
         self._deliver_cb = self._deliver
+        self._finish_burst_cb = self._finish_burst
+        self._deliver_burst_cb = self._deliver_burst
         self._dst_receive_batch: Callable[[list[Packet], int], None] | None = getattr(
             dst, "receive_batch", None
         )
@@ -158,7 +180,7 @@ class Link:
             self._busy = True
             ns = self._ser_cache.get(size)
             if ns is None:
-                ns = max(1, int(size / self._bytes_per_ns + 0.5))
+                ns = max(1, int(size / self._eff_bytes_per_ns + 0.5))
                 self._ser_cache[size] = ns
             sim = self.sim
             queue = sim._queue
@@ -189,7 +211,7 @@ class Link:
     def serialization_ns(self, size_bytes: Bytes) -> Nanoseconds:
         ns = self._ser_cache.get(size_bytes)
         if ns is None:
-            ns = max(1, int(size_bytes / self._bytes_per_ns + 0.5))
+            ns = max(1, int(size_bytes / self._eff_bytes_per_ns + 0.5))
             self._ser_cache[size_bytes] = ns
         return ns
 
@@ -204,7 +226,7 @@ class Link:
         self._busy = True
         ns = self._ser_cache.get(size)
         if ns is None:
-            ns = max(1, int(size / self._bytes_per_ns + 0.5))
+            ns = max(1, int(size / self._eff_bytes_per_ns + 0.5))
             self._ser_cache[size] = ns
         # schedule_anon inlined (serialization_ns >= 1, so the delay
         # check it would perform cannot fire): one serialization start
@@ -267,6 +289,139 @@ class Link:
         receive = self.dst.receive
         port = self.dst_port
         for (packet,) in batch:
+            receive(packet, port)
+
+    # -- dual-fidelity coupling (fluid background load) ---------------------
+    @property
+    def fluid_load_bytes_per_ns(self) -> float:
+        """Fluid background load currently consuming this link's capacity."""
+        return self._fluid_load_bytes_per_ns
+
+    def set_fluid_load(self, load_bytes_per_ns: float) -> None:
+        """Couple fluid background load into the packet domain.
+
+        The fluid share solver (:class:`repro.net.fluid.FluidDomain`)
+        calls this on every update: background load consumes link
+        capacity, so foreground packets serialize at the *residual* rate
+        — longer serialization is exactly how fluid congestion inflates
+        the queueing delay the packet domain observes.  The residual is
+        floored at 1% of capacity (the solver's headroom keeps real
+        loads below that anyway) so serialization times stay finite.
+
+        ``load <= 0`` restores the pristine capacity float, keeping
+        fluid-off runs bit-identical to builds without this method.
+        """
+        if load_bytes_per_ns <= 0.0:
+            if self._fluid_load_bytes_per_ns == 0.0:
+                return
+            self._fluid_load_bytes_per_ns = 0.0
+            eff = self._bytes_per_ns
+        else:
+            self._fluid_load_bytes_per_ns = load_bytes_per_ns
+            eff = max(
+                self._bytes_per_ns - load_bytes_per_ns, 0.01 * self._bytes_per_ns
+            )
+        if eff != self._eff_bytes_per_ns:
+            self._eff_bytes_per_ns = eff
+            self._ns_per_byte = 1.0 / eff
+            self._ser_cache.clear()  # memoised per-size times are stale
+
+    # -- burst transmission -------------------------------------------------
+    def send_burst(self, packets: list[Packet]) -> None:
+        """Admit a back-to-back burst as *one* serialization event.
+
+        The caller (``Flow.pump`` with ``burst_segments >= 2``, or a
+        switch with ``burst_forwarding`` on) vouches that the packets
+        are admitted back-to-back under the current rate.  The whole
+        burst serializes as a single event at the end of its vectorized
+        per-packet span (NumPy cumsum of per-packet times at the
+        effective rate) and is delivered in one batch — the LSO/GSO-
+        style approximation that buys the dual-fidelity event-count
+        reduction.  Any state that would make per-packet interleaving
+        observable (busy wire, queued packets, PFC pause, link down, a
+        degenerate burst of < 2) falls back to per-packet :meth:`send`,
+        which preserves exact semantics.
+        """
+        if (
+            len(packets) < 2
+            or self._busy
+            or self.paused
+            or self.down
+            or self._queue
+        ):
+            send = self.send
+            for packet in packets:
+                send(packet)
+            return
+        sizes = np.fromiter(
+            (p.size_bytes for p in packets), dtype=np.int64, count=len(packets)
+        )
+        per_packet_ns = np.maximum(
+            1, (sizes * self._ns_per_byte + 0.5).astype(np.int64)
+        )
+        offsets_ns = np.cumsum(per_packet_ns)
+        total_ns = int(offsets_ns[-1])
+        self._busy = True
+        # schedule_anon inlined, as in send(): one event for the burst.
+        sim = self.sim
+        queue = sim._queue
+        seq = queue._seq
+        queue._seq = seq + 1
+        heap = queue._heap
+        heappush(heap, (sim.now + total_ns, seq, self._finish_burst_cb, (packets,)))
+        queue._live += 1
+        if len(heap) > queue.high_water:
+            queue.high_water = len(heap)
+
+    def _finish_burst(self, packets: list[Packet]) -> None:
+        """Burst serialization done: account, filter, propagate as one."""
+        self._busy = False
+        total = 0
+        for packet in packets:
+            total += packet.size_bytes
+        self.bytes_sent += total
+        self.packets_sent += len(packets)
+        on_depart = self.on_depart
+        if on_depart is not None:
+            for packet in packets:
+                on_depart(packet)
+        filt = self.fault_filter
+        if filt is not None:
+            kept: list[Packet] = []
+            for packet in packets:
+                if not packet.is_control:
+                    verdict = filt(packet)
+                    if verdict == FAULT_DROP:
+                        self.packets_lost += 1
+                        continue
+                    if verdict == FAULT_CORRUPT:
+                        packet.corrupted = True
+                        self.packets_corrupted += 1
+                kept.append(packet)
+            packets = kept
+        if packets:
+            sim = self.sim
+            queue = sim._queue
+            seq = queue._seq
+            queue._seq = seq + 1
+            heap = queue._heap
+            heappush(
+                heap,
+                (sim.now + self.delay_ns, seq, self._deliver_burst_cb, (packets,)),
+            )
+            queue._live += 1
+            if len(heap) > queue.high_water:
+                queue.high_water = len(heap)
+        self._try_start()
+
+    def _deliver_burst(self, packets: list[Packet]) -> None:
+        receive_batch = self._dst_receive_batch
+        if receive_batch is not None:
+            receive_batch(packets, self.dst_port)
+            return
+        receive = self.dst.receive
+        port = self.dst_port
+        for packet in packets:
             receive(packet, port)
 
     # -- PFC -----------------------------------------------------------------

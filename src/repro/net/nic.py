@@ -59,6 +59,14 @@ class NICConfig:
     #: ``reassembly_bytes_discarded``) so switch drops cannot grow
     #: ``_reassembly`` without bound.
     reassembly_max_pending: int = 4096
+    #: Burst batching (dual-fidelity mode): when >= 2 and the uplink is
+    #: idle, ``Flow.pump`` admits up to this many back-to-back MTU
+    #: segments as *one* ``Link.send_burst`` serialization event instead
+    #: of one event pair per packet.  The default of 1 keeps the exact
+    #: per-packet pump — and the v2 golden dispatch trace — untouched.
+    #: Ignored in reliability mode (go-back-N needs per-segment
+    #: sequencing through the scalar path).
+    burst_segments: int = 1
 
     def __post_init__(self) -> None:
         if self.mtu_bytes <= 0:
@@ -71,6 +79,8 @@ class NICConfig:
             raise ValueError("link backlog must be >= 1")
         if self.reassembly_max_pending < 1:
             raise ValueError("reassembly cap must be >= 1")
+        if self.burst_segments < 1:
+            raise ValueError("burst_segments must be >= 1")
 
 
 _flow_ids = itertools.count()
@@ -174,6 +184,7 @@ class Flow:
         config = nic.config
         mtu = config.mtu_bytes
         max_backlog = config.max_link_backlog_packets
+        burst_k = config.burst_segments
         rate_control = self.rate_control
         rel = self._rel
         while True:
@@ -199,6 +210,59 @@ class Flow:
                 return
             if len(link._queue) >= max_backlog:
                 return  # re-pumped when the link drains
+            if (
+                burst_k >= 2
+                and rel is None
+                and not link._busy
+                and not link._queue
+                and not link.paused
+                and not link.down
+            ):
+                # Burst batching (dual-fidelity mode): the uplink is idle
+                # and pacing allows sending *now*, so up to burst_k MTU
+                # segments go out back-to-back as one serialization
+                # event.  rel is None here, so retx cannot be set and
+                # fresh segments are the only traffic.
+                burst: list[Packet] = []
+                total = 0
+                while len(burst) < burst_k and messages:
+                    msg = messages[0]
+                    seg = min(mtu, msg.size_bytes - msg.sent_bytes)
+                    msg.sent_bytes += seg
+                    last = msg.sent_bytes >= msg.size_bytes
+                    burst.append(
+                        Packet(
+                            kind=PacketKind.DATA,
+                            src=nic.name,
+                            dst=self.dst,
+                            size_bytes=seg,
+                            flow_id=self.id,
+                            message_id=msg.id,
+                            message_bytes=msg.size_bytes,
+                            last_of_message=last,
+                            seq=-1,
+                            payload=msg.payload if last else None,
+                        )
+                    )
+                    total += seg
+                    if last:
+                        messages.popleft()
+                if len(burst) >= 2:
+                    link.send_burst(burst)
+                else:
+                    link.send(burst[0])
+                self.bytes_sent += total
+                self.queued_bytes -= total
+                nic._txq_used -= total  # simlint: ignore[SIM202]
+                # One rate-control charge for the whole burst: bursts are
+                # <= burst_k * MTU, far below the 10 MiB DCQCN byte
+                # counter, so stage crossings land at the same points.
+                rate_control.on_bytes_sent(total)
+                gap = total / rate_control.current_bytes_per_ns
+                self._next_send_ns = now + max(1, int(gap + 0.5))
+                if nic.txq_drain_listeners:
+                    nic._notify_txq_drain()
+                continue
             if retx:
                 assert rel is not None
                 seg_obj = rel.pop_retransmit()

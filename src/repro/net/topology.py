@@ -33,6 +33,10 @@ class Network:
         self.hosts: dict[str, NIC] = {}
         self.switches: dict[str, Switch] = {}
         self.graph = nx.Graph()
+        #: host name -> fidelity mode; absent = ``"packet"`` (the
+        #: default exact DES).  ``"fluid"`` hosts carry background
+        #: traffic modelled by :class:`repro.net.fluid.FluidDomain`.
+        self.fidelity: dict[str, str] = {}
 
     # -- construction ------------------------------------------------------
     def add_host(self, name: str, config: NICConfig | None = None) -> NIC:
@@ -57,7 +61,20 @@ class Network:
         return self.switches[name]
 
     def connect(self, a: str, b: str, *, rate_gbps: float, delay_ns: int = US) -> None:
-        """Add a full-duplex cable between two nodes."""
+        """Add a full-duplex cable between two nodes.
+
+        Each node pair may be cabled at most once: a second ``connect``
+        of the same pair used to silently overwrite the switch's
+        neighbor->port map entry (orphaning the first cable's ports and
+        corrupting PFC's port-symmetry assumption) — now it raises.
+        """
+        if a == b:
+            raise ValueError(f"cannot connect node {a!r} to itself")
+        if self.graph.has_edge(a, b):
+            raise ValueError(
+                f"duplicate cable {a!r} <-> {b!r}: the pair is already "
+                f"connected, and re-cabling would overwrite the port map"
+            )
         dev_a, dev_b = self.node(a), self.node(b)
         link_ab = Link(
             self.sim, rate_gbps=rate_gbps, delay_ns=delay_ns, dst=dev_b, dst_port=-1,
@@ -116,6 +133,56 @@ class Network:
                 elif nb not in dist:
                     dist[nb] = dist[node] + 1  # terminal hop into a host
         return dist
+
+    # -- fidelity tagging (dual-fidelity mode) -----------------------------
+    def tag_fidelity(self, host: str, mode: str) -> None:
+        """Tag ``host`` as ``"packet"`` (exact DES) or ``"fluid"``."""
+        if host not in self.hosts:
+            raise KeyError(f"unknown host {host!r}")
+        if mode not in ("packet", "fluid"):
+            raise ValueError(f"fidelity must be 'packet' or 'fluid', got {mode!r}")
+        self.fidelity[host] = mode
+
+    def fidelity_of(self, host: str) -> str:
+        """The host's fidelity mode (``"packet"`` unless tagged)."""
+        return self.fidelity.get(host, "packet")
+
+    def fluid_hosts(self) -> list[str]:
+        """Hosts tagged fluid, in host-creation order."""
+        return [h for h in self.hosts if self.fidelity.get(h) == "fluid"]
+
+    def path_links(self, src: str, dst: str, flow_id: int = 0) -> list[Link]:
+        """The directed links a flow traverses from ``src`` to ``dst``.
+
+        Follows the exact forwarding the packet domain would use — host
+        uplink, then each switch's installed route with the same
+        ``flow_id % len(ports)`` ECMP pick — so a fluid flow's footprint
+        matches where its packets would actually have gone.  Requires
+        :meth:`build_routes` to have run.
+        """
+        if dst not in self.hosts:
+            raise KeyError(f"unknown destination host {dst!r}")
+        nic = self.hosts.get(src)
+        if nic is None:
+            raise KeyError(f"unknown source host {src!r}")
+        if nic.link is None:
+            raise RuntimeError(f"host {src} has no uplink")
+        links = [nic.link]
+        node = nic.link.dst
+        hops = 0
+        max_hops = len(self.switches) + 1
+        while isinstance(node, Switch):
+            ports = node.routes.get(dst)
+            if not ports:
+                raise RuntimeError(f"{node.name}: no route to {dst}")
+            port = ports[flow_id % len(ports)] if len(ports) > 1 else ports[0]
+            link = node.out_link(port)
+            links.append(link)
+            node = link.dst
+            hops += 1
+            if hops > max_hops:
+                raise RuntimeError(f"routing loop walking {src} -> {dst}")
+        return links
 
     # -- introspection -----------------------------------------------------
     def iter_links(self):
@@ -205,6 +272,7 @@ def build_clos(
     delay_ns: int = US,
     nic_config: NICConfig | None = None,
     switch_config: SwitchConfig | None = None,
+    fluid_hosts_per_tor: int = 0,
 ) -> Network:
     """The §IV-A Clos: pods of (leaf, ToR) layers with hosts under ToRs.
 
@@ -212,6 +280,11 @@ def build_clos(
     across pods so inter-pod traffic crosses exactly one remote leaf.
     The paper's full fabric is the default: 4 pods × (2 leaves + 4 ToRs
     + 64 hosts) = 256 hosts.  Host names are ``h<pod>_<tor>_<i>``.
+
+    ``fluid_hosts_per_tor`` tags the *last* that many hosts of every ToR
+    as fluid-fidelity (see :meth:`Network.tag_fidelity`): their
+    background traffic is meant for a :class:`repro.net.fluid.
+    FluidDomain`, while the low-indexed hosts stay packet-exact.
     """
     for val, label in (
         (n_pods, "n_pods"),
@@ -221,6 +294,11 @@ def build_clos(
     ):
         if val < 1:
             raise ValueError(f"{label} must be >= 1")
+    if not 0 <= fluid_hosts_per_tor <= hosts_per_tor:
+        raise ValueError(
+            f"fluid_hosts_per_tor must be in [0, {hosts_per_tor}], "
+            f"got {fluid_hosts_per_tor}"
+        )
     net = Network(sim)
     leaf_names: list[str] = []
     for p in range(n_pods):
@@ -239,6 +317,8 @@ def build_clos(
                 host = f"h{p}_{t}_{i}"
                 net.add_host(host, nic_config)
                 net.connect(host, tor, rate_gbps=rate_gbps, delay_ns=delay_ns)
+                if i >= hosts_per_tor - fluid_hosts_per_tor:
+                    net.tag_fidelity(host, "fluid")
     # Leaf full mesh across pods (same-pod leaves stay unconnected: ToRs
     # already join them).
     for i, a in enumerate(leaf_names):

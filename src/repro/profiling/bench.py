@@ -135,18 +135,21 @@ def build_incast_cell(
     message_bytes: int = 32 * 1024,
     trace: bool = False,
     sim: Simulator | None = None,
+    nic_config: NICConfig | None = None,
 ) -> tuple[Simulator, Network]:
     """Wire the in-cast scenario and schedule its feeders (do not run).
 
     Each sender offers line rate toward ``r0``; with ``n_senders`` > 1
     the receiver downlink is oversubscribed, the switch queue crosses
     the ECN Kmin, and DCQCN engages on every sender flow.
+    ``nic_config`` reaches every host (e.g. ``burst_segments`` for the
+    dual-fidelity burst-pump variants).
     """
     if n_senders < 1:
         raise ValueError("need at least one sender")
     sim = sim or Simulator(trace=trace)
     names = [f"s{i}" for i in range(n_senders)] + ["r0"]
-    net = build_star(sim, names, rate_gbps=40.0, delay_ns=US)
+    net = build_star(sim, names, rate_gbps=40.0, delay_ns=US, nic_config=nic_config)
     # Offered load per sender == line rate.
     gap_ns = max(1, int(message_bytes / gbps_to_bytes_per_ns(40.0)))
     for i in range(n_senders):
@@ -164,6 +167,7 @@ def run_incast_cell(
     message_bytes: int = 32 * 1024,
     trace: bool = False,
     sim: Simulator | None = None,
+    nic_config: NICConfig | None = None,
 ) -> tuple[BenchResult, Simulator, Network]:
     """Run the in-cast cell to ``duration_ns`` plus drain margin."""
     sim, net = build_incast_cell(
@@ -172,6 +176,7 @@ def run_incast_cell(
         message_bytes=message_bytes,
         trace=trace,
         sim=sim,
+        nic_config=nic_config,
     )
     t0 = _time.perf_counter()
     dispatched = sim.run(until=duration_ns + 50 * US)

@@ -206,6 +206,47 @@ class Simulator:
         if len(heap) > queue.high_water:
             queue.high_water = len(heap)
 
+    def schedule_recurring_anon(
+        self,
+        interval_ns: Nanoseconds,
+        callback: Callable[[], None],
+        *,
+        until_ns: Nanoseconds,
+    ) -> None:
+        """Fire ``callback()`` every ``interval_ns`` until ``until_ns``.
+
+        The recurring twin of :meth:`schedule_anon` for coarse-clock
+        subsystems (the fluid background-traffic domain of
+        :mod:`repro.net.fluid` above all): exactly one anonymous heap
+        entry exists per series at any moment — the driver reschedules
+        itself after invoking ``callback`` — so a domain ticking every
+        ~100 µs costs the heap one slot, not one entry per future tick.
+        The last firing is the largest ``now + k * interval_ns`` that is
+        ``<= until_ns``; the series then ends (nothing to cancel — the
+        driver simply stops rescheduling).
+        """
+        if interval_ns <= 0:
+            raise ValueError(f"interval must be positive, got {interval_ns}")
+        first_ns = self.now + interval_ns
+        if first_ns <= until_ns:
+            self.schedule_at_anon(
+                first_ns, self._recurring_tick, interval_ns, until_ns, callback
+            )
+
+    def _recurring_tick(
+        self,
+        interval_ns: Nanoseconds,
+        until_ns: Nanoseconds,
+        callback: Callable[[], None],
+    ) -> None:
+        """Driver for :meth:`schedule_recurring_anon` (one hop per tick)."""
+        callback()
+        next_ns = self.now + interval_ns
+        if next_ns <= until_ns:
+            self.schedule_at_anon(
+                next_ns, self._recurring_tick, interval_ns, until_ns, callback
+            )
+
     def register_batch(
         self,
         callback: Callable[..., None],

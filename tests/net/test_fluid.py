@@ -1,0 +1,304 @@
+"""Dual-fidelity engine tests: fluid shares, CC, coupling, invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.dcqcn import DCQCNConfig, fluid_rate_step
+from repro.net.fluid import FluidConfig, FluidDomain, _mark_probability
+from repro.net.link import Link
+from repro.net.topology import build_clos, build_dumbbell
+from repro.sim.engine import Simulator
+from repro.sim.units import MS, US, gbps_to_bytes_per_ns
+
+
+def small_clos(sim, *, fluid_hosts_per_tor=2):
+    return build_clos(
+        sim,
+        n_pods=2,
+        leaves_per_pod=2,
+        tors_per_pod=2,
+        hosts_per_tor=4,
+        fluid_hosts_per_tor=fluid_hosts_per_tor,
+    )
+
+
+def dumbbell(sim, n=4, rate_gbps=40.0):
+    return build_dumbbell(
+        sim,
+        [f"l{i}" for i in range(n)],
+        [f"r{i}" for i in range(n)],
+        rate_gbps=rate_gbps,
+    )
+
+
+# -- mean-field DCQCN ------------------------------------------------------
+
+def test_fluid_rate_step_unmarked_increases_toward_line_rate():
+    cfg = DCQCNConfig()
+    rate, alpha = fluid_rate_step(20.0, 0.5, 0.0, cfg)
+    assert rate == pytest.approx(20.0 + cfg.rate_ai_gbps)
+    assert alpha == pytest.approx(0.5 * (1 - cfg.g))  # EWMA decays toward 0
+
+
+def test_fluid_rate_step_full_marking_cuts_rate():
+    cfg = DCQCNConfig()
+    rate, alpha = fluid_rate_step(40.0, 1.0, 1.0, cfg)
+    assert rate == pytest.approx(40.0 * 0.5)  # cut by alpha/2 at p=1
+    assert alpha == pytest.approx(1.0)
+
+
+def test_fluid_rate_step_clamps_to_bounds():
+    cfg = DCQCNConfig()
+    rate, _ = fluid_rate_step(cfg.line_rate_gbps, 0.0, 0.0, cfg)
+    assert rate == cfg.line_rate_gbps  # never above line rate
+    rate, _ = fluid_rate_step(cfg.min_rate_gbps, 1.0, 1.0, cfg)
+    assert rate == cfg.min_rate_gbps  # never below the floor
+    with pytest.raises(ValueError):
+        fluid_rate_step(10.0, 0.5, 1.5, cfg)
+
+
+def test_mark_probability_ramp():
+    cfg = FluidConfig()
+    assert _mark_probability(0.0, cfg) == 0.0
+    assert _mark_probability(cfg.ecn_kmin_util, cfg) == 0.0
+    mid = (cfg.ecn_kmin_util + cfg.ecn_kmax_util) / 2
+    assert _mark_probability(mid, cfg) == pytest.approx(cfg.ecn_pmax / 2)
+    assert _mark_probability(cfg.ecn_kmax_util, cfg) == 1.0
+    assert _mark_probability(1.5, cfg) == 1.0
+
+
+# -- share solver ----------------------------------------------------------
+
+def test_single_flow_gets_demand_when_uncongested():
+    sim = Simulator()
+    net = small_clos(sim)
+    dom = FluidDomain(sim, net)
+    hosts = net.fluid_hosts()
+    flow = dom.add_flow(hosts[0], hosts[-1], demand_gbps=5.0)
+    assert flow.rate_bytes_per_ns == pytest.approx(gbps_to_bytes_per_ns(5.0))
+    assert dom.fluid_violation() is None
+
+
+def test_shares_respect_headroom_capacity():
+    """Many high-demand flows through one bottleneck split its budget."""
+    sim = Simulator()
+    net = dumbbell(sim, n=4)
+    net.tag_fidelity("l0", "fluid")
+    dom = FluidDomain(sim, net)
+    # 4 flows l_i -> r_i all cross the single inter-switch trunk.
+    for i in range(4):
+        dom.add_flow(f"l{i}", f"r{i}", demand_gbps=40.0)
+    trunk_capacity = gbps_to_bytes_per_ns(40.0)
+    total = sum(f.rate_bytes_per_ns for f in dom.flows)
+    assert total <= dom.config.headroom * trunk_capacity + 1e-9
+    # Max-min with equal demands = equal shares.
+    rates = [f.rate_bytes_per_ns for f in dom.flows]
+    assert max(rates) == pytest.approx(min(rates))
+    assert dom.fluid_violation() is None
+
+
+def test_cap_limited_flow_frees_share_for_others():
+    sim = Simulator()
+    net = dumbbell(sim, n=2)
+    dom = FluidDomain(sim, net)
+    small = dom.add_flow("l0", "r0", demand_gbps=2.0)
+    big = dom.add_flow("l1", "r1", demand_gbps=40.0)
+    assert small.rate_bytes_per_ns == pytest.approx(gbps_to_bytes_per_ns(2.0))
+    # The big flow takes the rest of the trunk budget.
+    budget = dom.config.headroom * gbps_to_bytes_per_ns(40.0)
+    assert big.rate_bytes_per_ns == pytest.approx(
+        budget - small.rate_bytes_per_ns
+    )
+
+
+def test_departure_restores_shares_and_settles_accrual():
+    sim = Simulator()
+    net = dumbbell(sim, n=2)
+    dom = FluidDomain(sim, net)
+    a = dom.add_flow("l0", "r0", demand_gbps=40.0)
+    b = dom.add_flow("l1", "r1", demand_gbps=40.0)
+    half = a.rate_bytes_per_ns
+    sim.schedule_at_anon(50 * US, dom.remove_flow, a)
+    dom.start(until_ns=100 * US)
+    sim.run(until=100 * US)
+    assert not a.active and a.rate_bytes_per_ns == 0.0
+    assert a.bytes_served == pytest.approx(half * 50 * US, rel=0.05)
+    # Survivor doubled once the peer left.
+    assert b.rate_bytes_per_ns == pytest.approx(2 * half)
+    assert dom.fluid_violation() is None
+
+
+# -- coupling to the packet domain ----------------------------------------
+
+class _Sink:
+    name = "sink"
+
+    def receive(self, packet, in_port):
+        pass
+
+
+def test_fluid_load_inflates_packet_serialization():
+    """A loaded link serialises foreground packets at the residual rate."""
+    sim = Simulator()
+    link = Link(sim, rate_gbps=40.0, delay_ns=0, dst=_Sink(), dst_port=0)
+    base = link.serialization_ns(4096)
+    link.set_fluid_load(0.5 * link._bytes_per_ns)
+    assert link.serialization_ns(4096) == 2 * base
+    link.set_fluid_load(0.0)
+    assert link.serialization_ns(4096) == base
+    assert link._eff_bytes_per_ns == link._bytes_per_ns
+
+
+def test_fluid_load_floor_keeps_residual_bandwidth():
+    sim = Simulator()
+    link = Link(sim, rate_gbps=40.0, delay_ns=0, dst=_Sink(), dst_port=0)
+    link.set_fluid_load(10 * link._bytes_per_ns)  # absurd oversubscription
+    assert link._eff_bytes_per_ns == pytest.approx(0.01 * link._bytes_per_ns)
+
+
+def test_foreground_rate_feeds_back_into_shares():
+    """Packet-domain bytes shrink what the solver hands fluid flows."""
+    sim = Simulator()
+    net = dumbbell(sim, n=2)
+    dom = FluidDomain(sim, net)
+    flow = dom.add_flow("l0", "r0", demand_gbps=40.0)
+    unloaded = flow.rate_bytes_per_ns
+    # Fake a hot foreground: bump bytes_sent on the flow's first link
+    # between two control ticks, as real packet traffic would.
+    link = flow.links[0]
+    interval = dom.config.update_interval_ns
+    fg_rate = 0.5 * link._bytes_per_ns
+
+    def inject() -> None:
+        link.bytes_sent += int(fg_rate * interval)
+
+    sim.schedule_recurring_anon(interval // 2, inject, until_ns=5 * interval)
+    dom.start(until_ns=5 * interval)
+    sim.run(until=5 * interval)
+    assert flow.rate_bytes_per_ns <= unloaded - 0.9 * fg_rate + 1e-9
+    assert dom.fluid_violation() is None
+
+
+def test_sustained_congestion_reduces_cc_rate():
+    """Utilization-driven marking pulls the mean-field DCQCN rate down."""
+    sim = Simulator()
+    net = dumbbell(sim, n=4)
+    dom = FluidDomain(sim, net)
+    for i in range(4):
+        dom.add_flow(f"l{i}", f"r{i}", demand_gbps=40.0)
+    dom.start(until_ns=2 * MS)
+    sim.run(until=2 * MS)
+    line = dom.config.dcqcn.line_rate_gbps
+    assert all(f.cc_rate_gbps < line for f in dom.flows)
+    assert all(f.alpha > 0.0 for f in dom.flows)
+    assert dom.fluid_violation() is None
+
+
+# -- invariants ------------------------------------------------------------
+
+def test_envelope_violation_detected():
+    sim = Simulator()
+    net = small_clos(sim)
+    dom = FluidDomain(sim, net)
+    hosts = net.fluid_hosts()
+    flow = dom.add_flow(hosts[0], hosts[-1], demand_gbps=5.0)
+    flow.bytes_served = 1e15  # corrupt: far beyond rho*t + sigma
+    failure = dom.fluid_violation()
+    assert failure is not None and failure[0] == "fluid-envelope"
+
+
+def test_conservation_violation_detected():
+    sim = Simulator()
+    net = small_clos(sim)
+    dom = FluidDomain(sim, net)
+    hosts = net.fluid_hosts()
+    flow = dom.add_flow(hosts[0], hosts[-1], demand_gbps=5.0)
+    flow.rate_bytes_per_ns *= 2  # corrupt: rate above cap, sums drift
+    failure = dom.fluid_violation()
+    assert failure is not None and failure[0] == "fluid-conservation"
+
+
+def test_sanitizing_simulator_sweeps_fluid_domain():
+    from repro.analysis.sanitizer import SanitizerError
+
+    sim = Simulator(sanitize=True)
+    net = small_clos(sim)
+    dom = FluidDomain(sim, net)
+    hosts = net.fluid_hosts()
+    flow = dom.add_flow(hosts[0], hosts[-1], demand_gbps=5.0)
+    dom.start(until_ns=1 * MS)
+    sim.schedule_at_anon(
+        500 * US, lambda: setattr(flow, "bytes_served", 1e15)
+    )
+    with pytest.raises(SanitizerError) as exc:
+        sim.run(until=1 * MS)
+    assert exc.value.invariant == "fluid-envelope"
+
+
+def test_projected_packet_events_counts_path_hops():
+    sim = Simulator()
+    net = small_clos(sim)
+    dom = FluidDomain(sim, net)
+    hosts = net.fluid_hosts()
+    flow = dom.add_flow(hosts[0], hosts[-1], demand_gbps=5.0)
+    flow.bytes_served = 10 * 4096.0
+    per_packet = 2 * len(flow.links) + 1
+    assert dom.projected_packet_events(4096) == 10 * per_packet
+
+
+def test_add_flow_validation():
+    sim = Simulator()
+    net = small_clos(sim)
+    dom = FluidDomain(sim, net)
+    hosts = net.fluid_hosts()
+    with pytest.raises(ValueError):
+        dom.add_flow(hosts[0], hosts[1], demand_gbps=0.0)
+    with pytest.raises(KeyError):
+        dom.add_flow("nope", hosts[1], demand_gbps=1.0)
+
+
+def test_fluid_config_validation():
+    with pytest.raises(ValueError):
+        FluidConfig(update_interval_ns=0)
+    with pytest.raises(ValueError):
+        FluidConfig(headroom=1.5)
+    with pytest.raises(ValueError):
+        FluidConfig(ecn_kmin_util=0.9, ecn_kmax_util=0.5)
+    with pytest.raises(ValueError):
+        FluidConfig(envelope_slack_intervals=0)
+
+
+# -- property: conservation under arbitrary arrival/departure orders -------
+
+@settings(max_examples=40, deadline=None)
+@given(
+    steps=st.lists(
+        st.tuples(
+            st.sampled_from(["add", "remove"]),
+            st.integers(min_value=0, max_value=7),
+            st.floats(min_value=0.5, max_value=60.0),
+        ),
+        min_size=1,
+        max_size=24,
+    )
+)
+def test_shares_conserve_capacity_across_arrival_departure_sequences(steps):
+    """After any add/remove sequence: rates non-negative, capped by the
+    flow's demand/CC limit, and per-link sums within headroom*capacity —
+    checked from scratch by ``fluid_violation`` after every step."""
+    sim = Simulator()
+    net = dumbbell(sim, n=4)
+    dom = FluidDomain(sim, net)
+    live = []
+    for op, idx, demand in steps:
+        if op == "add":
+            live.append(
+                dom.add_flow(f"l{idx % 4}", f"r{(idx // 2) % 4}", demand)
+            )
+        elif live:
+            dom.remove_flow(live.pop(idx % len(live)))
+        assert dom.fluid_violation() is None
+        for flow in dom.flows:
+            assert flow.rate_bytes_per_ns >= 0.0
+            assert flow.rate_bytes_per_ns <= flow.cap_bytes_per_ns() + 1e-9

@@ -125,6 +125,34 @@ def test_incast_trace_is_deterministic_across_runs():
     assert a == b
 
 
+def test_dual_fidelity_off_is_byte_identical_to_golden():
+    """Explicit burst_segments=1 + a withdrawn fluid load == the v2 trace.
+
+    The dual-fidelity engine must be invisible when off: pumping with
+    ``burst_segments=1`` takes the classic scalar path, and setting a
+    fluid load on every link then clearing it must restore the pristine
+    serialisation constant *exactly* (``set_fluid_load(0)`` re-assigns
+    the original float rather than recomputing it), so the dispatch
+    trace stays byte-identical to the v2 golden.
+    """
+    from repro.net.nic import NICConfig
+    from repro.profiling.bench import build_incast_cell
+
+    golden = json.loads(GOLDEN_PATH.read_text())
+    sim, net = build_incast_cell(
+        trace=True, nic_config=NICConfig(burst_segments=1), **CELL
+    )
+    for link in net.iter_links():
+        link.set_fluid_load(0.37 * link._bytes_per_ns)
+        link.set_fluid_load(0.0)
+    sim.run(until=CELL["duration_ns"] + 50_000)
+    log = normalized_log(sim.dispatch_log)
+    canonical = "\n".join(f"{t} {name}" for t, name in log)
+    assert len(log) == golden["n_events"]
+    assert hashlib.sha256(canonical.encode()).hexdigest() == golden["sha256"]
+    assert incast_outputs(net) == golden["outputs"]
+
+
 if __name__ == "__main__":
     import sys
 

@@ -115,3 +115,78 @@ def test_routes_to_all_hosts_from_all_switches():
     for sw in net.switches.values():
         for host in net.hosts:
             assert host in sw.routes, f"{sw.name} missing route to {host}"
+
+
+def test_duplicate_cable_rejected():
+    sim = Simulator()
+    net = Network(sim)
+    net.add_switch("swA")
+    net.add_switch("swB")
+    net.connect("swA", "swB", rate_gbps=40.0)
+    with pytest.raises(ValueError, match="duplicate cable"):
+        net.connect("swA", "swB", rate_gbps=40.0)
+    with pytest.raises(ValueError, match="duplicate cable"):
+        net.connect("swB", "swA", rate_gbps=40.0)  # same pair, reversed
+
+
+def test_self_loop_cable_rejected():
+    sim = Simulator()
+    net = Network(sim)
+    net.add_switch("swA")
+    with pytest.raises(ValueError, match="itself"):
+        net.connect("swA", "swA", rate_gbps=40.0)
+
+
+def test_fidelity_tagging():
+    sim = Simulator()
+    net = build_star(sim, ["a", "b", "c"])
+    assert net.fidelity_of("a") == "packet"
+    net.tag_fidelity("b", "fluid")
+    assert net.fidelity_of("b") == "fluid"
+    assert net.fluid_hosts() == ["b"]
+    with pytest.raises(KeyError):
+        net.tag_fidelity("nope", "fluid")
+    with pytest.raises(ValueError):
+        net.tag_fidelity("a", "analog")
+
+
+def test_build_clos_fluid_tagging():
+    sim = Simulator()
+    net = build_clos(
+        sim,
+        n_pods=2,
+        leaves_per_pod=2,
+        tors_per_pod=2,
+        hosts_per_tor=4,
+        fluid_hosts_per_tor=1,
+    )
+    fluid = net.fluid_hosts()
+    # The *last* host of every ToR is tagged: 2 pods x 2 ToRs x 1.
+    assert len(fluid) == 4
+    assert all(name.endswith("_3") for name in fluid)
+    with pytest.raises(ValueError):
+        build_clos(sim, fluid_hosts_per_tor=99)
+
+
+def test_path_links_follows_packet_forwarding():
+    sim = Simulator()
+    net = build_clos(
+        sim, n_pods=2, leaves_per_pod=2, tors_per_pod=2, hosts_per_tor=2
+    )
+    src, dst = "h0_0_0", "h1_1_0"
+    links = net.path_links(src, dst, flow_id=3)
+    # Cross-pod: uplink, ToR->leaf, leaf->leaf', leaf'->ToR', downlink.
+    assert len(links) == 5
+    assert links[0] is net.hosts[src].link
+    assert links[-1].dst is net.hosts[dst]
+    # The walk uses the same ECMP pick the switches would.
+    tor = links[0].dst
+    ports = tor.routes[dst]
+    expected = ports[3 % len(ports)] if len(ports) > 1 else ports[0]
+    assert links[1] is tor.out_link(expected)
+    # Same-pod stays under the pod's leaves (3 hops: up, across, down).
+    assert len(net.path_links("h0_0_0", "h0_1_0")) <= 4
+    with pytest.raises(KeyError):
+        net.path_links("nope", dst)
+    with pytest.raises(KeyError):
+        net.path_links(src, "nope")
