@@ -10,18 +10,22 @@ Three layers guard the repo's bit-identical-replay guarantee:
   project-wide symbol table + call graph (resolving the scheduler's
   ``schedule(callback, *args)`` indirection),
   :mod:`repro.analysis.units` checks units-of-measure dataflow
-  (SIM101–SIM104), and :mod:`repro.analysis.purity` checks
-  event-callback purity (SIM201–SIM203);
+  (SIM101–SIM104), :mod:`repro.analysis.purity` checks event-callback
+  purity (SIM201–SIM203), and :mod:`repro.analysis.effects` +
+  :mod:`repro.analysis.shards` compute interprocedural effect/escape
+  summaries and the shard-safety rules (SIM301–SIM304,
+  ``repro lint --shards``);
   :mod:`repro.analysis.run` drives all of it behind the
-  :mod:`repro.analysis.baseline` suppression workflow (``repro lint``);
+  :mod:`repro.analysis.baseline` suppression workflow (``repro lint``),
+  with :mod:`repro.analysis.sarif` as the CI-neutral output format;
 * :mod:`repro.analysis.sanitizer` — a runtime invariant checker
   (``Simulator(sanitize=True)`` / ``REPRO_SANITIZE=1``) that verifies
   clock monotonicity, queue-depth non-negativity, NIC byte
   conservation, WRR token bounds, and FTL mapping consistency on every
   dispatched event.
 
-See DESIGN.md §6 ("Determinism & sanitizer contract") and §8
-("Whole-program analysis").
+See DESIGN.md §6 ("Determinism & sanitizer contract"), §8
+("Whole-program analysis"), and §10 ("Effect analysis & shard safety").
 """
 
 from __future__ import annotations
@@ -30,17 +34,28 @@ from repro.analysis.baseline import (
     BaselineEntry,
     apply_baseline,
     load_baseline,
+    prune_stale,
+    reconcile_stale,
     update_baseline,
     write_baseline,
 )
 from repro.analysis.callgraph import CallGraph, ProjectIndex
+from repro.analysis.effects import (
+    EffectMap,
+    EffectSummary,
+    compute_effects,
+    load_or_compute_effects,
+)
 from repro.analysis.manifest import (
     COMPONENT_CLASSES,
+    SHARD_REACH,
     SIM_PACKAGES,
     SLOTS_MANIFEST,
     UNITS_EXEMPT_MODULES,
 )
 from repro.analysis.purity import PURITY_RULES, check_purity
+from repro.analysis.sarif import sarif_report, to_sarif, violations_from_sarif
+from repro.analysis.shards import SHARD_RULES, check_shards
 from repro.analysis.run import ALL_RULES, LintReport, lint_project
 from repro.analysis.sanitizer import (
     Sanitizer,
@@ -63,10 +78,14 @@ __all__ = [
     "BaselineEntry",
     "COMPONENT_CLASSES",
     "CallGraph",
+    "EffectMap",
+    "EffectSummary",
     "LintReport",
     "PURITY_RULES",
     "ProjectIndex",
     "RULES",
+    "SHARD_REACH",
+    "SHARD_RULES",
     "SIM_PACKAGES",
     "SLOTS_MANIFEST",
     "Sanitizer",
@@ -77,7 +96,9 @@ __all__ = [
     "Violation",
     "apply_baseline",
     "check_purity",
+    "check_shards",
     "check_units",
+    "compute_effects",
     "env_sanitize_enabled",
     "format_violations",
     "ftl_mapping_violation",
@@ -85,6 +106,12 @@ __all__ = [
     "lint_paths",
     "lint_project",
     "load_baseline",
+    "load_or_compute_effects",
+    "prune_stale",
+    "reconcile_stale",
+    "sarif_report",
+    "to_sarif",
     "update_baseline",
+    "violations_from_sarif",
     "write_baseline",
 ]

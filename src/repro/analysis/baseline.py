@@ -22,12 +22,20 @@ fresh look.  ``repro lint --update-baseline`` rewrites the file from
 the current findings, carrying reasons forward for entries that still
 match and stamping ``"TODO: justify"`` on new ones (CI's
 empty-or-justified test then fails until a human writes the reason).
+
+Stale entries (the finding they suppressed no longer fires) get one
+grace run: the first gated run that misses an entry rewrites the file
+with a persisted ``"stale": true`` marker and still passes; a second
+run that misses the *same* entry fails — a baseline that suppresses
+nothing is a suppression waiting to hide a regression.
+``repro lint --prune-baseline`` drops currently-stale entries
+immediately instead.
 """
 
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from pathlib import Path
 
 from repro.analysis.simlint import Violation
@@ -37,6 +45,8 @@ __all__ = [
     "DEFAULT_BASELINE_PATH",
     "apply_baseline",
     "load_baseline",
+    "prune_stale",
+    "reconcile_stale",
     "update_baseline",
     "write_baseline",
 ]
@@ -56,6 +66,9 @@ class BaselineEntry:
     path: str  # repo-relative, forward slashes
     line_text: str  # stripped source of the flagged line
     reason: str
+    #: Persisted marker: this entry matched nothing on the previous
+    #: gated run.  Stale for a second consecutive run -> CI failure.
+    stale: bool = False
 
     @property
     def key(self) -> tuple[str, str, str]:
@@ -114,6 +127,7 @@ def load_baseline(path: Path) -> list[BaselineEntry]:
             path=entry["path"],
             line_text=entry["line_text"],
             reason=entry.get("reason", ""),
+            stale=bool(entry.get("stale", False)),
         )
         for entry in data.get("entries", [])
     ]
@@ -128,6 +142,9 @@ def write_baseline(path: Path, entries: list[BaselineEntry]) -> None:
                 "path": e.path,
                 "line_text": e.line_text,
                 "reason": e.reason,
+                # Written only when set: untouched baselines stay
+                # byte-identical across versions.
+                **({"stale": True} if e.stale else {}),
             }
             for e in sorted(entries, key=lambda e: e.key)
         ],
@@ -160,6 +177,59 @@ def apply_baseline(
         elif entry not in matched:
             matched.append(entry)
     return fresh, matched
+
+
+def reconcile_stale(
+    path: Path,
+    entries: list[BaselineEntry],
+    matched: list[BaselineEntry],
+) -> tuple[list[BaselineEntry], list[BaselineEntry]]:
+    """Persist stale markers after a gated run.
+
+    Returns ``(newly_stale, expired)``: entries that just went stale
+    (marked in the file, one grace run) and entries that were *already*
+    marked stale and still match nothing — stale for more than one run,
+    so the caller should fail the gate.  An entry that matches again is
+    unmarked.  Rewrites ``path`` only when a marker changed.
+    """
+    matched_keys = {e.key for e in matched}
+    updated: list[BaselineEntry] = []
+    newly_stale: list[BaselineEntry] = []
+    expired: list[BaselineEntry] = []
+    dirty = False
+    for entry in entries:
+        if entry.key in matched_keys:
+            if entry.stale:
+                entry = replace(entry, stale=False)
+                dirty = True
+        elif entry.stale:
+            expired.append(entry)
+        else:
+            entry = replace(entry, stale=True)
+            newly_stale.append(entry)
+            dirty = True
+        updated.append(entry)
+    if dirty:
+        write_baseline(path, updated)
+    return newly_stale, expired
+
+
+def prune_stale(
+    path: Path,
+    entries: list[BaselineEntry],
+    matched: list[BaselineEntry],
+) -> list[BaselineEntry]:
+    """Drop every entry that matched nothing this run; returns them.
+
+    Rewrites ``path`` (without stale markers — pruning resets the
+    grace clock) only when something was dropped.
+    """
+    matched_keys = {e.key for e in matched}
+    kept = [replace(e, stale=False) for e in entries if e.key in matched_keys]
+    pruned = [e for e in entries if e.key not in matched_keys]
+    if pruned:
+        write_baseline(path, kept)
+    return pruned
 
 
 def update_baseline(

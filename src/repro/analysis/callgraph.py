@@ -72,6 +72,21 @@ SCHEDULE_METHODS: frozenset[str] = frozenset(
 #: timestamp and ``callback``, and falls back to ``callback`` otherwise.
 BATCH_REGISTER_METHODS: frozenset[str] = frozenset({"register_batch"})
 
+#: Edge kinds.  ``call``/``ref`` are ordinary synchronous reach;
+#: ``protocol``/``duck`` are structural dispatch through a Protocol
+#: attribute or a getattr-wired method (the opaque far side of a
+#: component boundary); ``wired`` is a call through a callback
+#: attribute some *other* component registered on the receiver
+#: (``link.on_depart = self._hook`` — registration asserts shared
+#: memory, so the hop is shard-local); ``sched`` is the engine-mediated
+#: channel (schedule targets, batch registration, inlined heappush).
+#: Everything except ``sched`` runs within the caller's event, so the
+#: effect pass propagates summaries over exactly the non-``sched``
+#: edges.
+EDGE_KINDS: frozenset[str] = frozenset(
+    {"call", "ref", "protocol", "duck", "wired", "sched"}
+)
+
 _CACHE_VERSION = 1
 
 
@@ -714,13 +729,51 @@ def _constant_getattr_name(value: ast.expr) -> str | None:
 
 @dataclass
 class ScheduleSite:
-    """One ``sim.schedule(...)`` / ``schedule_at(...)`` call site."""
+    """One ``sim.schedule(...)`` / ``schedule_at(...)`` call site.
+
+    ``kind`` is ``"schedule"`` for a named ``schedule*`` method call and
+    ``"heappush"`` for the hot-path inlined form
+    (``heappush(heap, (time, seq, callback, args))``).  For heappush
+    sites ``delay`` is the relative part of the time expression when the
+    push uses the canonical ``now + X`` shape, else None (absolute or
+    opaque time).
+    """
 
     caller: str  # qualname of the function containing the call
     node: ast.Call
     delay: ast.expr | None  # first argument (delay / absolute time)
     callback: ast.expr | None
     target: str | None  # resolved callback qualname, None if opaque
+    kind: str = "schedule"
+
+
+def _is_heappush(func: ast.expr) -> bool:
+    """``heappush(...)`` / ``heapq.heappush(...)`` call heads."""
+    if isinstance(func, ast.Name):
+        return func.id == "heappush"
+    return isinstance(func, ast.Attribute) and func.attr == "heappush"
+
+
+def _is_now_expr(node: ast.expr) -> bool:
+    """Expressions spelling the current simulated time."""
+    if isinstance(node, ast.Attribute) and node.attr == "now":
+        return True
+    return isinstance(node, ast.Name) and node.id == "now"
+
+
+def _heappush_delay(time_expr: ast.expr) -> ast.expr | None:
+    """The relative delay of an inlined push, or None if absolute.
+
+    Recognises the ``sim.now + delay`` / ``now + delay`` shape every
+    inlined ``schedule_anon`` in the repo uses; anything else is an
+    absolute timestamp whose distance from now is statically unknown.
+    """
+    if isinstance(time_expr, ast.BinOp) and isinstance(time_expr.op, ast.Add):
+        if _is_now_expr(time_expr.left):
+            return time_expr.right
+        if _is_now_expr(time_expr.right):
+            return time_expr.left
+    return None
 
 
 class CallGraph:
@@ -729,11 +782,27 @@ class CallGraph:
     def __init__(self, index: ProjectIndex) -> None:
         self.index = index
         self.edges: dict[str, set[str]] = {}
+        #: Edges that run *within* the caller's event (every kind except
+        #: ``sched``) — the propagation relation of the effect pass.
+        self.sync_edges: dict[str, set[str]] = {}
+        #: (caller, callee) pairs reached through structural dispatch
+        #: (Protocol receivers, getattr-wired duck methods): the opaque
+        #: far side of a component boundary, i.e. potentially remote.
+        self.remote_pairs: set[tuple[str, str]] = set()
+        #: (caller, callee) pairs through registered callback attributes
+        #: — shard-local by construction (registration shares memory).
+        self.wired_pairs: set[tuple[str, str]] = set()
+        #: (class qualname, attribute) -> functions some other code
+        #: wired into that callback attribute.
+        self.wirings: dict[tuple[str, str], set[str]] = {}
         self.schedule_sites: list[ScheduleSite] = []
         self.seeds: set[str] = set()
         #: (class qualname, attribute name) -> duck method name, for
         #: attributes wired as ``self.x = getattr(obj, "method", None)``.
         self._getattr_attrs: dict[tuple[str, str], str] = {}
+        #: method qualname -> {param name: (sink class qualname, attr)}
+        #: for registration helpers (``def add(self, cb): self.cbs.append(cb)``).
+        self._param_sinks: dict[str, dict[str, tuple[str, str]]] = {}
         self._build()
 
     # -- construction ---------------------------------------------------
@@ -741,6 +810,9 @@ class CallGraph:
         functions = sorted(self.index.functions.values(), key=lambda f: f.qualname)
         for fn in functions:
             self._collect_getattr_attrs(fn)
+            self._collect_param_sinks(fn)
+        for fn in functions:
+            self._collect_wirings(fn)
         for fn in functions:
             self._scan_function(fn)
 
@@ -773,8 +845,154 @@ class CallGraph:
                 ):
                     self._getattr_attrs[(fn.cls, tgt.attr)] = method
 
-    def _add_edge(self, caller: str, callee: str) -> None:
+    def _add_edge(self, caller: str, callee: str, kind: str = "call") -> None:
         self.edges.setdefault(caller, set()).add(callee)
+        if kind in ("protocol", "duck"):
+            self.remote_pairs.add((caller, callee))
+        elif kind == "wired":
+            self.wired_pairs.add((caller, callee))
+        if kind != "sched":
+            self.sync_edges.setdefault(caller, set()).add(callee)
+
+    # -- callback-wiring escape analysis --------------------------------
+    def _sink_of_target(
+        self, fn: FunctionInfo, target: ast.expr
+    ) -> tuple[str, str] | None:
+        """``self.attr`` / ``self.other.attr`` store target -> (class, attr)."""
+        if not (isinstance(target, ast.Attribute) and fn.cls is not None):
+            return None
+        base = target.value
+        if isinstance(base, ast.Name) and base.id == "self":
+            return (fn.cls, target.attr)
+        if (
+            isinstance(base, ast.Attribute)
+            and isinstance(base.value, ast.Name)
+            and base.value.id == "self"
+        ):
+            owner = self.index.classes.get(fn.cls)
+            hop = self.index.attr_type(owner, base.attr) if owner else None
+            if hop is not None:
+                return (hop.qualname, target.attr)
+        return None
+
+    def _collect_param_sinks(self, fn: FunctionInfo) -> None:
+        """Record registration helpers: a parameter flowing into a
+        ``self``-rooted attribute (``self.listeners.append(cb)`` /
+        ``self.cb = cb``) makes the method a wiring point — any function
+        reference passed to it at a call site lands in that attribute.
+        """
+        if fn.cls is None:
+            return
+        params = {p.name for p in fn.call_params}
+        sinks: dict[str, tuple[str, str]] = {}
+        for stmt in ast.walk(fn.node):
+            if isinstance(stmt, ast.Assign):
+                if not (
+                    isinstance(stmt.value, ast.Name) and stmt.value.id in params
+                ):
+                    continue
+                for target in stmt.targets:
+                    sink = self._sink_of_target(fn, target)
+                    if sink is not None:
+                        sinks[stmt.value.id] = sink
+            elif (
+                isinstance(stmt, ast.Call)
+                and isinstance(stmt.func, ast.Attribute)
+                and stmt.func.attr in ("append", "add")
+                and len(stmt.args) == 1
+                and isinstance(stmt.args[0], ast.Name)
+                and stmt.args[0].id in params
+            ):
+                sink = self._sink_of_target(fn, stmt.func.value)
+                if sink is not None:
+                    sinks[stmt.args[0].id] = sink
+        if sinks:
+            self._param_sinks[fn.qualname] = sinks
+
+    def _record_wiring(
+        self,
+        fn: FunctionInfo,
+        sink: tuple[str, str],
+        value: ast.expr,
+        enclosing: ClassInfo | None,
+        env: TypeEnv,
+    ) -> None:
+        ref = self.index.resolve_function_reference(
+            value, module=fn.module, enclosing=enclosing, env=env
+        )
+        if ref is None and isinstance(value, ast.Call):
+            # ``link.on_depart = self._make_hook(port)``: the factory's
+            # closure is the callback; its effects live in the factory's
+            # body (nested defs are walked with it), so wiring the
+            # factory itself keeps the summary sound.
+            ref = self.index.resolve_call(
+                value, module=fn.module, enclosing=enclosing, env=env
+            )
+            if ref is not None and ref.name == "__init__":
+                ref = None  # plain object construction, not a callback factory
+        if ref is not None:
+            self.wirings.setdefault(sink, set()).add(ref.qualname)
+
+    def _collect_wirings(self, fn: FunctionInfo) -> None:
+        """Record every function escaping into a callback attribute.
+
+        Three shapes: a direct store (``nic.endpoint = self._on_message``),
+        a container registration (``nic.listeners.append(self._retry)``),
+        and a call to a registration helper found by
+        :meth:`_collect_param_sinks` (``target.add_rate_listener(cb)``).
+        """
+        index = self.index
+        enclosing = index.classes.get(fn.cls) if fn.cls is not None else None
+        env = index.env_for_function(fn)
+
+        def sink_for(target: ast.expr) -> tuple[str, str] | None:
+            if not isinstance(target, ast.Attribute):
+                return None
+            owner = index.type_of_expr(
+                target.value, module=fn.module, enclosing=enclosing, env=env
+            )
+            if owner is None:
+                return None
+            return (owner.qualname, target.attr)
+
+        for stmt in ast.walk(fn.node):
+            if isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    sink = sink_for(target)
+                    if sink is not None:
+                        self._record_wiring(fn, sink, stmt.value, enclosing, env)
+            elif isinstance(stmt, ast.Call):
+                func = stmt.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in ("append", "add")
+                    and len(stmt.args) == 1
+                ):
+                    sink = sink_for(func.value)
+                    if sink is not None:
+                        self._record_wiring(
+                            fn, sink, stmt.args[0], enclosing, env
+                        )
+                    continue
+                resolved = index.resolve_call(
+                    stmt, module=fn.module, enclosing=enclosing, env=env
+                )
+                if resolved is None:
+                    continue
+                sinks = self._param_sinks.get(resolved.qualname)
+                if not sinks:
+                    continue
+                callee_params = resolved.call_params
+                for i, arg in enumerate(stmt.args):
+                    if i < len(callee_params) and callee_params[i].name in sinks:
+                        self._record_wiring(
+                            fn, sinks[callee_params[i].name], arg, enclosing, env
+                        )
+                for kw in stmt.keywords:
+                    if kw.arg is not None and kw.arg in sinks:
+                        self._record_wiring(
+                            fn, sinks[kw.arg], kw.value, enclosing, env
+                        )
 
     def _scan_function(self, fn: FunctionInfo) -> None:
         index = self.index
@@ -803,6 +1021,25 @@ class CallGraph:
                         method = duck_attrs.get((fn.cls, val.attr))
                         if method is not None:
                             duck_aliases[tgt.id] = method
+        # Local aliases and loop variables bound to wired callback
+        # attributes (``on_depart = self.on_depart`` / ``for cb in
+        # self.listeners``): a call through them dispatches the wiring.
+        wired_aliases: dict[str, tuple[str, str]] = {}
+        if fn.cls is not None and self.wirings:
+            for stmt in ast.walk(fn.node):
+                if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                    tgt, val = stmt.targets[0], stmt.value
+                    if isinstance(tgt, ast.Name) and isinstance(val, ast.Attribute):
+                        sink = self._self_attr_sink(fn, val)
+                        if sink is not None and sink in self.wirings:
+                            wired_aliases[tgt.id] = sink
+                elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+                    if isinstance(stmt.target, ast.Name) and isinstance(
+                        stmt.iter, ast.Attribute
+                    ):
+                        sink = self._self_attr_sink(fn, stmt.iter)
+                        if sink is not None and sink in self.wirings:
+                            wired_aliases[stmt.target.id] = sink
         for node in ast.walk(fn.node):
             if not isinstance(node, ast.Call):
                 continue
@@ -817,6 +1054,15 @@ class CallGraph:
                 and (fn.cls, func.attr) in duck_attrs
             ):
                 self._duck_edges(fn, duck_attrs[(fn.cls, func.attr)])
+            if isinstance(func, ast.Name) and func.id in wired_aliases:
+                self._wired_edges(fn, wired_aliases[func.id])
+            elif isinstance(func, ast.Attribute):
+                sink = self._self_attr_sink(fn, func)
+                if sink is not None and sink in self.wirings:
+                    self._wired_edges(fn, sink)
+            if _is_heappush(func):
+                self._record_heappush(fn, node, enclosing, env)
+                continue
             is_schedule = (
                 isinstance(func, ast.Attribute) and func.attr in SCHEDULE_METHODS
             )
@@ -832,8 +1078,25 @@ class CallGraph:
             )
             if resolved is not None:
                 self._add_edge(fn.qualname, resolved.qualname)
+                owner = (
+                    index.classes.get(resolved.cls)
+                    if resolved.cls is not None
+                    else None
+                )
+                if owner is not None and owner.is_protocol:
+                    # The call resolved to a Protocol *stub*: fan out to
+                    # the concrete implementations, or structural typing
+                    # would hide them from dispatch reachability.
+                    self._implementer_edges(fn, owner, resolved.name)
             elif isinstance(func, ast.Attribute):
                 self._protocol_edges(fn, func, enclosing, env)
+            if is_schedule or (
+                isinstance(func, ast.Attribute)
+                and func.attr in BATCH_REGISTER_METHODS
+            ):
+                # Their callback arguments are engine-mediated, recorded
+                # as ``sched`` edges above — not synchronous escapes.
+                continue
             # Function references escaping as arguments (callbacks wired
             # through plain calls: ``on_done=self._finish``).
             for arg in [*node.args, *[kw.value for kw in node.keywords]]:
@@ -844,7 +1107,74 @@ class CallGraph:
                         arg, module=fn.module, enclosing=enclosing, env=env
                     )
                     if ref is not None:
-                        self._add_edge(fn.qualname, ref.qualname)
+                        self._add_edge(fn.qualname, ref.qualname, kind="ref")
+
+    def _self_attr_sink(
+        self, fn: FunctionInfo, node: ast.Attribute
+    ) -> tuple[str, str] | None:
+        """``self.attr`` -> (own class, attr), for wiring lookups."""
+        if (
+            fn.cls is not None
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        ):
+            return (fn.cls, node.attr)
+        return None
+
+    def _wired_edges(self, fn: FunctionInfo, sink: tuple[str, str]) -> None:
+        for target in sorted(self.wirings.get(sink, ())):
+            self._add_edge(fn.qualname, target, kind="wired")
+
+    def _record_heappush(
+        self,
+        fn: FunctionInfo,
+        node: ast.Call,
+        enclosing: ClassInfo | None,
+        env: TypeEnv,
+    ) -> None:
+        """An inlined ``heappush(heap, (time, seq, callback, args))``.
+
+        The hot paths (``Link.send``, ``Flow.pump``) bypass the
+        ``schedule*`` methods and push event tuples directly; without
+        this, their callbacks (``_finish``, ``_deliver``) look dead to
+        every dispatch-reachability consumer.
+        """
+        if len(node.args) < 2 or not isinstance(node.args[1], ast.Tuple):
+            return
+        elts = node.args[1].elts
+        if len(elts) < 3:
+            return
+        callback = elts[2]
+        target: str | None = None
+        ref = self.index.resolve_function_reference(
+            callback, module=fn.module, enclosing=enclosing, env=env
+        )
+        if ref is not None:
+            target = ref.qualname
+            self.seeds.add(target)
+            self._add_edge(fn.qualname, target, kind="sched")
+        self.schedule_sites.append(
+            ScheduleSite(
+                caller=fn.qualname,
+                node=node,
+                delay=_heappush_delay(elts[0]),
+                callback=callback,
+                target=target,
+                kind="heappush",
+            )
+        )
+
+    def _implementer_edges(
+        self, fn: FunctionInfo, protocol: ClassInfo, method: str
+    ) -> None:
+        """Fan out from a Protocol method stub to its implementations."""
+        for cls in self.index.classes.values():
+            if cls.is_protocol or method not in cls.methods:
+                continue
+            if all(m in cls.methods for m in protocol.methods):
+                self._add_edge(
+                    fn.qualname, cls.methods[method].qualname, kind="protocol"
+                )
 
     def _protocol_edges(
         self,
@@ -867,11 +1197,7 @@ class CallGraph:
             return
         if func.attr not in owner.methods:
             return
-        for cls in index.classes.values():
-            if cls.is_protocol or func.attr not in cls.methods:
-                continue
-            if all(m in cls.methods for m in owner.methods):
-                self._add_edge(fn.qualname, cls.methods[func.attr].qualname)
+        self._implementer_edges(fn, owner, func.attr)
 
     def _record_schedule(
         self,
@@ -892,7 +1218,7 @@ class CallGraph:
             if ref is not None:
                 target = ref.qualname
                 self.seeds.add(target)
-                self._add_edge(fn.qualname, target)
+                self._add_edge(fn.qualname, target, kind="sched")
             elif isinstance(callback, ast.Lambda):
                 # The lambda body runs at dispatch: its call targets are
                 # callbacks even though the enclosing function is not.
@@ -905,6 +1231,16 @@ class CallGraph:
                     ):
                         self._seed_calls_within(stmt, fn, enclosing, env)
                         break
+        # Function references among the *callback arguments* (``schedule(
+        # d, cb, on_done)``) dispatch with the callback: engine-mediated.
+        for extra in [*args[2:], *[kw.value for kw in node.keywords]]:
+            if isinstance(extra, (ast.Attribute, ast.Name)):
+                ref = self.index.resolve_function_reference(
+                    extra, module=fn.module, enclosing=enclosing, env=env
+                )
+                if ref is not None:
+                    self.seeds.add(ref.qualname)
+                    self._add_edge(fn.qualname, ref.qualname, kind="sched")
         self.schedule_sites.append(
             ScheduleSite(
                 caller=fn.qualname, node=node, delay=delay,
@@ -924,7 +1260,7 @@ class CallGraph:
                 continue
             info = cls.methods.get(method_name)
             if info is not None:
-                self._add_edge(fn.qualname, info.qualname)
+                self._add_edge(fn.qualname, info.qualname, kind="duck")
 
     def _seed_batch_register(
         self,
@@ -946,7 +1282,7 @@ class CallGraph:
             )
             if ref is not None:
                 self.seeds.add(ref.qualname)
-                self._add_edge(fn.qualname, ref.qualname)
+                self._add_edge(fn.qualname, ref.qualname, kind="sched")
 
     def _seed_calls_within(
         self,
@@ -962,7 +1298,7 @@ class CallGraph:
                 )
                 if resolved is not None:
                     self.seeds.add(resolved.qualname)
-                    self._add_edge(fn.qualname, resolved.qualname)
+                    self._add_edge(fn.qualname, resolved.qualname, kind="sched")
 
     # -- queries --------------------------------------------------------
     def reachable_from_dispatch(self) -> frozenset[str]:

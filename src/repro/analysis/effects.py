@@ -1,0 +1,519 @@
+"""Interprocedural effect-and-escape summaries for the shard-safety pass.
+
+ROADMAP item 1 (sharded DES with conservative lookahead) is only sound
+if no event callback reaches across a future shard boundary except
+through the message-passing surface.  This module computes, for every
+project function, a summary of what running it can do to component
+state — then propagates those summaries bottom-up over the call graph's
+*synchronous* edges to a fixed point, so a callback's summary covers
+its whole same-event call tree:
+
+* ``writes`` — component attributes stored to (own ``self`` state and
+  directly-addressed foreign component state), each with its owner
+  class, owner domain (:data:`repro.analysis.manifest.COMPONENT_CLASSES`),
+  and source location;
+* ``touch_domains`` — the owner domains the function's event can write,
+  with **no** API absorption: the raw footprint a shard scheduler must
+  assume (feeds SIM302);
+* ``remote_domains`` — owner domains of components reached through a
+  structural-dispatch boundary (a Protocol receiver or getattr-wired
+  duck method): the far side of a wire.  Only crossings into
+  :data:`COMPONENT_CLASSES` members count — an object with no owner
+  domain is a shard-local satellite of whoever calls it (feeds SIM302);
+* ``rng`` / ``io`` — whether the tree draws randomness / performs I/O;
+* ``boundary_calls`` — call sites entering a *private* method of a
+  foreign-domain component (the raw material of SIM301).
+
+Propagation rules (the absorption lattice):
+
+* ``writes`` flow caller-ward over every synchronous edge, except that
+  entering a component's **public API** (a non-underscore method of a
+  :data:`COMPONENT_CLASSES` class) absorbs the callee's writes to *its
+  own* class — a documented API call is the sanctioned way to effect
+  another component, so only the residue (private writes to third
+  components) keeps propagating.  ``wired`` edges (registered callback
+  attributes) absorb the same way: registration is consent.
+* ``touch_domains`` and ``remote_domains`` flow with no absorption over
+  every synchronous edge *except* ``wired`` ones — a wiring is a
+  colocation assertion made at topology-build time (you can only
+  register a callback on an object you share memory with), so wired
+  effects never count as a shard crossing.
+* ``rng``/``io`` flow over every synchronous edge.
+
+Everything is monotone over finite sets, so plain Kleene iteration
+converges — including for mutual recursion and duck-dispatch cycles.
+
+Summaries are cached next to the AST index as ``effects.json``, keyed
+by a digest of every module's content hash: any file edit invalidates
+the whole effect map (summaries are interprocedural, so per-file
+invalidation would be unsound).
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.callgraph import CallGraph, FunctionInfo, ProjectIndex
+from repro.analysis.manifest import COMPONENT_CLASSES
+
+__all__ = [
+    "BoundaryCall",
+    "EffectMap",
+    "EffectSummary",
+    "WriteRecord",
+    "compute_effects",
+    "effects_cache_path",
+    "load_or_compute_effects",
+    "project_digest",
+]
+
+_EFFECTS_VERSION = 1
+
+#: Generator-style draw methods: a call to one of these marks the
+#: function as consuming randomness (summary payload; SIM002/SIM303
+#: police *where the stream came from*, this records that it is used).
+_RNG_METHODS = frozenset(
+    {
+        "random", "integers", "normal", "exponential", "uniform",
+        "choice", "shuffle", "poisson", "standard_normal", "bit_generator",
+    }
+)
+
+_IO_BUILTINS = frozenset({"open", "print", "input"})
+_IO_ROOTS = frozenset({"os", "subprocess", "shutil", "socket"})
+
+
+@dataclass(frozen=True)
+class WriteRecord:
+    """One component-attribute store, attributed to its owner."""
+
+    cls: str  # owner class qualname
+    domain: str  # owner domain from COMPONENT_CLASSES
+    attr: str
+    path: str
+    line: int
+    col: int
+
+    def as_dict(self) -> dict:
+        return {
+            "cls": self.cls, "domain": self.domain, "attr": self.attr,
+            "path": self.path, "line": self.line, "col": self.col,
+        }
+
+    @staticmethod
+    def from_dict(d: dict) -> "WriteRecord":
+        return WriteRecord(
+            cls=d["cls"], domain=d["domain"], attr=d["attr"],
+            path=d["path"], line=d["line"], col=d["col"],
+        )
+
+
+@dataclass(frozen=True)
+class BoundaryCall:
+    """A call site entering a private foreign-domain component method."""
+
+    caller: str  # enclosing function qualname
+    callee: str  # private method qualname
+    callee_cls: str
+    callee_domain: str
+    path: str
+    line: int
+    col: int
+
+    def as_dict(self) -> dict:
+        return {
+            "caller": self.caller, "callee": self.callee,
+            "callee_cls": self.callee_cls, "callee_domain": self.callee_domain,
+            "path": self.path, "line": self.line, "col": self.col,
+        }
+
+    @staticmethod
+    def from_dict(d: dict) -> "BoundaryCall":
+        return BoundaryCall(
+            caller=d["caller"], callee=d["callee"],
+            callee_cls=d["callee_cls"], callee_domain=d["callee_domain"],
+            path=d["path"], line=d["line"], col=d["col"],
+        )
+
+
+@dataclass
+class EffectSummary:
+    """Propagated effects of one function's synchronous call tree."""
+
+    writes: frozenset[WriteRecord] = frozenset()
+    touch_domains: frozenset[str] = frozenset()
+    remote_domains: frozenset[str] = frozenset()
+    rng: bool = False
+    io: bool = False
+
+    def writes_to(self, cls: str) -> bool:
+        return any(w.cls == cls for w in self.writes)
+
+    def as_dict(self) -> dict:
+        return {
+            "writes": [w.as_dict() for w in sorted(self.writes, key=lambda w: (w.path, w.line, w.col, w.attr))],
+            "touch_domains": sorted(self.touch_domains),
+            "remote_domains": sorted(self.remote_domains),
+            "rng": self.rng,
+            "io": self.io,
+        }
+
+    @staticmethod
+    def from_dict(d: dict) -> "EffectSummary":
+        return EffectSummary(
+            writes=frozenset(WriteRecord.from_dict(w) for w in d["writes"]),
+            touch_domains=frozenset(d["touch_domains"]),
+            remote_domains=frozenset(d["remote_domains"]),
+            rng=d["rng"],
+            io=d["io"],
+        )
+
+
+@dataclass
+class EffectMap:
+    """The whole project's propagated summaries plus SIM301 raw sites."""
+
+    summaries: dict[str, EffectSummary] = field(default_factory=dict)
+    boundary_calls: list[BoundaryCall] = field(default_factory=list)
+    digest: str = ""
+    iterations: int = 0  # fixed-point rounds until convergence
+
+    def summary(self, qualname: str) -> EffectSummary:
+        return self.summaries.get(qualname, EffectSummary())
+
+
+# ---------------------------------------------------------------------------
+# direct (intraprocedural) effects
+# ---------------------------------------------------------------------------
+
+def _store_base(target: ast.expr) -> ast.expr | None:
+    """The object a store chain mutates (``obj.a[k] = v`` -> ``obj``)."""
+    if isinstance(target, ast.Attribute):
+        return target.value
+    if isinstance(target, ast.Subscript):
+        return _store_base(target.value)
+    return None
+
+
+def _store_attr(target: ast.expr) -> str | None:
+    if isinstance(target, ast.Attribute):
+        return target.attr
+    if isinstance(target, ast.Subscript):
+        return _store_attr(target.value)
+    return None
+
+
+def _dotted_call_name(node: ast.Call) -> str | None:
+    parts: list[str] = []
+    func: ast.expr = node.func
+    while isinstance(func, ast.Attribute):
+        parts.append(func.attr)
+        func = func.value
+    if isinstance(func, ast.Name):
+        parts.append(func.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class _DirectEffects:
+    """One function's own effects, before propagation."""
+
+    def __init__(self, index: ProjectIndex, fn: FunctionInfo) -> None:
+        self.index = index
+        self.fn = fn
+        self.enclosing = index.classes.get(fn.cls) if fn.cls is not None else None
+        self.env = index.env_for_function(fn)
+        self.module_info = index.modules.get(fn.module)
+        self.writes: set[WriteRecord] = set()
+        self.boundary_calls: list[BoundaryCall] = []
+        self.rng = False
+        self.io = False
+
+    def collect(self) -> None:
+        fn = self.fn
+        for node in ast.walk(fn.node):
+            if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+                for target in targets:
+                    self._record_store(node, target)
+            elif isinstance(node, ast.Delete):
+                for target in node.targets:
+                    self._record_store(node, target)
+            elif isinstance(node, ast.Call):
+                self._record_call(node)
+
+    def _owner_of(self, base: ast.expr) -> str | None:
+        """Component-class qualname owning a store base, or None."""
+        if isinstance(base, ast.Name) and base.id == "self":
+            return self.fn.cls if self.fn.cls in COMPONENT_CLASSES else None
+        owner = self.index.type_of_expr(
+            base, module=self.fn.module, enclosing=self.enclosing, env=self.env
+        )
+        if owner is not None and owner.qualname in COMPONENT_CLASSES:
+            return owner.qualname
+        return None
+
+    def _record_store(self, node: ast.stmt, target: ast.expr) -> None:
+        base = _store_base(target)
+        if base is None:
+            return
+        owner = self._owner_of(base)
+        if owner is None:
+            return
+        attr = _store_attr(target) or ""
+        if self.module_info is None:
+            return
+        self.writes.add(
+            WriteRecord(
+                cls=owner,
+                domain=COMPONENT_CLASSES[owner],
+                attr=attr,
+                path=self.module_info.path,
+                line=node.lineno,
+                col=node.col_offset,
+            )
+        )
+
+    def _record_call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in _IO_BUILTINS:
+            self.io = True
+        dotted = _dotted_call_name(node)
+        if dotted is not None:
+            root_local = dotted.split(".")[0]
+            root = root_local
+            if self.module_info is not None:
+                root = self.module_info.imports.get(root_local, root_local)
+            if root.split(".")[0] in _IO_ROOTS and not dotted.startswith(
+                ("os.path.", "os.environ.")
+            ):
+                self.io = True
+        if isinstance(func, ast.Attribute) and func.attr in _RNG_METHODS:
+            # Receiver named like an rng stream, or statically untypable
+            # draw methods: count the draw; lineage is SIM303's problem.
+            recv = func.value
+            recv_name = (
+                recv.attr if isinstance(recv, ast.Attribute)
+                else recv.id if isinstance(recv, ast.Name) else ""
+            )
+            if "rng" in recv_name.lower():
+                self.rng = True
+        # SIM301 raw sites: entering a private method of a component in
+        # a *different* domain than the enclosing method's class.
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr.startswith("_")
+            and not func.attr.startswith("__")
+            and self.fn.cls in COMPONENT_CLASSES
+        ):
+            callee = self.index.resolve_call(
+                node, module=self.fn.module, enclosing=self.enclosing, env=self.env
+            )
+            if (
+                callee is not None
+                and callee.cls is not None
+                and callee.cls in COMPONENT_CLASSES
+                and COMPONENT_CLASSES[callee.cls]
+                != COMPONENT_CLASSES[self.fn.cls]
+                and not (
+                    isinstance(func.value, ast.Name) and func.value.id == "self"
+                )
+                and self.module_info is not None
+            ):
+                self.boundary_calls.append(
+                    BoundaryCall(
+                        caller=self.fn.qualname,
+                        callee=callee.qualname,
+                        callee_cls=callee.cls,
+                        callee_domain=COMPONENT_CLASSES[callee.cls],
+                        path=self.module_info.path,
+                        line=node.lineno,
+                        col=node.col_offset,
+                    )
+                )
+
+
+# ---------------------------------------------------------------------------
+# fixed-point propagation
+# ---------------------------------------------------------------------------
+
+def _is_api_method(fn: FunctionInfo | None) -> bool:
+    """Public method of a component class — the documented API surface."""
+    return (
+        fn is not None
+        and fn.cls is not None
+        and fn.cls in COMPONENT_CLASSES
+        and not fn.name.startswith("_")
+    )
+
+
+def compute_effects(index: ProjectIndex, graph: CallGraph) -> EffectMap:
+    """Direct effects + Kleene fixed-point propagation over sync edges."""
+    direct: dict[str, _DirectEffects] = {}
+    boundary_calls: list[BoundaryCall] = []
+    for qualname, fn in sorted(index.functions.items()):
+        de = _DirectEffects(index, fn)
+        de.collect()
+        direct[qualname] = de
+        boundary_calls.extend(de.boundary_calls)
+
+    writes: dict[str, frozenset[WriteRecord]] = {
+        q: frozenset(d.writes) for q, d in direct.items()
+    }
+    touches: dict[str, frozenset[str]] = {
+        q: frozenset(w.domain for w in d.writes) for q, d in direct.items()
+    }
+    remote: dict[str, frozenset[str]] = {q: frozenset() for q in direct}
+    rng: dict[str, bool] = {q: d.rng for q, d in direct.items()}
+    io: dict[str, bool] = {q: d.io for q, d in direct.items()}
+    for caller, callee in graph.remote_pairs:
+        callee_fn = index.functions.get(callee)
+        if caller not in remote or callee_fn is None:
+            continue
+        domain = COMPONENT_CLASSES.get(callee_fn.cls or "")
+        if domain is not None:
+            remote[caller] = remote[caller] | {domain}
+
+    order = sorted(direct)
+    iterations = 0
+    changed = True
+    while changed:
+        changed = False
+        iterations += 1
+        for caller in order:
+            callees = graph.sync_edges.get(caller)
+            if not callees:
+                continue
+            w = writes[caller]
+            t = touches[caller]
+            rem, rn, i_o = remote[caller], rng[caller], io[caller]
+            for callee in callees:
+                if callee not in writes:
+                    continue
+                wired = (caller, callee) in graph.wired_pairs
+                callee_fn = index.functions.get(callee)
+                absorb_own = wired or _is_api_method(callee_fn)
+                cw = writes[callee]
+                if absorb_own and callee_fn is not None and callee_fn.cls:
+                    cw = frozenset(
+                        x for x in cw if x.cls != callee_fn.cls
+                    )
+                w = w | cw
+                if not wired:
+                    t = t | touches[callee]
+                    rem = rem | remote[callee]
+                rn = rn or rng[callee]
+                i_o = i_o or io[callee]
+            if (
+                w != writes[caller]
+                or t != touches[caller]
+                or rem != remote[caller]
+                or rn != rng[caller]
+                or i_o != io[caller]
+            ):
+                writes[caller] = w
+                touches[caller] = t
+                remote[caller] = rem
+                rng[caller] = rn
+                io[caller] = i_o
+                changed = True
+
+    summaries = {
+        q: EffectSummary(
+            writes=writes[q],
+            touch_domains=touches[q],
+            remote_domains=remote[q],
+            rng=rng[q],
+            io=io[q],
+        )
+        for q in order
+    }
+    return EffectMap(
+        summaries=summaries,
+        boundary_calls=boundary_calls,
+        digest=project_digest(index),
+        iterations=iterations,
+    )
+
+
+# ---------------------------------------------------------------------------
+# the effects.json cache
+# ---------------------------------------------------------------------------
+
+def project_digest(index: ProjectIndex) -> str:
+    """Content digest of every indexed module, order-independent."""
+    h = hashlib.sha256()
+    for name in sorted(index.modules):
+        mod = index.modules[name]
+        h.update(name.encode())
+        h.update(hashlib.sha256(mod.source.encode()).digest())
+    return h.hexdigest()
+
+
+def effects_cache_path(cache_path: Path | None) -> Path | None:
+    """``effects.json`` beside the AST index cache (None disables)."""
+    if cache_path is None:
+        return None
+    return cache_path.parent / "effects.json"
+
+
+def load_or_compute_effects(
+    index: ProjectIndex,
+    graph: CallGraph,
+    cache_path: Path | None,
+) -> EffectMap:
+    """Return cached summaries when the project digest matches, else
+    recompute and rewrite the cache.  A stale or corrupt cache can only
+    cost a recompute, never produce stale analysis.
+    """
+    digest = project_digest(index)
+    if cache_path is not None and cache_path.exists():
+        try:
+            data = json.loads(cache_path.read_text())
+            if (
+                data.get("version") == _EFFECTS_VERSION
+                and data.get("digest") == digest
+            ):
+                return EffectMap(
+                    summaries={
+                        q: EffectSummary.from_dict(s)
+                        for q, s in data["functions"].items()
+                    },
+                    boundary_calls=[
+                        BoundaryCall.from_dict(b)
+                        for b in data["boundary_calls"]
+                    ],
+                    digest=digest,
+                    iterations=data.get("iterations", 0),
+                )
+        except (ValueError, KeyError, TypeError):
+            pass  # corrupt cache: fall through to recompute
+    effects = compute_effects(index, graph)
+    if cache_path is not None:
+        try:
+            cache_path.parent.mkdir(parents=True, exist_ok=True)
+            cache_path.write_text(
+                json.dumps(
+                    {
+                        "version": _EFFECTS_VERSION,
+                        "digest": effects.digest,
+                        "iterations": effects.iterations,
+                        "functions": {
+                            q: s.as_dict()
+                            for q, s in sorted(effects.summaries.items())
+                        },
+                        "boundary_calls": [
+                            b.as_dict() for b in effects.boundary_calls
+                        ],
+                    },
+                    indent=1,
+                )
+                + "\n"
+            )
+        except OSError:
+            pass  # caching is best-effort
+    return effects

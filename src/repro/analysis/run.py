@@ -7,9 +7,14 @@
 2. builds the :class:`~repro.analysis.callgraph.ProjectIndex` (optionally
    from a content-hashed AST cache) and the call graph once, then runs
    the units (SIM101–SIM104) and purity (SIM201–SIM203) passes over it;
-3. subtracts the checked-in baseline
+3. with ``shards=True``, computes the interprocedural effect summaries
+   (:mod:`repro.analysis.effects`, cached as ``effects.json`` beside
+   the AST cache) and runs the shard-safety rules SIM301–SIM304
+   (:mod:`repro.analysis.shards`) on top;
+4. subtracts the checked-in baseline
    (:mod:`repro.analysis.baseline`), so CI fails only on *new* findings
-   — and reports stale baseline entries so the file burns down to empty.
+   — stale entries get one marked grace run, then fail the gate
+   (``prune_baseline=True`` drops them immediately instead).
 """
 
 from __future__ import annotations
@@ -21,7 +26,9 @@ from pathlib import Path
 from repro.analysis import baseline as baseline_io
 from repro.analysis.baseline import BaselineEntry
 from repro.analysis.callgraph import CallGraph, ProjectIndex
+from repro.analysis.effects import effects_cache_path, load_or_compute_effects
 from repro.analysis.purity import PURITY_RULES, check_purity
+from repro.analysis.shards import SHARD_RULES, check_shards
 from repro.analysis.simlint import (
     RULES,
     Violation,
@@ -33,7 +40,7 @@ from repro.analysis.units import UNIT_RULES, check_units
 __all__ = ["ALL_RULES", "LintReport", "lint_project"]
 
 #: Every rule the whole-program driver can emit.
-ALL_RULES: dict[str, str] = {**RULES, **UNIT_RULES, **PURITY_RULES}
+ALL_RULES: dict[str, str] = {**RULES, **UNIT_RULES, **PURITY_RULES, **SHARD_RULES}
 
 
 @dataclass
@@ -44,14 +51,18 @@ class LintReport:
     violations: list[Violation]
     #: Baseline entries that matched a current finding.
     baselined: list[BaselineEntry] = field(default_factory=list)
-    #: Baseline entries that matched nothing (fixed code; prune them).
+    #: Baseline entries that just went stale (first miss: grace run).
     stale: list[BaselineEntry] = field(default_factory=list)
+    #: Entries stale for more than one run — these fail CI too.
+    stale_failures: list[BaselineEntry] = field(default_factory=list)
+    #: Entries dropped by ``prune_baseline=True``.
+    pruned: list[BaselineEntry] = field(default_factory=list)
     file_count: int = 0
     elapsed_s: float = 0.0
 
     @property
     def ok(self) -> bool:
-        return not self.violations
+        return not self.violations and not self.stale_failures
 
 
 def lint_project(
@@ -61,6 +72,8 @@ def lint_project(
     update_baseline: bool = False,
     cache_path: Path | None = None,
     root: Path | None = None,
+    shards: bool = False,
+    prune_baseline: bool = False,
 ) -> LintReport:
     """Run every rule over ``paths`` and apply the baseline.
 
@@ -68,7 +81,9 @@ def lint_project(
     (defaults to the current directory when a baseline is in play).
     With ``update_baseline`` the baseline file is rewritten from the
     current findings (reasons carried forward, new entries stamped
-    ``TODO: justify``) and the report comes back clean.
+    ``TODO: justify``) and the report comes back clean.  ``shards``
+    adds the interprocedural effect pass and SIM301–SIM304.
+    ``prune_baseline`` drops entries that matched nothing this run.
     """
     start = time.perf_counter()
     files = list(_iter_python_files(paths))
@@ -81,6 +96,11 @@ def lint_project(
     graph = CallGraph(index)
     violations.extend(check_units(index, graph))
     violations.extend(check_purity(index, graph))
+    if shards:
+        effects = load_or_compute_effects(
+            index, graph, effects_cache_path(cache_path)
+        )
+        violations.extend(check_shards(index, graph, effects))
     violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
 
     report = LintReport(
@@ -102,6 +122,13 @@ def lint_project(
             )
             report.violations = fresh
             report.baselined = matched
-            report.stale = [e for e in entries if e not in matched]
+            if prune_baseline:
+                report.pruned = baseline_io.prune_stale(
+                    baseline_path, entries, matched
+                )
+            else:
+                report.stale, report.stale_failures = (
+                    baseline_io.reconcile_stale(baseline_path, entries, matched)
+                )
     report.elapsed_s = time.perf_counter() - start
     return report

@@ -1,0 +1,492 @@
+"""Shard-safety rules (SIM301–SIM304) over the effect summaries.
+
+The sharding plan (ROADMAP item 1, after "Scalable Tail Latency
+Estimation for Data Center Networks") places each component on a shard
+by its owner domain (:data:`repro.analysis.manifest.COMPONENT_CLASSES`)
+and lets shards run ahead of each other by exactly the propagation
+delay of the links between them.  That is only sound when:
+
+SIM301
+    An event callback rooted on component A never writes state owned by
+    a different-domain component C except through C's declared API.
+    This is SIM202 with full interprocedural reach: the pass flags the
+    *call site* where a dispatch-reachable method of A enters a private
+    (``_``-prefixed) method of C whose transitive summary writes C's
+    own state.  Public methods and registered callbacks absorb their
+    own-class writes (see :mod:`repro.analysis.effects`), so sanctioned
+    API chains stay silent no matter how deep they go.
+SIM302
+    A schedule whose callback's synchronous call tree escapes the
+    caller's shard (its touch-domains leave
+    :data:`repro.analysis.manifest.SHARD_REACH`, or it crosses a
+    structural-dispatch boundary — a Protocol receiver / duck-wired
+    method, i.e. the far side of a wire) must carry a delay that is
+    provably at least the connecting link's propagation delay: the
+    delay expression must be built from a ``*delay_ns`` link attribute.
+    A constant, zero, or statically-opaque delay on such an edge is a
+    lookahead violation — the one bug class that makes a conservative
+    parallel run silently diverge.
+SIM303
+    RNG lineage: a generator that does not descend from
+    :func:`repro.sim.rng.make_rng` / :func:`~repro.sim.rng.spawn_rngs`
+    must not reach a component constructor, and one stream must not be
+    shared across two component instances — shared streams couple
+    shards through draw order.
+SIM304
+    Order-sensitive float accumulation over an unordered collection in
+    dispatch-reachable code, *wherever* it lives: float addition does
+    not commute, so a salted set order changes the sum bit-for-bit.
+    (SIM003 already bans set iteration inside the simulation packages;
+    this closes the gap for reachable code outside them.)
+
+As everywhere in :mod:`repro.analysis`, only known-known conflicts
+fire: unresolvable types, opaque callbacks, and unattributed modules
+degrade to silence, not noise.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.callgraph import CallGraph, FunctionInfo, ProjectIndex
+from repro.analysis.effects import EffectMap
+from repro.analysis.manifest import (
+    COMPONENT_CLASSES,
+    RNG_EXEMPT_MODULES,
+    RNG_EXTRA_PACKAGES,
+    SHARD_REACH,
+    SIM_PACKAGES,
+)
+from repro.analysis.simlint import Emitter, Violation, make_emitter
+from repro.analysis.simlint import _SetNames  # shared set-typing heuristics
+
+__all__ = ["SHARD_RULES", "check_shards"]
+
+SHARD_RULES: dict[str, str] = {
+    "SIM301": (
+        "no cross-domain component writes outside the declared API "
+        "(interprocedural)"
+    ),
+    "SIM302": (
+        "cross-shard schedules must carry at least the link propagation "
+        "delay (lookahead)"
+    ),
+    "SIM303": "rng streams must be make_rng/spawn_rngs lineage, one per component",
+    "SIM304": (
+        "no order-sensitive float accumulation over unordered collections "
+        "in dispatch-reachable code"
+    ),
+}
+
+_RNG_FACTORIES = frozenset({"make_rng", "spawn_rngs"})
+#: numpy constructors whose result is an out-of-lineage stream.
+_RAW_GENERATORS = frozenset({"default_rng", "Generator", "RandomState"})
+
+
+def _scoped(module: str, packages: tuple[str, ...] = SIM_PACKAGES) -> bool:
+    return any(module == p or module.startswith(p + ".") for p in packages)
+
+
+class _Emitters:
+    """Per-module emit callbacks, built lazily."""
+
+    def __init__(self, index: ProjectIndex, violations: list[Violation]) -> None:
+        self.index = index
+        self.violations = violations
+        self._cache: dict[str, Emitter] = {}
+
+    def for_module(self, module: str) -> Emitter | None:
+        emit = self._cache.get(module)
+        if emit is None:
+            mod = self.index.modules.get(module)
+            if mod is None:
+                return None
+            emit = make_emitter(mod.source, mod.path, self.violations)
+            self._cache[module] = emit
+        return emit
+
+
+# ---------------------------------------------------------------------------
+# SIM301 — interprocedural cross-domain writes
+# ---------------------------------------------------------------------------
+
+def _check_boundary_writes(
+    index: ProjectIndex,
+    graph: CallGraph,
+    effects: EffectMap,
+    emitters: _Emitters,
+) -> None:
+    reachable = graph.reachable_from_dispatch()
+    for bc in effects.boundary_calls:
+        caller = index.functions.get(bc.caller)
+        if caller is None or caller.qualname not in reachable:
+            continue
+        if not _scoped(caller.module):
+            continue
+        if not effects.summary(bc.callee).writes_to(bc.callee_cls):
+            continue
+        emit = emitters.for_module(caller.module)
+        if emit is None:
+            continue
+        caller_domain = COMPONENT_CLASSES.get(caller.cls or "", "?")
+        callee_name = bc.callee.rsplit(".", 1)[-1]
+        cls_name = bc.callee_cls.rsplit(".", 1)[-1]
+        # Re-anchor on the recorded location (the emitter needs a node).
+        anchor = ast.Expr(value=ast.Constant(value=None))
+        anchor.lineno = bc.line
+        anchor.col_offset = bc.col
+        anchor.end_lineno = bc.line
+        emit(
+            "SIM301",
+            anchor,
+            f"dispatch-reachable {caller_domain!s}-domain callback reaches "
+            f"into {cls_name}.{callee_name} (private, "
+            f"{bc.callee_domain} domain) which writes {cls_name} state; "
+            f"use a public {cls_name} method or schedule the effect",
+        )
+
+
+# ---------------------------------------------------------------------------
+# SIM302 — lookahead: cross-shard schedules need the link delay
+# ---------------------------------------------------------------------------
+
+def _strip_now(expr: ast.expr) -> ast.expr:
+    """``sim.now + X`` (a ``schedule_at`` absolute time) -> ``X``."""
+    if isinstance(expr, ast.BinOp) and isinstance(expr.op, ast.Add):
+        for side, other in ((expr.left, expr.right), (expr.right, expr.left)):
+            if (
+                isinstance(side, ast.Attribute) and side.attr == "now"
+            ) or (isinstance(side, ast.Name) and side.id == "now"):
+                return other
+    return expr
+
+
+def _carries_link_delay(expr: ast.expr) -> bool:
+    """The delay expression is built from a link-propagation attribute.
+
+    ``self.delay_ns``, ``link.delay_ns``, ``base + link.delay_ns`` all
+    qualify: ``*delay_ns`` is the canonical unit-suffixed name of the
+    propagation delay (and of nothing else in the repo) — the exact
+    quantity the conservative lookahead is defined by.
+    """
+    for node in ast.walk(expr):
+        if isinstance(node, ast.Attribute) and node.attr.endswith("delay_ns"):
+            return True
+        if isinstance(node, ast.Name) and node.id.endswith("delay_ns"):
+            return True
+    return False
+
+
+def _check_lookahead(
+    index: ProjectIndex,
+    graph: CallGraph,
+    effects: EffectMap,
+    emitters: _Emitters,
+) -> None:
+    for site in graph.schedule_sites:
+        caller = index.functions.get(site.caller)
+        if caller is None or caller.cls not in COMPONENT_CLASSES:
+            continue
+        if not _scoped(caller.module) or site.target is None:
+            continue
+        summary = effects.summary(site.target)
+        caller_domain = COMPONENT_CLASSES[caller.cls]
+        reach = SHARD_REACH.get(caller_domain, frozenset())
+        escapes = (summary.touch_domains | summary.remote_domains) - reach
+        if not escapes:
+            continue
+        delay = site.delay
+        if delay is not None:
+            delay = _strip_now(delay)
+        if delay is not None and _carries_link_delay(delay):
+            continue
+        emit = emitters.for_module(caller.module)
+        if emit is None:
+            continue
+        target_name = site.target.rsplit(".", 1)[-1]
+        emit(
+            "SIM302",
+            site.node,
+            f"schedule of {target_name} from the {caller_domain} domain "
+            f"reaches foreign shard domains {sorted(escapes)} but its delay "
+            "is not provably >= the link propagation delay; use the "
+            "connecting link's delay_ns (conservative lookahead) or keep "
+            "the effect shard-local",
+        )
+
+
+# ---------------------------------------------------------------------------
+# SIM303 — rng lineage and sharing
+# ---------------------------------------------------------------------------
+
+def _call_tail(index: ProjectIndex, module: str, node: ast.Call) -> str | None:
+    """Resolved last-segment name of a call head (``np.random.default_rng``
+    -> ``default_rng``; ``make_rng`` through an import alias -> ``make_rng``).
+    """
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        mod = index.modules.get(module)
+        target = mod.imports.get(func.id) if mod is not None else None
+        return (target or func.id).rsplit(".", 1)[-1]
+    return None
+
+
+class _RngLineage:
+    """SIM303 over one function: taint + constructor-arg tracking."""
+
+    def __init__(
+        self, index: ProjectIndex, fn: FunctionInfo, emit: Emitter
+    ) -> None:
+        self.index = index
+        self.fn = fn
+        self.emit = emit
+        self.enclosing = (
+            index.classes.get(fn.cls) if fn.cls is not None else None
+        )
+        self.env = index.env_for_function(fn)
+        self.raw: set[str] = set()  # out-of-lineage generator locals
+        self.lineage: set[str] = set()  # make_rng/spawn_rngs-derived locals
+        #: rng key -> component constructor call nodes it was passed to.
+        self.uses: dict[str, list[ast.Call]] = {}
+
+    def check(self) -> None:
+        for stmt in ast.walk(self.fn.node):
+            if isinstance(stmt, ast.Assign):
+                self._track_assign(stmt)
+        for node in ast.walk(self.fn.node):
+            if isinstance(node, ast.Call):
+                self._check_constructor(node)
+        for key, sites in sorted(self.uses.items()):
+            for extra in sites[1:]:
+                self.emit(
+                    "SIM303",
+                    extra,
+                    f"rng stream {key!r} is shared across "
+                    f"{len(sites)} component instances; spawn one child "
+                    "stream per component (spawn_rngs)",
+                )
+
+    def _track_assign(self, stmt: ast.Assign) -> None:
+        value = stmt.value
+        kind: str | None = None
+        if isinstance(value, ast.Call):
+            tail = _call_tail(self.index, self.fn.module, value)
+            if tail in _RAW_GENERATORS:
+                kind = "raw"
+            elif tail in _RNG_FACTORIES:
+                kind = "lineage"
+        elif isinstance(value, ast.Name):
+            if value.id in self.raw:
+                kind = "raw"
+            elif value.id in self.lineage:
+                kind = "lineage"
+        if kind is None:
+            return
+        bucket = self.raw if kind == "raw" else self.lineage
+        for target in stmt.targets:
+            if isinstance(target, ast.Name):
+                bucket.add(target.id)
+            elif isinstance(target, (ast.Tuple, ast.List)):
+                # ``a, b = spawn_rngs(seed, 2)``: each element one stream.
+                for elt in target.elts:
+                    if isinstance(elt, ast.Name):
+                        bucket.add(elt.id)
+
+    def _rng_key(self, arg: ast.expr) -> str | None:
+        if isinstance(arg, ast.Name) and (
+            arg.id in self.raw or arg.id in self.lineage
+        ):
+            return arg.id
+        if (
+            isinstance(arg, ast.Attribute)
+            and isinstance(arg.value, ast.Name)
+            and arg.value.id == "self"
+            and "rng" in arg.attr.lower()
+        ):
+            return f"self.{arg.attr}"
+        return None
+
+    def _check_constructor(self, node: ast.Call) -> None:
+        resolved = self.index.resolve_call(
+            node, module=self.fn.module, enclosing=self.enclosing, env=self.env
+        )
+        if (
+            resolved is None
+            or resolved.name != "__init__"
+            or resolved.cls not in COMPONENT_CLASSES
+        ):
+            return
+        for arg in [*node.args, *[kw.value for kw in node.keywords]]:
+            if isinstance(arg, ast.Name) and arg.id in self.raw:
+                self.emit(
+                    "SIM303",
+                    node,
+                    f"generator {arg.id!r} does not descend from "
+                    "repro.sim.rng.make_rng/spawn_rngs but reaches a "
+                    "component constructor; derive it from the seed tree",
+                )
+            key = self._rng_key(arg)
+            if key is not None:
+                self.uses.setdefault(key, []).append(node)
+
+
+def _check_rng_lineage(index: ProjectIndex, emitters: _Emitters) -> None:
+    scope = SIM_PACKAGES + RNG_EXTRA_PACKAGES
+    for qualname in sorted(index.functions):
+        fn = index.functions[qualname]
+        if not _scoped(fn.module, scope) or fn.module in RNG_EXEMPT_MODULES:
+            continue
+        if not fn.node.body:
+            continue  # synthesised dataclass __init__
+        emit = emitters.for_module(fn.module)
+        if emit is None:
+            continue
+        _RngLineage(index, fn, emit).check()
+
+
+# ---------------------------------------------------------------------------
+# SIM304 — unordered float accumulation in reachable code
+# ---------------------------------------------------------------------------
+
+def _has_float_evidence(node: ast.expr) -> bool:
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Constant) and isinstance(sub.value, float):
+            return True
+        if isinstance(sub, ast.BinOp) and isinstance(sub.op, ast.Div):
+            return True
+    return False
+
+
+class _UnorderedAccumulation:
+    """SIM304 over one dispatch-reachable function."""
+
+    def __init__(
+        self, fn: FunctionInfo, set_names: set[str], emit: Emitter
+    ) -> None:
+        self.fn = fn
+        self.set_names = set_names
+        self.emit = emit
+        self.float_locals: set[str] = set()
+
+    def _iter_is_unordered(self, iter_node: ast.expr) -> str | None:
+        if isinstance(iter_node, (ast.Set, ast.SetComp)):
+            return "a set literal"
+        if isinstance(iter_node, ast.Call) and isinstance(
+            iter_node.func, ast.Name
+        ):
+            if iter_node.func.id in ("set", "frozenset"):
+                return "a set(...) construction"
+            return None
+        key: str | None = None
+        if isinstance(iter_node, ast.Name):
+            key = iter_node.id
+        elif (
+            isinstance(iter_node, ast.Attribute)
+            and isinstance(iter_node.value, ast.Name)
+            and iter_node.value.id == "self"
+        ):
+            key = f"self.{iter_node.attr}"
+        if key is not None and key in self.set_names:
+            return f"set-typed {key!r}"
+        return None
+
+    def check(self) -> None:
+        for stmt in ast.walk(self.fn.node):
+            if (
+                isinstance(stmt, ast.Assign)
+                and len(stmt.targets) == 1
+                and isinstance(stmt.targets[0], ast.Name)
+                and isinstance(stmt.value, ast.Constant)
+                and isinstance(stmt.value.value, float)
+            ):
+                self.float_locals.add(stmt.targets[0].id)
+        for stmt in ast.walk(self.fn.node):
+            if isinstance(stmt, (ast.For, ast.AsyncFor)):
+                desc = self._iter_is_unordered(stmt.iter)
+                if desc is not None:
+                    self._check_loop_body(stmt, desc)
+            elif (
+                isinstance(stmt, ast.Call)
+                and isinstance(stmt.func, ast.Name)
+                and stmt.func.id == "sum"
+                and stmt.args
+            ):
+                arg = stmt.args[0]
+                src = arg
+                if isinstance(arg, ast.GeneratorExp) and arg.generators:
+                    src = arg.generators[0].iter
+                desc = self._iter_is_unordered(src)
+                if desc is not None and (
+                    _has_float_evidence(arg) or desc.startswith("set-typed")
+                ):
+                    self.emit(
+                        "SIM304",
+                        stmt,
+                        f"sum() over {desc}: float addition does not commute "
+                        "and set order is salted per process — sum over "
+                        "sorted(...) instead",
+                    )
+
+    def _check_loop_body(self, loop: ast.For | ast.AsyncFor, desc: str) -> None:
+        for stmt in ast.walk(loop):
+            if not (
+                isinstance(stmt, ast.AugAssign) and isinstance(stmt.op, ast.Add)
+            ):
+                continue
+            floaty = _has_float_evidence(stmt.value)
+            if (
+                not floaty
+                and isinstance(stmt.target, ast.Name)
+                and stmt.target.id in self.float_locals
+            ):
+                floaty = True
+            if floaty:
+                self.emit(
+                    "SIM304",
+                    stmt,
+                    f"order-sensitive float accumulation over {desc} in a "
+                    "dispatch-reachable callback; iterate sorted(...) so the "
+                    "sum is replay-stable",
+                )
+
+
+def _check_unordered_accumulation(
+    index: ProjectIndex, graph: CallGraph, emitters: _Emitters
+) -> None:
+    set_names_by_module: dict[str, set[str]] = {}
+    for qualname in sorted(graph.reachable_from_dispatch()):
+        fn = index.functions.get(qualname)
+        if fn is None or not fn.node.body:
+            continue
+        mod = index.modules.get(fn.module)
+        if mod is None:
+            continue
+        names = set_names_by_module.get(fn.module)
+        if names is None:
+            collector = _SetNames()
+            collector.visit(mod.tree)
+            names = collector.names
+            set_names_by_module[fn.module] = names
+        emit = emitters.for_module(fn.module)
+        if emit is None:
+            continue
+        _UnorderedAccumulation(fn, names, emit).check()
+
+
+# ---------------------------------------------------------------------------
+# driver
+# ---------------------------------------------------------------------------
+
+def check_shards(
+    index: ProjectIndex, graph: CallGraph, effects: EffectMap
+) -> list[Violation]:
+    """Run SIM301–SIM304 over the project; returns the findings."""
+    violations: list[Violation] = []
+    emitters = _Emitters(index, violations)
+    _check_boundary_writes(index, graph, effects, emitters)
+    _check_lookahead(index, graph, effects, emitters)
+    _check_rng_lineage(index, emitters)
+    _check_unordered_accumulation(index, graph, emitters)
+    return violations

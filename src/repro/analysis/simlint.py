@@ -214,11 +214,51 @@ def suppression_lines(node: ast.AST) -> range:
 Emitter = Callable[[str, ast.AST, str], None]
 
 
+def _function_directive_spans(
+    source: str, suppressed: dict[int, frozenset[str]]
+) -> list[tuple[int, int, frozenset[str]]]:
+    """``(first_line, last_line, rules)`` spans from function headers.
+
+    A directive on a function's decorator line, its ``def`` line, any
+    continuation line of a multi-line signature, or a comment line
+    directly under the signature (before the first body statement)
+    scopes to the whole function body — the decorator/signature *is*
+    the function, not one physical line.  Deeper inside the body a
+    directive only covers its own statement.  Classes stay
+    line-scoped: one directive must not mute a whole class body
+    (``suppression_lines`` already accepts a class-header directive
+    for findings on the class itself).
+    """
+    if not suppressed:
+        return []
+    try:
+        tree = ast.parse(source)
+    except SyntaxError:
+        return []
+    spans: list[tuple[int, int, frozenset[str]]] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        start = min(
+            (deco.lineno for deco in node.decorator_list), default=node.lineno
+        )
+        header_end = node.body[0].lineno - 1 if node.body else node.lineno
+        header_end = max(header_end, node.lineno)
+        rules: frozenset[str] = frozenset()
+        for line in range(start, header_end + 1):
+            rules = rules | suppressed.get(line, frozenset())
+        if rules:
+            end = getattr(node, "end_lineno", None) or header_end
+            spans.append((start, end, rules))
+    return spans
+
+
 def make_emitter(
     source: str, display: str, violations: list[Violation]
 ) -> Emitter:
     """Build an emit callback honouring ``ignore[...]`` directives."""
     suppressed = suppressed_rules(source)
+    func_spans = _function_directive_spans(source, suppressed)
 
     def emit(rule: str, node: ast.AST, message: str) -> None:
         line = getattr(node, "lineno", 0)
@@ -226,6 +266,11 @@ def make_emitter(
         for covered in suppression_lines(node):
             rules_here = suppressed.get(covered)
             if rules_here and (rule in rules_here or "*" in rules_here):
+                return
+        for span_start, span_end, rules_here in func_spans:
+            if span_start <= line <= span_end and (
+                rule in rules_here or "*" in rules_here
+            ):
                 return
         violations.append(Violation(rule, display, line, col, message))
 

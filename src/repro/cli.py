@@ -236,13 +236,17 @@ def cmd_lint(args) -> int:
 
     Per-file determinism rules (SIM001–SIM005), units-of-measure
     dataflow (SIM101–SIM104), and event-callback purity (SIM201–SIM203)
-    in one pass, minus the checked-in baseline.  Exit status: 0 = clean
-    (no *new* findings and within the time budget), 1 otherwise.
+    in one pass — plus, with ``--shards``, the interprocedural effect
+    pass and the shard-safety rules (SIM301–SIM304) — minus the
+    checked-in baseline.  Exit status: 0 = clean (no *new* findings,
+    no twice-stale baseline entries, within the time budget),
+    1 otherwise.
     """
     from pathlib import Path
 
     from repro.analysis.baseline import DEFAULT_BASELINE_PATH
-    from repro.analysis.run import lint_project
+    from repro.analysis.run import ALL_RULES, lint_project
+    from repro.analysis.sarif import to_sarif
     from repro.analysis.simlint import format_violations
 
     if args.no_baseline:
@@ -257,21 +261,42 @@ def cmd_lint(args) -> int:
         baseline_path=baseline_path,
         update_baseline=args.update_baseline,
         cache_path=Path(args.cache) if args.cache else None,
+        shards=args.shards,
+        prune_baseline=args.prune_baseline,
     )
-    out = format_violations(report.violations, fmt=args.format)
+    if args.format == "sarif":
+        out = to_sarif(report.violations, ALL_RULES).rstrip("\n")
+    else:
+        out = format_violations(report.violations, fmt=args.format)
     if out:
         print(out)
+    if args.sarif_output:
+        Path(args.sarif_output).write_text(
+            to_sarif(report.violations, ALL_RULES)
+        )
     if args.format == "text":
         if report.baselined:
             print(f"simlint: {len(report.baselined)} baselined finding(s)")
+        for entry in report.pruned:
+            print(
+                f"simlint: pruned stale baseline entry {entry.rule} "
+                f"{entry.path} ({entry.line_text!r})"
+            )
         for entry in report.stale:
             print(
                 f"simlint: stale baseline entry {entry.rule} {entry.path} "
-                f"({entry.line_text!r}) — remove it"
+                f"({entry.line_text!r}) — remove it (fails next run)"
             )
         if args.update_baseline and baseline_path is not None:
             print(f"simlint: baseline written to {baseline_path}")
-    failed = bool(report.violations)
+    for entry in report.stale_failures:
+        print(
+            f"simlint: baseline entry {entry.rule} {entry.path} "
+            f"({entry.line_text!r}) stale for >1 run — prune it "
+            "(repro lint --prune-baseline)",
+            file=sys.stderr,
+        )
+    failed = bool(report.violations) or bool(report.stale_failures)
     if args.max_seconds is not None and report.elapsed_s > args.max_seconds:
         print(
             f"simlint: whole-program pass took {report.elapsed_s:.2f}s, "
@@ -359,14 +384,32 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "lint",
         help="whole-program simulation linter (SIM001-005, SIM101-104, "
-        "SIM201-203)",
+        "SIM201-203; --shards adds SIM301-304)",
     )
     p.add_argument(
         "paths", nargs="+", help="files or directories to lint (e.g. src)"
     )
     p.add_argument(
-        "--format", choices=("text", "json", "github"), default="text",
-        help="violation report format ('github' emits ::error annotations)",
+        "--format", choices=("text", "json", "github", "sarif"),
+        default="text",
+        help="violation report format ('github' emits ::error annotations, "
+        "'sarif' a SARIF 2.1.0 log)",
+    )
+    p.add_argument(
+        "--shards", action="store_true",
+        help="run the interprocedural effect/escape pass and the "
+        "shard-safety rules SIM301-304 (effect summaries cached as "
+        "effects.json beside the AST cache)",
+    )
+    p.add_argument(
+        "--prune-baseline", action="store_true",
+        help="drop baseline entries that matched nothing this run "
+        "(default: first miss marks them stale, second miss fails)",
+    )
+    p.add_argument(
+        "--sarif-output", default=None, metavar="PATH",
+        help="additionally write a SARIF 2.1.0 log to PATH "
+        "(independent of --format)",
     )
     p.add_argument(
         "--baseline", default=None, metavar="PATH",

@@ -1,0 +1,18 @@
+"""Fixture: directive scoping — an ``ignore[...]`` buried *inside* a
+function body (below the first statement) does not mute anything: it
+must sit on the offending line, or on the decorator/signature/leading
+comment block to scope to the body."""
+# simlint: package=repro.sim.rngprobe
+
+import numpy as np
+
+
+def _traced(fn):
+    return fn
+
+
+@_traced
+def raw_probe():
+    seed = 7
+    # simlint: ignore[SIM002]
+    return np.random.default_rng(seed)

@@ -1,0 +1,39 @@
+"""Fixture: SIM301 — a flow-domain callback reaches a *private* NIC
+method that writes NIC state: a cross-domain effect outside the
+declared API, invisible to per-function SIM202 because the store is
+one call deep.
+
+The ``package=`` directive names this module ``repro.net.nic`` so both
+local classes land on the component manifest (Flow -> flow domain,
+NIC -> nic domain).
+"""
+# simlint: package=repro.net.nic
+
+
+class _Message:
+    # Present only to satisfy the repro.net.nic slots manifest.
+    __slots__ = ()
+
+
+class NIC:
+    __slots__ = ("credits",)
+
+    def __init__(self) -> None:
+        self.credits = 0
+
+    def _bump(self, amount: int) -> None:
+        self.credits += amount
+
+
+class Flow:
+    __slots__ = ("sim", "nic")
+
+    def __init__(self, sim, nic: NIC) -> None:
+        self.sim = sim
+        self.nic = nic
+
+    def start(self) -> None:
+        self.sim.schedule(2, self._on_credit)
+
+    def _on_credit(self) -> None:
+        self.nic._bump(1)

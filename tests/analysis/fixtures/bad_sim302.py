@@ -1,0 +1,24 @@
+"""Fixture: SIM302 — a link-domain callback schedules a delivery whose
+call tree touches the switch domain (the far side of the wire) with a
+constant delay: nothing proves the delay covers the link's propagation
+delay, so a sharded run could receive the effect before its clock is
+allowed to.  Lint together with ``sim302_switch.py``.
+"""
+# simlint: package=repro.net.link
+
+from repro.net.switch import Switch
+
+
+class Link:
+    __slots__ = ("sim", "peer", "delay_ns")
+
+    def __init__(self, sim, peer: Switch) -> None:
+        self.sim = sim
+        self.peer = peer
+        self.delay_ns = 500
+
+    def send(self, size: int) -> None:
+        self.sim.schedule(5, self._deliver, size)
+
+    def _deliver(self, size: int) -> None:
+        self.peer.receive(size)

@@ -1,0 +1,22 @@
+"""Fixture: SIM303 — one rng stream is shared across two component
+instances.  Both rate controllers now consume from the same sequence,
+so either one's draw order depends on the other's schedule — exactly
+the coupling that breaks per-shard determinism.
+"""
+# simlint: package=repro.net.dcqcn
+
+from repro.sim.rng import make_rng
+
+
+class DCQCNRateControl:
+    __slots__ = ("rng",)
+
+    def __init__(self, rng) -> None:
+        self.rng = rng
+
+
+def build_pair(seed: int):
+    shared = make_rng(seed)
+    first = DCQCNRateControl(shared)
+    second = DCQCNRateControl(shared)
+    return first, second

@@ -1,0 +1,25 @@
+"""Fixture: SIM304 — order-sensitive float accumulation over a set in
+a dispatch-reachable callback.  The module lives *outside* the
+simulation packages (SIM003 does not apply here), but the callback is
+scheduled, so a salted set order changes the sum bit-for-bit between
+replays.
+"""
+# simlint: package=repro.tools.collect
+
+
+class Collector:
+    __slots__ = ("sim", "pending", "total")
+
+    def __init__(self, sim) -> None:
+        self.sim = sim
+        self.pending = set()
+        self.total = 0.0
+
+    def start(self) -> None:
+        self.sim.schedule(3, self._tick)
+
+    def _tick(self) -> None:
+        total = 0.0
+        for latency in self.pending:
+            total += latency
+        self.total = total

@@ -1,0 +1,22 @@
+"""Fixture: directive scoping — an ``ignore[...]`` on a decorator line
+or a multi-line ``def`` signature covers the whole function body."""
+# simlint: package=repro.sim.rngprobe
+
+import numpy as np
+
+
+def _traced(fn):
+    return fn
+
+
+@_traced
+# simlint: ignore[SIM002]
+def raw_stream():
+    return np.random.default_rng(7)
+
+
+def raw_stream_scaled(
+    seed,
+    offset,
+):  # simlint: ignore[SIM002]
+    return np.random.default_rng(seed + offset)

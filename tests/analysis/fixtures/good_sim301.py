@@ -1,0 +1,32 @@
+"""Fixture: SIM301 clean — the cross-domain effect goes through the
+NIC's public API, which absorbs the NIC's own-state writes."""
+# simlint: package=repro.net.nic
+
+
+class _Message:
+    # Present only to satisfy the repro.net.nic slots manifest.
+    __slots__ = ()
+
+
+class NIC:
+    __slots__ = ("credits",)
+
+    def __init__(self) -> None:
+        self.credits = 0
+
+    def bump(self, amount: int) -> None:
+        self.credits += amount
+
+
+class Flow:
+    __slots__ = ("sim", "nic")
+
+    def __init__(self, sim, nic: NIC) -> None:
+        self.sim = sim
+        self.nic = nic
+
+    def start(self) -> None:
+        self.sim.schedule(2, self._on_credit)
+
+    def _on_credit(self) -> None:
+        self.nic.bump(1)

@@ -1,0 +1,23 @@
+"""Fixture: SIM302 clean — the cross-shard delivery is delayed by the
+link's propagation delay (``self.delay_ns``), exactly the conservative
+lookahead that makes the crossing safe.  Lint together with
+``sim302_switch.py``.
+"""
+# simlint: package=repro.net.link
+
+from repro.net.switch import Switch
+
+
+class Link:
+    __slots__ = ("sim", "peer", "delay_ns")
+
+    def __init__(self, sim, peer: Switch) -> None:
+        self.sim = sim
+        self.peer = peer
+        self.delay_ns = 500
+
+    def send(self, size: int) -> None:
+        self.sim.schedule(self.delay_ns, self._deliver, size)
+
+    def _deliver(self, size: int) -> None:
+        self.peer.receive(size)

@@ -1,0 +1,18 @@
+"""Fixture: SIM303 clean — one spawned child stream per component."""
+# simlint: package=repro.net.dcqcn
+
+from repro.sim.rng import spawn_rngs
+
+
+class DCQCNRateControl:
+    __slots__ = ("rng",)
+
+    def __init__(self, rng) -> None:
+        self.rng = rng
+
+
+def build_pair(seed: int):
+    rng_a, rng_b = spawn_rngs(seed, 2)
+    first = DCQCNRateControl(rng_a)
+    second = DCQCNRateControl(rng_b)
+    return first, second

@@ -1,0 +1,19 @@
+"""Companion module for the SIM302 fixtures: the far-side switch.
+
+Lives in a separate module (``repro.net.switch``) because SIM302 is
+about *cross-shard* reach — the link-domain fixture schedules a
+callback whose call tree lands here, in the switch domain, which is
+never co-resident with a link's transmit side.  Lint it together with
+``bad_sim302.py`` / ``good_sim302.py``.
+"""
+# simlint: package=repro.net.switch
+
+
+class Switch:
+    __slots__ = ("rx_bytes",)
+
+    def __init__(self) -> None:
+        self.rx_bytes = 0
+
+    def receive(self, size: int) -> None:
+        self.rx_bytes += size

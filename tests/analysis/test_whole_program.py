@@ -221,11 +221,15 @@ def test_baseline_round_trip_and_matching(tmp_path):
     assert report.violations == []
     assert report.baselined == entries
     assert report.stale == []
-    # ...and a clean tree reports the entry as stale.
+    # ...and a clean tree reports the entry as stale, persisting the
+    # marker in the file (one grace run before it fails the gate).
     report = lint_project(
         [FIXTURES / "good_sim202.py"], baseline_path=baseline_path, root=REPO
     )
-    assert report.stale == entries
+    assert [e.key for e in report.stale] == [e.key for e in entries]
+    assert all(e.stale for e in report.stale)
+    assert report.stale_failures == []
+    assert [e.stale for e in load_baseline(baseline_path)] == [True]
 
 
 def test_update_baseline_carries_reasons_forward(tmp_path):
