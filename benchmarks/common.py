@@ -278,6 +278,56 @@ def save_faults_perf(off: dict, on: dict) -> dict:
     return payload
 
 
+#: Maximum acceptable slowdown of a run checkpointed every
+#: :data:`CHECKPOINT_EVERY_EVENTS` events relative to the same cell run
+#: uninterrupted.  The cost has two parts: the pickle of the whole world
+#: at each boundary (small — the incast world is a few dozen
+#: components) and the loss of batch coalescing inside ``max_events``
+#: legs.  1.15x is the contract that makes periodic checkpointing cheap
+#: enough to leave on for long sweeps (`repro.parallel.supervise` relies
+#: on it for crash recovery).
+CHECKPOINT_OVERHEAD_BUDGET = 1.15
+
+#: The checkpoint cadence the budget above is measured at.
+CHECKPOINT_EVERY_EVENTS = 100_000
+
+
+def save_checkpoint_perf(off: dict, ckpt: dict, *, n_checkpoints: int,
+                         checkpoint_bytes: int) -> dict:
+    """Persist plain vs checkpointed incast numbers as JSON.
+
+    ``off``/``ckpt`` are :class:`repro.profiling.BenchResult` dicts of
+    the same scenario (one warmed process).  The slowdown is a
+    wall-time ratio — event *counts* can legitimately differ between
+    the legs because ``max_events`` legs disable batch coalescing, so
+    events/sec would not compare like for like.
+    """
+    ratio = (
+        ckpt["wall_s"] / off["wall_s"] if off.get("wall_s") else float("inf")
+    )
+    payload = {
+        "scenario": "incast_cell",
+        "checkpoints_off": off,
+        "checkpoints_on": ckpt,
+        "n_checkpoints": n_checkpoints,
+        "checkpoint_bytes": checkpoint_bytes,
+        "every_events": CHECKPOINT_EVERY_EVENTS,
+        "slowdown": round(ratio, 3),
+        "budget": CHECKPOINT_OVERHEAD_BUDGET,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "checkpoint_overhead.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+    SESSION_PERF["checkpoint"] = {
+        "wall_s_off": off["wall_s"],
+        "wall_s_on": ckpt["wall_s"],
+        "slowdown": payload["slowdown"],
+        "checkpoint_bytes": checkpoint_bytes,
+    }
+    return payload
+
+
 #: Minimum acceptable event-count reduction of the dual-fidelity Clos
 #: cell: the all-packet projection (dispatched events plus what serving
 #: the fluid bytes as MTU packets would have cost) over the events

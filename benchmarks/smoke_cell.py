@@ -43,6 +43,14 @@ and the slowdown must stay within
 ``benchmarks.common.FAULT_HOOK_OVERHEAD_BUDGET``.  Numbers land in
 ``benchmarks/results/faults_overhead.json``.
 
+With ``--checkpoint`` it measures periodic checkpointing's overhead on
+a long incast cell (~380k events, snapshots every
+``benchmarks.common.CHECKPOINT_EVERY_EVENTS`` events): outputs must be
+identical to the uninterrupted run, restoring the newest snapshot and
+continuing must reproduce them again, and the wall-time slowdown must
+stay within ``benchmarks.common.CHECKPOINT_OVERHEAD_BUDGET``.  Numbers
+land in ``benchmarks/results/checkpoint_overhead.json``.
+
 With ``--dual-fidelity`` it runs the acceptance-scale dual-fidelity
 Clos cell (full 4-pod fabric, 200 fluid tenants, 8 packet-level
 foreground flows, 100 ms simulated) and enforces two floors from
@@ -60,6 +68,7 @@ Usage::
     PYTHONPATH=src python benchmarks/smoke_cell.py --sanitizer
     PYTHONPATH=src python benchmarks/smoke_cell.py --stride-sanitizer
     PYTHONPATH=src python benchmarks/smoke_cell.py --faults
+    PYTHONPATH=src python benchmarks/smoke_cell.py --checkpoint
     PYTHONPATH=src python benchmarks/smoke_cell.py --dual-fidelity
 """
 
@@ -385,6 +394,132 @@ def faults_guard() -> int:
     return 0
 
 
+def checkpoint_guard() -> int:
+    """Measure periodic-checkpoint overhead and prove round-trip fidelity.
+
+    One warmed process, best-of-2 per leg.  The cell is a long incast
+    run (~210k events) so the ``CHECKPOINT_EVERY_EVENTS`` cadence
+    produces at least two periodic snapshots.  Three contracts:
+
+    * the checkpointed run's externally visible outputs are identical
+      to the uninterrupted run's;
+    * restoring the *newest* checkpoint and continuing reproduces those
+      same outputs (round-trip correctness on the benchmark cell, not
+      just the golden-trace cell);
+    * the wall-time slowdown stays within
+      ``benchmarks.common.CHECKPOINT_OVERHEAD_BUDGET``.
+    """
+    import tempfile
+    import time as _time
+
+    from benchmarks.common import (
+        CHECKPOINT_EVERY_EVENTS,
+        CHECKPOINT_OVERHEAD_BUDGET,
+        save_checkpoint_perf,
+    )
+    from repro.profiling.bench import BenchResult, build_incast_cell
+    from repro.sim import checkpoint as ck
+    from repro.sim.units import US
+
+    duration_ns = 60 * MS
+    until = duration_ns + 50 * US
+    cell = dict(duration_ns=duration_ns)
+
+    def plain_leg():
+        sim, net = build_incast_cell(**cell)
+        t0 = _time.perf_counter()
+        dispatched = sim.run(until=until)
+        wall = _time.perf_counter() - t0
+        return (
+            BenchResult(events=dispatched, wall_s=wall, sim_end_ns=sim.now),
+            incast_outputs(net),
+        )
+
+    def checkpointed_leg(directory):
+        sim, net = build_incast_cell(**cell)
+        t0 = _time.perf_counter()
+        run = ck.run_with_checkpoints(
+            sim,
+            net,
+            until=until,
+            directory=directory,
+            every=CHECKPOINT_EVERY_EVENTS,
+            scenario=cell,
+            keep=16,  # keep them all: the guard counts and restores them
+        )
+        wall = _time.perf_counter() - t0
+        bench = BenchResult(events=run.dispatched, wall_s=wall, sim_end_ns=sim.now)
+        return bench, incast_outputs(net), run
+
+    run_incast_cell(duration_ns=2 * MS)  # warm-up: allocator + caches
+
+    off, off_outputs = min(
+        (plain_leg() for _ in range(2)), key=lambda r: r[0].wall_s
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        legs = []
+        for i in range(2):
+            directory = Path(tmp) / f"round-{i}"
+            legs.append(checkpointed_leg(directory))
+        ckpt, ckpt_outputs, run = min(legs, key=lambda r: r[0].wall_s)
+        if len(run.checkpoints) < 3:  # entry + >= 2 periodic
+            print(
+                f"FAIL: cell too small for the {CHECKPOINT_EVERY_EVENTS}-event "
+                f"cadence: only {len(run.checkpoints) - 1} periodic "
+                f"checkpoints written",
+                file=sys.stderr,
+            )
+            return 1
+        if ckpt_outputs != off_outputs:
+            print(
+                "FAIL: checkpointed run outputs diverged from plain run",
+                file=sys.stderr,
+            )
+            print(f"  plain:        {off_outputs}", file=sys.stderr)
+            print(f"  checkpointed: {ckpt_outputs}", file=sys.stderr)
+            return 1
+
+        # Round-trip: restore the newest snapshot, continue, compare.
+        newest = run.checkpoints[-1]
+        sim2, net2 = ck.load(newest.path, scenario=cell)
+        sim2.run(until=until)
+        restored_outputs = incast_outputs(net2)
+        if restored_outputs != off_outputs:
+            print(
+                "FAIL: restored run outputs diverged from plain run",
+                file=sys.stderr,
+            )
+            print(f"  plain:    {off_outputs}", file=sys.stderr)
+            print(f"  restored: {restored_outputs}", file=sys.stderr)
+            return 1
+        checkpoint_bytes = newest.path.stat().st_size
+
+    payload = save_checkpoint_perf(
+        off.as_dict(),
+        ckpt.as_dict(),
+        n_checkpoints=len(run.checkpoints),
+        checkpoint_bytes=checkpoint_bytes,
+    )
+    print(
+        f"checkpoint round-trip OK: restored run matches plain run "
+        f"(restore point: event {newest.events_dispatched})"
+    )
+    print("checkpoint overhead (incast cell, identical outputs):")
+    print(json.dumps(payload, indent=2))
+    if payload["slowdown"] > CHECKPOINT_OVERHEAD_BUDGET:
+        print(
+            f"FAIL: checkpoint slowdown {payload['slowdown']}x exceeds the "
+            f"{CHECKPOINT_OVERHEAD_BUDGET}x budget",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"checkpoint overhead OK: {payload['slowdown']}x <= "
+        f"{CHECKPOINT_OVERHEAD_BUDGET}x budget"
+    )
+    return 0
+
+
 def dual_fidelity_guard() -> int:
     """Run the Clos-scale dual-fidelity cell and enforce its floors.
 
@@ -458,6 +593,8 @@ def dispatch(argv: list[str]) -> int:
         return stride_guard()
     if "--faults" in argv:
         return faults_guard()
+    if "--checkpoint" in argv:
+        return checkpoint_guard()
     if "--dual-fidelity" in argv:
         return dual_fidelity_guard()
     return main()

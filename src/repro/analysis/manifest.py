@@ -111,10 +111,11 @@ UNITS_EXEMPT_MODULES: tuple[str, ...] = (
 #: dispatch-loop speed (SIM004).  Maps module name -> required classes.
 SLOTS_MANIFEST: dict[str, tuple[str, ...]] = {
     "repro.sim.events": ("Event", "EventQueue"),
+    "repro.sim.serial": ("SerialCounter",),
     "repro.net.packet": ("Packet",),
     "repro.net.fluid": ("FluidFlow",),
-    "repro.net.nic": ("Flow", "_Message"),
+    "repro.net.nic": ("Flow", "_Message", "_FlowRateFan"),
     "repro.net.reliability": ("FlowReliability", "_Segment"),
     "repro.ssd.transactions": ("PageTransaction",),
-    "repro.ssd.controller": ("CompletionEntry", "_Inflight"),
+    "repro.ssd.controller": ("CompletionEntry", "_Inflight", "_GCJob"),
 }

@@ -163,6 +163,30 @@ def ftl_mapping_violation(ftl: "FTL") -> str | None:
 CHECK_GROUPS = ("links", "switches", "nics", "wrrs", "fluids")
 
 
+class _CheckedFinishGC:
+    """Instance-attribute wrapper for ``ftl.finish_gc`` (mapping check).
+
+    A slotted callable rather than a closure so a sanitized FTL can be
+    checkpoint-pickled.  It deliberately stores only the FTL and calls
+    the *class* method through ``type(...)``: capturing the original
+    bound ``ftl.finish_gc`` would re-capture this very wrapper (the
+    instance attribute shadows the class method) after a restore.
+    """
+
+    __slots__ = ("ftl",)
+
+    def __init__(self, ftl: "FTL") -> None:
+        self.ftl = ftl
+
+    def __call__(self, chip_index: int, block_id: int) -> None:
+        type(self.ftl).finish_gc(self.ftl, chip_index, block_id)
+        detail = ftl_mapping_violation(self.ftl)
+        if detail is not None:
+            raise SanitizerError(
+                "ftl-mapping", f"after GC erase of block {block_id}: {detail}"
+            )
+
+
 class Sanitizer:
     """Registry of tracked components plus their per-event check functions.
 
@@ -233,17 +257,7 @@ class Sanitizer:
     def track_ftl(self, ftl: "FTL") -> None:
         """Wrap ``ftl.finish_gc`` with a full mapping-consistency walk."""
         self._ftls.append(ftl)
-        original = ftl.finish_gc
-
-        def checked_finish_gc(chip_index: int, block_id: int) -> None:
-            original(chip_index, block_id)
-            detail = ftl_mapping_violation(ftl)
-            if detail is not None:
-                raise SanitizerError(
-                    "ftl-mapping", f"after GC erase of block {block_id}: {detail}"
-                )
-
-        ftl.finish_gc = checked_finish_gc  # type: ignore[method-assign]
+        ftl.finish_gc = _CheckedFinishGC(ftl)  # type: ignore[method-assign]
 
     # -- per-event checks ------------------------------------------------
     def _check_links(self) -> tuple[str, str] | None:

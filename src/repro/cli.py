@@ -231,6 +231,53 @@ def outcomes_grid_label(
     return cells[index // len(policies)], policies[index % len(policies)]
 
 
+def cmd_replay_failure(args) -> int:
+    """Time-travel replay of a dumped sanitizer failure.
+
+    Restores the nearest checkpoint named by the failure recipe and
+    deterministically re-runs to the violating event under full-fidelity
+    sanitizing (stride forced to 1 — the escalation
+    :func:`repro.analysis.sanitizer.escalate` applies from time zero,
+    applied from the checkpoint instead).
+    """
+    import json as _json
+
+    from repro.sim.checkpoint import CheckpointError, replay_failure
+
+    try:
+        report = replay_failure(args.recipe, until=args.until)
+    except CheckpointError as err:
+        print(f"replay-failure: {err}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as err:
+        print(f"replay-failure: {err}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(_json.dumps(report, indent=1, sort_keys=True))
+    elif report["reproduced"]:
+        print(
+            f"reproduced {report['invariant']} at t={report['time_ns']}ns "
+            f"after replaying {report['events_replayed']} events "
+            f"from checkpoint {report['checkpoint']} "
+            f"(event {report['checkpoint_events']})"
+        )
+        print(f"  site:   {report.get('site')}")
+        print(f"  detail: {report.get('detail')}")
+    else:
+        print(
+            f"not reproduced: replayed {report['events_replayed']} events "
+            f"from {report['checkpoint']} without a violation "
+            "(bug fixed, or the failure needs state outside the checkpoint)"
+        )
+    if not report["sanitizing"]:
+        print(
+            "note: checkpoint was not sanitizing — replay was deterministic "
+            "but invariant checks were off",
+            file=sys.stderr,
+        )
+    return 0 if report["reproduced"] else 1
+
+
 def cmd_lint(args) -> int:
     """Run the whole-program simulation linter (see repro.analysis).
 
@@ -380,6 +427,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--json", action="store_true", help="emit JSON instead of text")
     p.set_defaults(fn=cmd_faults)
+
+    p = sub.add_parser(
+        "replay-failure",
+        help="restore a failure's nearest checkpoint and re-run to the "
+        "violation under full-fidelity sanitizing",
+    )
+    p.add_argument(
+        "recipe",
+        help="failure recipe JSON (or a checkpoint directory holding "
+        "failure.json) dumped by run_with_checkpoints",
+    )
+    p.add_argument(
+        "--until", type=int, default=None,
+        help="override the replay horizon in ns (default: the recipe's)",
+    )
+    p.add_argument("--json", action="store_true", help="emit the report as JSON")
+    p.set_defaults(fn=cmd_replay_failure)
 
     p = sub.add_parser(
         "lint",

@@ -28,6 +28,23 @@ from repro.ssd.device import SSD
 from repro.workloads.traces import Trace
 
 
+class _MonitoredFeed:
+    """Arrival-time submission that also feeds the workload monitor
+    (slotted module class instead of a per-request closure so pending
+    submissions stay checkpoint-picklable)."""
+
+    __slots__ = ("monitor", "driver", "sim")
+
+    def __init__(self, monitor: WorkloadMonitor, driver: SSQDriver, sim: Simulator):
+        self.monitor = monitor
+        self.driver = driver
+        self.sim = sim
+
+    def __call__(self, req) -> None:
+        self.monitor.observe(req, self.sim.now)
+        self.driver.submit(req, now_ns=self.sim.now)
+
+
 @dataclass
 class AdjustmentOutcome:
     """What happened at one congestion event."""
@@ -76,16 +93,13 @@ def run_dynamic_control(
     ssd = SSD(sim, config)
     driver = SSQDriver(1, 1)
     driver.connect(ssd)
-    ssd.set_cq_listener(lambda _e: ssd.pop_completion())
+    ssd.set_cq_listener(ssd.auto_drain)
 
     monitor = WorkloadMonitor(window_ns)
 
+    feed = _MonitoredFeed(monitor, driver, sim)
     for req in trace:
-        def submit(r=req):
-            monitor.observe(r, sim.now)
-            driver.submit(r, now_ns=sim.now)
-
-        sim.schedule_at(req.arrival_ns, submit)
+        sim.schedule_at(req.arrival_ns, feed, req)
 
     outcomes: list[AdjustmentOutcome] = []
 

@@ -19,6 +19,21 @@ from repro.ssd.device import SSD
 from repro.workloads.traces import Trace
 
 
+class _DriverFeed:
+    """Arrival-time submission callback (slotted, checkpoint-picklable):
+    stamps ``now_ns`` at dispatch, which a ``functools.partial`` over the
+    schedule-time clock could not."""
+
+    __slots__ = ("driver", "sim")
+
+    def __init__(self, driver, sim: Simulator) -> None:
+        self.driver = driver
+        self.sim = sim
+
+    def __call__(self, req) -> None:
+        self.driver.submit(req, now_ns=self.sim.now)
+
+
 @dataclass
 class DeviceReplayResult:
     """Outcome of one device-local replay."""
@@ -73,12 +88,11 @@ def replay_on_device(
     ssd = SSD(sim, config)
     driver.connect(ssd)
     # Host consumes completions immediately (no fabric backpressure).
-    ssd.set_cq_listener(lambda _entry: ssd.pop_completion())
+    ssd.set_cq_listener(ssd.auto_drain)
 
+    feed = _DriverFeed(driver, sim)
     for req in trace:
-        sim.schedule_at(
-            req.arrival_ns, lambda r=req: driver.submit(r, now_ns=sim.now)
-        )
+        sim.schedule_at(req.arrival_ns, feed, req)
 
     last_arrival = trace[-1].arrival_ns
     if drain:

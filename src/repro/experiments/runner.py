@@ -111,8 +111,11 @@ class RunMeasurement:
     """Picklable measurement subset of a :class:`RunResult`.
 
     Sweep workers return this instead of the full result: a finished
-    ``RunResult`` drags the live object graph (simulator queue with
-    lambda callbacks, NICs, SSDs) which cannot cross a process boundary.
+    ``RunResult`` drags the live object graph (simulator queue, NICs,
+    SSDs) across the process boundary for no benefit — workers report
+    measurements, not worlds.  (Live graphs *can* now be pickled via
+    :mod:`repro.sim.checkpoint`, but that is for state snapshots, not
+    per-cell result plumbing.)
     """
 
     duration_ns: int
@@ -189,6 +192,27 @@ class RunResult:
             if 0 <= t < self.duration_ns:
                 counts[t // MS] += 1
         return np.arange(n_bins, dtype=np.int64) * MS, counts
+
+
+class _BackgroundFeeder:
+    """Self-rescheduling background-traffic source (slotted so a mid-
+    episode checkpoint can pickle the pending feed event)."""
+
+    __slots__ = ("sim", "nic", "victim", "message_bytes", "end_ns", "gap_ns")
+
+    def __init__(self, sim, nic, victim, message_bytes, end_ns, gap_ns):
+        self.sim = sim
+        self.nic = nic
+        self.victim = victim
+        self.message_bytes = message_bytes
+        self.end_ns = end_ns
+        self.gap_ns = gap_ns
+
+    def __call__(self) -> None:
+        if self.sim.now >= self.end_ns:
+            return
+        self.nic.send_message(self.victim, self.message_bytes)
+        self.sim.schedule(self.gap_ns, self)
 
 
 def _make_driver(
@@ -304,7 +328,7 @@ def run_testbed(
         initiator = initiators[idx % len(initiators)]
         req.target = tgt_names[idx % len(tgt_names)]
         req.initiator = initiator.name
-        sim.schedule_at(req.arrival_ns, lambda r=req, i=initiator: i.issue(r))
+        sim.schedule_at(req.arrival_ns, initiator.issue, req)
 
     # Background congestion episode.
     if config.background:
@@ -312,17 +336,11 @@ def run_testbed(
         victim = init_names[bg.victim_index % len(init_names)]
         gap_ns = max(1, int(bg.message_bytes / gbps_to_bytes_per_ns(bg.rate_gbps)))
 
-        def make_feeder(nic):
-            def feed() -> None:
-                if sim.now >= bg.end_ns:
-                    return
-                nic.send_message(victim, bg.message_bytes)
-                sim.schedule(gap_ns, feed)
-
-            return feed
-
         for name in bg_names:
-            sim.schedule_at(bg.start_ns, make_feeder(net.hosts[name]))
+            feeder = _BackgroundFeeder(
+                sim, net.hosts[name], victim, bg.message_bytes, bg.end_ns, gap_ns
+            )
+            sim.schedule_at(bg.start_ns, feeder)
 
     end = duration_ns if duration_ns is not None else trace[-1].arrival_ns + drain_margin_ns
     sim.run(until=end)

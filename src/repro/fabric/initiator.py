@@ -97,7 +97,7 @@ class Initiator:
         for req in trace:
             req.initiator = self.name
             req.target = target_of(req)
-            self.sim.schedule_at(req.arrival_ns, lambda r=req: self.issue(r))
+            self.sim.schedule_at(req.arrival_ns, self.issue, req)
 
     def issue(self, request: IORequest) -> None:
         """Send one request now (queues locally if the TXQ is full)."""

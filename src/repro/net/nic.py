@@ -22,7 +22,6 @@ bit-identical.
 
 from __future__ import annotations
 
-import itertools
 import zlib
 from collections import deque
 from heapq import heappush
@@ -35,6 +34,7 @@ from repro.net.packet import CONTROL_PACKET_BYTES, Packet, PacketKind
 from repro.net.reliability import FlowReliability, ReliabilityConfig
 from repro.sim.engine import Simulator
 from repro.sim.rng import make_rng
+from repro.sim.serial import SerialCounter
 
 if TYPE_CHECKING:
     from repro.core.units import Bytes, Nanoseconds
@@ -83,8 +83,27 @@ class NICConfig:
             raise ValueError("burst_segments must be >= 1")
 
 
-_flow_ids = itertools.count()
-_message_ids = itertools.count()
+_flow_ids = SerialCounter("net.flow")
+_message_ids = SerialCounter("net.message")
+
+
+class _FlowRateFan:
+    """Per-flow rate-change forwarder to the NIC's shared listeners.
+
+    A slotted callable instead of a closure so the listener survives
+    checkpoint pickling (:mod:`repro.sim.checkpoint`); it holds only
+    the two object references the closure captured.
+    """
+
+    __slots__ = ("nic", "flow")
+
+    def __init__(self, nic: "NIC", flow: "Flow") -> None:
+        self.nic = nic
+        self.flow = flow
+
+    def __call__(self, change: RateChange) -> None:
+        for listener in self.nic.rate_listeners:
+            listener(self.flow, change)
 
 
 @dataclass(slots=True)
@@ -416,11 +435,7 @@ class NIC:
             self.flows[dst] = flow
             self._flows_by_id[flow.id] = flow
 
-            def forward(change: RateChange, flow=flow) -> None:
-                for listener in self.rate_listeners:
-                    listener(flow, change)
-
-            flow.rate_control.listeners.append(forward)
+            flow.rate_control.listeners.append(_FlowRateFan(self, flow))
         return flow
 
     # -- transmit --------------------------------------------------------------

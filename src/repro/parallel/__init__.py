@@ -1,4 +1,10 @@
-"""Parallel sweep execution (see :mod:`repro.parallel.pool`)."""
+"""Parallel sweep execution.
+
+:mod:`repro.parallel.pool` fans independent cells across a process
+pool; :mod:`repro.parallel.supervise` adds per-worker heartbeats,
+SIGKILL/OOM crash recovery with checkpoint-based re-execution, and
+orphan reaping for long unattended sweeps.
+"""
 
 from repro.parallel.pool import (
     CellFailure,
@@ -9,13 +15,21 @@ from repro.parallel.pool import (
     resolve_workers,
     run_cells,
 )
+from repro.parallel.supervise import (
+    SupervisedReport,
+    WorkerState,
+    run_cells_supervised,
+)
 
 __all__ = [
     "CellFailure",
     "CellStats",
+    "SupervisedReport",
     "SweepCellError",
     "SweepReport",
+    "WorkerState",
     "cell_seed",
     "resolve_workers",
     "run_cells",
+    "run_cells_supervised",
 ]

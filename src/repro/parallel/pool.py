@@ -29,9 +29,17 @@ Failure handling
   count) in ``SweepReport.failures`` and keeps going — a 200-cell chaos
   matrix should report its three broken cells, not die on the first;
 * a cell exceeds ``timeout_s`` or the pool breaks — the pool is torn
-  down and every uncollected cell falls back to the serial path
-  (timeouts cannot be enforced in-process; the fallback runs to
-  completion).
+  down, every orphaned worker process is terminated and reaped (a
+  timed-out cell's worker keeps computing otherwise), and every
+  uncollected cell falls back to the serial path (timeouts cannot be
+  enforced in-process; the fallback runs to completion).  The kill is
+  charged against the victim cell's attempt budget and recorded in its
+  :class:`CellFailure` as ``kind="timeout"``/``"crash"`` when the
+  budget runs out.
+
+For worker *heartbeats*, SIGKILL/OOM detection, and bounded
+re-execution from periodic checkpoints, see the supervised runner in
+:mod:`repro.parallel.supervise`.
 """
 
 from __future__ import annotations
@@ -102,12 +110,16 @@ class CellFailure:
 
     The failing cell's slot in ``SweepReport.results`` holds ``None``;
     this record carries what a post-mortem needs: which cell, what it
-    raised, and how many attempts were spent on it.
+    raised, how many attempts were spent on it, and how it died:
+    ``"exception"`` (the cell raised), ``"timeout"`` (its worker blew
+    the per-cell deadline and was killed), or ``"crash"`` (the worker
+    process died — SIGKILL, OOM, broken pool).
     """
 
     index: int
     error: str  # repr() of the last exception — picklable, log-friendly
     attempts: int
+    kind: str = "exception"  # "exception" | "timeout" | "crash"
 
 
 @dataclass(frozen=True)
@@ -133,6 +145,8 @@ class SweepReport:
     #: Cells that exhausted their retries (``on_error="record"`` only);
     #: each failed cell's ``results`` slot is ``None``.
     failures: list[CellFailure] = field(default_factory=list)
+    #: Orphaned worker processes terminated after a timeout/pool break.
+    workers_reaped: int = 0
 
     @property
     def n_cells(self) -> int:
@@ -177,6 +191,7 @@ class SweepReport:
             "events_per_sec": round(self.events_per_sec(), 1),
             "utilization": round(self.utilization(), 3),
             "n_failed": self.n_failed,
+            "workers_reaped": self.workers_reaped,
         }
 
 
@@ -225,6 +240,25 @@ def _run_serial(
     raise SweepCellError(index, attempts, last_exc)
 
 
+def _reap_processes(executor: ProcessPoolExecutor) -> int:
+    """Terminate and join every still-live worker of a dead pool.
+
+    ``shutdown(wait=False)`` abandons running workers: a timed-out
+    cell's process would keep computing (and holding memory) for the
+    rest of the sweep.  Returns how many live workers were killed.
+    """
+    procs = list((getattr(executor, "_processes", None) or {}).values())
+    live = [p for p in procs if p.is_alive()]
+    for p in live:
+        p.terminate()
+    for p in live:
+        p.join(timeout=2.0)
+        if p.is_alive():  # ignored SIGTERM (stuck in C code): escalate
+            p.kill()
+            p.join(timeout=2.0)
+    return len(live)
+
+
 def _make_executor(workers: int) -> ProcessPoolExecutor:
     # Fork keeps already-imported numpy/repro state and is the cheap,
     # deterministic-friendly option on Linux; spawn is the fallback.
@@ -259,7 +293,10 @@ def run_cells(
         serially in-process (no pool, no pickling).
     timeout_s:
         Per-cell deadline, enforced only on the pool path; a timed-out
-        sweep degrades to serial for the uncollected cells.
+        sweep degrades to serial for the uncollected cells.  The
+        orphaned worker is terminated and reaped (counted in
+        ``SweepReport.workers_reaped``) and the kill is charged as one
+        attempt against the victim cell's budget.
     retries:
         Extra attempts per failing cell before it counts as failed.
     on_error:
@@ -292,7 +329,7 @@ def run_cells(
         if progress:
             progress(sum(s is not None for s in stats), n)
 
-    def record_failure(i: int, err: SweepCellError) -> None:
+    def record_failure(i: int, err: SweepCellError, kind: str = "exception") -> None:
         if on_error == "raise":
             raise err
         results[i] = None
@@ -300,13 +337,18 @@ def run_cells(
             index=i, wall_s=0.0, attempts=err.attempts, sim_events=0, mode="failed"
         )
         failures.append(
-            CellFailure(index=i, error=repr(err.cause), attempts=err.attempts)
+            CellFailure(
+                index=i, error=repr(err.cause), attempts=err.attempts, kind=kind
+            )
         )
         if progress:
             progress(sum(s is not None for s in stats), n)
 
     mode = "serial"
     start_index = 0
+    workers_reaped = 0
+    #: Set when the pool died mid-sweep: (victim cell index, cause).
+    pool_break: tuple[int, BaseException] | None = None
     executor: ProcessPoolExecutor | None = None
     futures: list[Future[tuple[Any, float]]] = []
     if n_workers > 1 and n > 1:
@@ -327,11 +369,13 @@ def run_cells(
                 try:
                     value, wall = futures[i].result(timeout=timeout_s)
                     record(i, value, wall, 1, "pool")
-                except (_FutureTimeout, BrokenProcessPool, OSError):
+                except (_FutureTimeout, BrokenProcessPool, OSError) as exc:
                     # Pool-level failure: abandon it, finish serially.
+                    # The victim cell is charged one attempt (the kill).
                     pool_dead = True
                     mode = "pool+serial-fallback"
                     start_index = i
+                    pool_break = (i, exc)
                     break
                 except Exception as exc:  # cell failure: retry in-process
                     try:
@@ -345,15 +389,29 @@ def run_cells(
                         record(i, value, wall, attempts, "serial")
                 start_index = i + 1
         finally:
+            if pool_dead:
+                # Reap before shutdown(): shutdown drops the executor's
+                # process table, and with wait=False it would abandon
+                # still-running workers as orphans.
+                workers_reaped = _reap_processes(executor)
             executor.shutdown(wait=not pool_dead, cancel_futures=True)
 
     for i in range(start_index, n):
         if stats[i] is not None:
             continue
+        prior_attempts = 0
+        last_exc: BaseException | None = None
+        kind = "exception"
+        if pool_break is not None and i == pool_break[0]:
+            prior_attempts, last_exc = 1, pool_break[1]
+            kind = "timeout" if isinstance(last_exc, _FutureTimeout) else "crash"
         try:
-            value, wall, attempts = _run_serial(fn, cell_list[i], i, retries)
+            value, wall, attempts = _run_serial(
+                fn, cell_list[i], i, retries,
+                prior_attempts=prior_attempts, last_exc=last_exc,
+            )
         except SweepCellError as err:
-            record_failure(i, err)
+            record_failure(i, err, kind)
         else:
             record(i, value, wall, attempts, "serial")
 
@@ -365,4 +423,5 @@ def run_cells(
         wall_s=time.perf_counter() - t_start,
         mode=mode,
         failures=failures,
+        workers_reaped=workers_reaped,
     )

@@ -1,0 +1,349 @@
+"""Crash-resilient sweep supervision: heartbeats, kill detection, resume.
+
+:func:`repro.parallel.pool.run_cells` retries cells whose *code*
+raises, but a worker that dies — SIGKILL from the OOM killer, a
+segfaulting native extension, a cluster preemption — takes its pool
+down and loses every event the cell had simulated.  This module runs
+each cell in its own supervised ``multiprocessing.Process`` and closes
+that gap:
+
+* **liveness** — the worker publishes a monotonic heartbeat from a
+  daemon thread (``time.monotonic`` is system-wide on Linux, so parent
+  and child timestamps compare directly); a stalled heartbeat gets the
+  worker SIGKILLed and handled like any other crash;
+* **crash recovery** — a worker that exits with a signal (negative
+  ``exitcode``), a nonzero status, or a heartbeat stall is re-executed
+  with a bounded budget.  Cells that checkpoint periodically through
+  :func:`repro.sim.checkpoint.run_with_checkpoints` (the worker
+  receives a per-cell checkpoint directory) resume from their last
+  checkpoint instead of from zero — attempt N starts where attempt
+  N-1 last saved;
+* **quarantine** — a cell that keeps killing workers exhausts its
+  budget and is recorded as a structured
+  :class:`~repro.parallel.pool.CellFailure` (``kind="crash"`` or
+  ``"timeout"``) without sinking the sweep;
+* **reaping** — every spawned process is terminated and joined on
+  timeout, shutdown, and supervisor exit; no orphans outlive the
+  sweep.
+
+Determinism contract: identical to the pool's — a cell's result may
+depend only on its ``(fn, args)``, so a crashed-and-resumed sweep is
+bit-identical to an uncrashed one (asserted by
+``tests/parallel/test_supervise.py``).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+import time
+from dataclasses import dataclass, field
+from multiprocessing.connection import Connection
+from pathlib import Path
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.parallel.pool import CellFailure, SweepCellError, resolve_workers
+
+__all__ = [
+    "SupervisedReport",
+    "WorkerState",
+    "run_cells_supervised",
+]
+
+#: Heartbeats per interval the worker publishes (the parent declares a
+#: stall only after ``_STALL_FACTOR`` full intervals of silence, so a
+#: worker would have to miss many beats, not one).
+_BEATS_PER_INTERVAL = 4
+_STALL_FACTOR = 3
+
+
+@dataclass(frozen=True)
+class WorkerState:
+    """Post-mortem record of one worker attempt."""
+
+    index: int
+    attempt: int
+    outcome: str  # "ok" | "error" | "crash" | "timeout" | "stall"
+    exitcode: int | None
+    wall_s: float
+    detail: str = ""
+
+
+@dataclass
+class SupervisedReport:
+    """Ordered results of a supervised sweep."""
+
+    results: list[Any]
+    failures: list[CellFailure] = field(default_factory=list)
+    attempts: list[WorkerState] = field(default_factory=list)
+    workers_reaped: int = 0
+    wall_s: float = 0.0
+
+    @property
+    def n_failed(self) -> int:
+        return len(self.failures)
+
+
+def _heartbeat_loop(beat: Any, interval_s: float, stop: threading.Event) -> None:
+    while not stop.is_set():
+        beat.value = time.monotonic()
+        stop.wait(interval_s / _BEATS_PER_INTERVAL)
+
+
+def _worker_entry(
+    fn: Callable[..., Any],
+    args: tuple[Any, ...],
+    checkpoint_dir: str | None,
+    conn: Connection,
+    beat: Any,
+    heartbeat_s: float,
+) -> None:
+    """Child-process main: run the cell, stream back (status, payload)."""
+    stop = threading.Event()
+    thread = threading.Thread(
+        target=_heartbeat_loop, args=(beat, heartbeat_s, stop), daemon=True
+    )
+    thread.start()
+    try:
+        if checkpoint_dir is not None:
+            value = fn(*args, checkpoint_dir=checkpoint_dir)
+        else:
+            value = fn(*args)
+        conn.send(("ok", value))
+    except BaseException as exc:  # noqa: BLE001 — reported, not swallowed
+        try:
+            conn.send(("error", repr(exc)))
+        except (ValueError, OSError):
+            pass  # parent gone or result unpicklable; exitcode still reports
+        raise SystemExit(1) from exc
+    finally:
+        stop.set()
+        conn.close()
+
+
+def _kill_and_join(proc: multiprocessing.Process) -> bool:
+    """SIGKILL ``proc`` if still alive; True when a live process was reaped."""
+    was_alive = proc.is_alive()
+    if was_alive:
+        proc.kill()
+    proc.join(timeout=5.0)
+    return was_alive
+
+
+def run_cells_supervised(
+    fn: Callable[..., Any],
+    cells: Iterable[Sequence[Any]],
+    *,
+    workers: int | None = 1,
+    heartbeat_s: float = 5.0,
+    timeout_s: float | None = None,
+    retries: int = 1,
+    checkpoint_root: str | Path | None = None,
+    on_error: str = "record",
+) -> SupervisedReport:
+    """Run ``fn(*cell)`` per cell under per-process supervision.
+
+    Parameters
+    ----------
+    fn:
+        Module-level cell function.  When ``checkpoint_root`` is set it
+        is called as ``fn(*cell, checkpoint_dir=<root>/cell-<i>)`` and
+        should resume from that directory's newest checkpoint (see
+        :func:`repro.sim.checkpoint.resume_or_start`) so retried
+        attempts continue rather than restart.
+    workers:
+        Concurrent worker processes (``None``/``0`` = all cores).
+    heartbeat_s:
+        Liveness interval; a worker silent for ``3 × heartbeat_s`` is
+        presumed wedged, SIGKILLed, and treated as a crash.
+    timeout_s:
+        Hard per-attempt deadline (wall clock); exceeded → SIGKILL,
+        recorded as ``kind="timeout"``.
+    retries:
+        Extra attempts a crashing/timing-out/raising cell gets before
+        quarantine.
+    on_error:
+        ``"record"`` (default) quarantines exhausted cells into
+        ``SupervisedReport.failures``; ``"raise"`` aborts the sweep
+        with :class:`~repro.parallel.pool.SweepCellError`.
+    """
+    if on_error not in ("raise", "record"):
+        raise ValueError(f"on_error must be 'raise' or 'record', got {on_error!r}")
+    if heartbeat_s <= 0:
+        raise ValueError("heartbeat_s must be positive")
+    cell_list = [tuple(c) for c in cells]
+    n = len(cell_list)
+    n_workers = resolve_workers(workers)
+    max_attempts = 1 + max(0, retries)
+    ctx = multiprocessing.get_context(
+        "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+    )
+
+    root = None if checkpoint_root is None else Path(checkpoint_root)
+    if root is not None:
+        root.mkdir(parents=True, exist_ok=True)
+
+    results: list[Any] = [None] * n
+    done = [False] * n
+    attempts_used = [0] * n
+    last_error = [""] * n
+    last_kind = ["exception"] * n
+    failures: list[CellFailure] = []
+    attempt_log: list[WorkerState] = []
+    workers_reaped = 0
+    t_start = time.perf_counter()
+
+    @dataclass
+    class _Live:
+        index: int
+        attempt: int
+        proc: multiprocessing.Process
+        conn: Connection
+        beat: Any
+        started: float
+
+    pending = list(range(n))
+    live: list[_Live] = []
+
+    def launch(index: int) -> None:
+        attempt = attempts_used[index] + 1
+        attempts_used[index] = attempt
+        recv, send = ctx.Pipe(duplex=False)
+        beat = ctx.Value("d", time.monotonic())
+        ckpt_dir: str | None = None
+        if root is not None:
+            cell_dir = root / f"cell-{index}"
+            cell_dir.mkdir(parents=True, exist_ok=True)
+            ckpt_dir = str(cell_dir)
+        proc = ctx.Process(
+            target=_worker_entry,
+            args=(fn, cell_list[index], ckpt_dir, send, beat, heartbeat_s),
+            daemon=False,
+        )
+        proc.start()
+        send.close()  # parent keeps only the read end
+        live.append(
+            _Live(
+                index=index,
+                attempt=attempt,
+                proc=proc,
+                conn=recv,
+                beat=beat,
+                started=time.perf_counter(),
+            )
+        )
+
+    def settle(worker: _Live, outcome: str, detail: str) -> None:
+        """Record one finished attempt and decide retry vs quarantine."""
+        nonlocal workers_reaped
+        index = worker.index
+        wall = time.perf_counter() - worker.started
+        if outcome == "ok":
+            # Normal exit: give the worker its shutdown grace before
+            # escalating, so successful cells don't count as reaped.
+            worker.proc.join(timeout=5.0)
+        if _kill_and_join(worker.proc):
+            workers_reaped += 1
+        worker.conn.close()
+        code = worker.proc.exitcode
+        if outcome == "crash" and code is not None and str(code) not in detail:
+            # Pipe-EOF detection can fire before the exitcode is
+            # reaped; fold the status in once it is known.
+            cause = f"killed by signal {-code}" if code < 0 else f"exit status {code}"
+            detail = f"{detail} ({cause})"
+        attempt_log.append(
+            WorkerState(
+                index=index,
+                attempt=worker.attempt,
+                outcome=outcome,
+                exitcode=worker.proc.exitcode,
+                wall_s=wall,
+                detail=detail,
+            )
+        )
+        if outcome == "ok":
+            done[index] = True
+            return
+        last_error[index] = detail
+        last_kind[index] = {
+            "error": "exception",
+            "timeout": "timeout",
+        }.get(outcome, "crash")
+        if attempts_used[index] < max_attempts:
+            pending.append(index)  # bounded re-execution (from checkpoint)
+            return
+        err = SweepCellError(
+            index, attempts_used[index], RuntimeError(detail or outcome)
+        )
+        if on_error == "raise":
+            raise err
+        done[index] = True
+        failures.append(
+            CellFailure(
+                index=index,
+                error=detail or outcome,
+                attempts=attempts_used[index],
+                kind=last_kind[index],
+            )
+        )
+
+    try:
+        while pending or live:
+            while pending and len(live) < n_workers:
+                launch(pending.pop(0))
+            time.sleep(min(0.02, heartbeat_s / 10))
+            now = time.perf_counter()
+            for worker in list(live):
+                outcome: str | None = None
+                detail = ""
+                if worker.conn.poll():
+                    try:
+                        status, payload = worker.conn.recv()
+                    except (EOFError, OSError):
+                        # poll() is also true at EOF: the worker died
+                        # before it could report (SIGKILL/OOM/segfault).
+                        outcome = "crash"
+                        detail = "worker died before reporting a result"
+                    else:
+                        if status == "ok":
+                            results[worker.index] = payload
+                            outcome, detail = "ok", ""
+                        else:
+                            outcome, detail = "error", str(payload)
+                elif worker.proc.exitcode is not None:
+                    code = worker.proc.exitcode
+                    if code < 0:
+                        outcome = "crash"
+                        detail = f"worker killed by signal {-code}"
+                    elif code != 0:
+                        outcome = "crash"
+                        detail = f"worker exited with status {code}"
+                    else:
+                        outcome = "crash"
+                        detail = "worker exited without a result"
+                elif timeout_s is not None and now - worker.started > timeout_s:
+                    outcome = "timeout"
+                    detail = f"attempt exceeded timeout_s={timeout_s}"
+                elif now - worker.beat.value > _STALL_FACTOR * heartbeat_s:
+                    outcome = "stall"
+                    detail = (
+                        f"heartbeat silent for {now - worker.beat.value:.1f}s "
+                        f"(> {_STALL_FACTOR}x heartbeat_s)"
+                    )
+                if outcome is not None:
+                    live.remove(worker)
+                    settle(worker, outcome, detail)
+    finally:
+        # Orphan reaping: nothing spawned here survives the supervisor.
+        for worker in live:
+            if _kill_and_join(worker.proc):
+                workers_reaped += 1
+            worker.conn.close()
+
+    return SupervisedReport(
+        results=results,
+        failures=failures,
+        attempts=attempt_log,
+        workers_reaped=workers_reaped,
+        wall_s=time.perf_counter() - t_start,
+    )

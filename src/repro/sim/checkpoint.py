@@ -1,0 +1,553 @@
+"""Versioned, deterministic checkpoint/restore of the whole simulator.
+
+One checkpoint file captures everything a continuation needs to replay
+the uninterrupted run byte-for-byte:
+
+* the event heap — tuple entries whose callbacks are bound methods of
+  live components.  Bound methods do not pickle stably (name-mangled
+  privates fail outright, and the default machinery resolves through
+  *instance* getattr, which the sanitizer's instance-attribute wrappers
+  shadow), so a custom pickler re-binds each method through its owner's
+  **class**: at save time the attribute name is found by searching the
+  owner's MRO class dicts for the exact function object; at load time
+  ``getattr(type(owner), name).__get__(owner, ...)`` rebuilds the bound
+  method without touching instance state.  The pickle memo preserves
+  object identity, so cached callback slots (``Link._deliver_cb``,
+  ``RateTable._tick_cb``) restore as the *same* object the heap entries
+  alias — batch-coalescing identity checks keep working;
+* every component's state vectors (queues, NumPy rate-table columns,
+  reliability windows, FTL/CMT/write-cache/GC state, inflight maps,
+  fault-injector arms) — reached through the ``world`` object pickled
+  together with the simulator in one pickle;
+* all RNG stream states (``numpy.random.Generator`` pickles exactly);
+* the positions of every :class:`repro.sim.serial.SerialCounter`, so a
+  fresh process continues id allocation where the saver stopped.
+
+The file layout is one JSON header line (magic, schema version, code
+version, scenario fingerprint, payload SHA-256, component census,
+simulated time) followed by the raw pickle payload.  Restores validate
+the header **before** unpickling anything and fail loudly with a
+structured :class:`CheckpointError`.
+
+:func:`run_with_checkpoints` drives a run in ``max_events`` legs,
+saving after each leg; on a :class:`~repro.analysis.sanitizer.
+SanitizerError` it dumps the nearest checkpoint plus a replay recipe
+that :func:`replay_failure` (and the ``repro replay-failure`` CLI)
+re-executes under full-fidelity sanitizing — time-travel debugging for
+violations deep into long runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import os
+import pickle
+import types
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable
+
+from repro import __version__ as _CODE_VERSION
+from repro.sim.engine import MaxEventsExceeded, Simulator
+from repro.sim.serial import restore_counters, snapshot_counters
+
+CKPT_MAGIC = "repro-ckpt"
+CKPT_SCHEMA = 1
+CKPT_SUFFIX = ".ckpt"
+#: Default checkpoint cadence (events per leg) — the budget the
+#: ``--checkpoint`` benchmark leg pins is measured at this value.
+DEFAULT_EVERY = 100_000
+
+__all__ = [
+    "CKPT_MAGIC",
+    "CKPT_SCHEMA",
+    "CheckpointError",
+    "CheckpointMeta",
+    "CheckpointedRun",
+    "latest_checkpoint",
+    "load",
+    "read_meta",
+    "replay_failure",
+    "resume_or_start",
+    "run_with_checkpoints",
+    "save",
+    "scenario_fingerprint",
+]
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint could not be written or restored.
+
+    ``reason`` is a stable machine-readable code:
+
+    * ``"unpicklable-callback"`` — the object graph holds a callback
+      (closure, lambda, or unbound-able method) the pickler cannot
+      re-bind; the detail names it;
+    * ``"bad-magic"`` — the file is not a repro checkpoint;
+    * ``"schema-mismatch"`` — written by an incompatible format version;
+    * ``"code-version-mismatch"`` — written by a different release of
+      this library (state vectors may have drifted);
+    * ``"scenario-mismatch"`` — the caller's scenario fingerprint does
+      not match the one recorded at save time;
+    * ``"payload-corrupt"`` — the payload hash does not verify.
+    """
+
+    def __init__(self, reason: str, detail: str) -> None:
+        self.reason = reason
+        self.detail = detail
+        super().__init__(f"{reason}: {detail}")
+
+
+@dataclass(frozen=True)
+class CheckpointMeta:
+    """Parsed header of one checkpoint file."""
+
+    path: Path
+    schema: int
+    code_version: str
+    scenario: str | None
+    payload_sha256: str
+    census: dict[str, int]
+    time_ns: int
+    events_dispatched: int
+
+
+def scenario_fingerprint(scenario: Any) -> str:
+    """Stable 16-hex digest of a scenario description.
+
+    ``scenario`` is whatever JSON-serialisable value identifies the run
+    (a cell dict with seeds, a config mapping, a plain string); the
+    canonical form sorts keys so dict ordering cannot perturb it.
+    """
+    canonical = json.dumps(scenario, sort_keys=True, default=str)
+    return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+
+
+# -- save-side pickler ----------------------------------------------------
+
+
+def _qualname(cls: type) -> str:
+    return f"{cls.__module__}.{cls.__qualname__}"
+
+
+def _slot_names(cls: type) -> list[str]:
+    """All slot names across ``cls``'s MRO, in definition order."""
+    names: list[str] = []
+    for klass in cls.__mro__:
+        slots = klass.__dict__.get("__slots__", ())
+        if isinstance(slots, str):
+            slots = (slots,)
+        for name in slots:
+            if name not in ("__dict__", "__weakref__"):
+                names.append(name)
+    return names
+
+
+def _new_instance(cls: type) -> Any:
+    """Allocate without ``__init__`` *or* ``cls.__new__``.
+
+    ``Simulator.__new__`` consults the ``REPRO_SANITIZE`` environment
+    and may substitute the sanitizing subclass — correct at build time,
+    wrong at unpickle time (the checkpoint records which class actually
+    ran).  ``object.__new__`` restores exactly the recorded class.
+    """
+    return object.__new__(cls)
+
+
+def _rebind_method(owner: Any, name: str) -> Any:
+    """Re-bind ``owner``'s method ``name`` through its **class**.
+
+    Never resolved via instance getattr: sanitizer wrappers are
+    instance attributes shadowing the class method, and resolving
+    through them here would alias the wrapper where the heap held the
+    real method (or recurse after a restore).
+    """
+    if isinstance(owner, type):
+        return getattr(owner, name)
+    func = getattr(type(owner), name)
+    return func.__get__(owner, type(owner))
+
+
+def _find_method_name(owner: Any, func: Any) -> str | None:
+    """Attribute name of ``func`` searched over the owner's MRO.
+
+    ``__func__.__name__`` is wrong for name-mangled privates (the class
+    dict key is ``_Cls__name`` while the function keeps ``__name``), so
+    the search compares function object identity instead.
+    """
+    if isinstance(owner, type):
+        mro = owner.__mro__
+    else:
+        mro = type(owner).__mro__
+    for klass in mro:
+        for name, member in sorted(klass.__dict__.items()):
+            if member is func:
+                return name
+            if isinstance(member, classmethod) and member.__func__ is func:
+                return name
+    return None
+
+
+class _CheckpointPickler(pickle.Pickler):
+    """Pickler with class-based method re-binding and a component census."""
+
+    def __init__(self, file: io.BytesIO) -> None:
+        super().__init__(file, protocol=4)
+        #: qualname -> set of instance ids seen as method owners.
+        self._owners: dict[str, set[int]] = {}
+
+    def census(self) -> dict[str, int]:
+        return {name: len(ids) for name, ids in sorted(self._owners.items())}
+
+    def reducer_override(
+        self, obj: Any
+    ) -> tuple[Callable[..., Any], tuple[Any, ...], Any] | Any:
+        if isinstance(obj, types.MethodType):
+            owner = obj.__self__
+            name = _find_method_name(owner, obj.__func__)
+            if name is None:
+                raise CheckpointError(
+                    "unpicklable-callback",
+                    f"bound method {obj.__func__.__qualname__!r} of "
+                    f"{type(owner).__name__} instance is not reachable "
+                    "through its class",
+                )
+            cls = owner if isinstance(owner, type) else type(owner)
+            self._owners.setdefault(_qualname(cls), set()).add(id(owner))
+            return (_rebind_method, (owner, name), None)
+        if isinstance(obj, Simulator):
+            cls = type(obj)
+            self._owners.setdefault(_qualname(cls), set()).add(id(obj))
+            state = {}
+            for slot in _slot_names(cls):
+                try:
+                    state[slot] = getattr(obj, slot)
+                except AttributeError:
+                    continue  # slot never assigned; leave unset on restore
+            return (_new_instance, (cls,), (None, state))
+        return NotImplemented
+
+
+# -- file format ----------------------------------------------------------
+
+
+def save(
+    path: str | Path,
+    sim: Simulator,
+    world: Any = None,
+    *,
+    scenario: Any = None,
+) -> CheckpointMeta:
+    """Snapshot ``sim`` plus ``world`` (the object graph that owns the
+    components — a Network, a testbed result, any picklable container)
+    into one atomic checkpoint file.
+
+    ``sim`` and ``world`` must be pickled together: heap reachability
+    alone misses idle components, and a separate pickle would fork the
+    shared objects into two copies.
+    """
+    path = Path(path)
+    buffer = io.BytesIO()
+    pickler = _CheckpointPickler(buffer)
+    payload_obj = {
+        "sim": sim,
+        "world": world,
+        "counters": snapshot_counters(),
+    }
+    try:
+        pickler.dump(payload_obj)
+    except CheckpointError:
+        raise
+    except (pickle.PicklingError, TypeError, AttributeError) as exc:
+        raise CheckpointError("unpicklable-callback", str(exc)) from exc
+    payload = buffer.getvalue()
+    header = {
+        "magic": CKPT_MAGIC,
+        "schema": CKPT_SCHEMA,
+        "code_version": _CODE_VERSION,
+        "scenario": None if scenario is None else scenario_fingerprint(scenario),
+        "payload_sha256": hashlib.sha256(payload).hexdigest(),
+        "census": pickler.census(),
+        "time_ns": sim.now,
+        "events_dispatched": sim.events_dispatched,
+    }
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as fh:
+        fh.write(json.dumps(header, sort_keys=True).encode() + b"\n")
+        fh.write(payload)
+    os.replace(tmp, path)  # atomic: a crashed save never corrupts path
+    return _meta_from_header(path, header)
+
+
+def _meta_from_header(path: Path, header: dict[str, Any]) -> CheckpointMeta:
+    return CheckpointMeta(
+        path=path,
+        schema=header["schema"],
+        code_version=header["code_version"],
+        scenario=header["scenario"],
+        payload_sha256=header["payload_sha256"],
+        census=header["census"],
+        time_ns=header["time_ns"],
+        events_dispatched=header["events_dispatched"],
+    )
+
+
+def read_meta(path: str | Path) -> CheckpointMeta:
+    """Parse and validate a checkpoint's header without unpickling."""
+    path = Path(path)
+    with open(path, "rb") as fh:
+        first = fh.readline()
+    try:
+        header = json.loads(first)
+    except ValueError as exc:
+        raise CheckpointError("bad-magic", f"{path}: unreadable header") from exc
+    if not isinstance(header, dict) or header.get("magic") != CKPT_MAGIC:
+        raise CheckpointError("bad-magic", f"{path}: not a repro checkpoint")
+    if header.get("schema") != CKPT_SCHEMA:
+        raise CheckpointError(
+            "schema-mismatch",
+            f"{path}: written with schema {header.get('schema')}, "
+            f"this code reads schema {CKPT_SCHEMA}",
+        )
+    return _meta_from_header(path, header)
+
+
+def load(
+    path: str | Path,
+    *,
+    scenario: Any = None,
+    verify_payload: bool = True,
+) -> tuple[Simulator, Any]:
+    """Restore ``(sim, world)`` from a checkpoint file.
+
+    Header validation happens before any unpickling: magic, schema,
+    code version, scenario fingerprint (when the caller supplies a
+    ``scenario``), and the payload hash all fail loudly with a
+    :class:`CheckpointError` naming the mismatch.
+    """
+    path = Path(path)
+    meta = read_meta(path)
+    if meta.code_version != _CODE_VERSION:
+        raise CheckpointError(
+            "code-version-mismatch",
+            f"{path}: written by repro {meta.code_version}, "
+            f"running repro {_CODE_VERSION}",
+        )
+    if scenario is not None:
+        expected = scenario_fingerprint(scenario)
+        if meta.scenario != expected:
+            raise CheckpointError(
+                "scenario-mismatch",
+                f"{path}: checkpoint scenario {meta.scenario}, "
+                f"caller scenario {expected}",
+            )
+    with open(path, "rb") as fh:
+        fh.readline()  # header, already validated
+        payload = fh.read()
+    if verify_payload:
+        digest = hashlib.sha256(payload).hexdigest()
+        if digest != meta.payload_sha256:
+            raise CheckpointError(
+                "payload-corrupt",
+                f"{path}: payload sha256 {digest[:16]}... != recorded "
+                f"{meta.payload_sha256[:16]}...",
+            )
+    payload_obj = pickle.loads(payload)
+    restore_counters(payload_obj["counters"])
+    return payload_obj["sim"], payload_obj["world"]
+
+
+def latest_checkpoint(directory: str | Path) -> Path | None:
+    """Newest checkpoint (by events dispatched) in ``directory``."""
+    directory = Path(directory)
+    best: tuple[int, Path] | None = None
+    if not directory.is_dir():
+        return None
+    for entry in sorted(directory.glob(f"ckpt-*{CKPT_SUFFIX}")):
+        try:
+            events = int(entry.stem.split("-", 1)[1])
+        except (IndexError, ValueError):
+            continue
+        if best is None or events > best[0]:
+            best = (events, entry)
+    return None if best is None else best[1]
+
+
+# -- periodic checkpointing + failure capture -----------------------------
+
+
+@dataclass
+class CheckpointedRun:
+    """Outcome of :func:`run_with_checkpoints`."""
+
+    checkpoints: list[CheckpointMeta]
+    dispatched: int
+    failure_recipe: Path | None = None
+
+
+def _ckpt_path(directory: Path, events: int) -> Path:
+    return directory / f"ckpt-{events:012d}{CKPT_SUFFIX}"
+
+
+def run_with_checkpoints(
+    sim: Simulator,
+    world: Any,
+    *,
+    until: int,
+    directory: str | Path,
+    every: int = DEFAULT_EVERY,
+    scenario: Any = None,
+    keep: int = 2,
+) -> CheckpointedRun:
+    """Run to ``until`` in ``every``-event legs, checkpointing each leg.
+
+    The hot dispatch loop is untouched: each leg is a plain
+    ``sim.run(until=..., max_events=every)`` call and the
+    :class:`MaxEventsExceeded` it raises at a leg boundary is the
+    resume point (``run`` leaves the heap and clock mid-run but
+    consistent — satellite guarantee tested by
+    ``tests/sim/test_resume.py``).
+
+    A checkpoint is also written on entry, so crash recovery and
+    failure replay always have a floor to restore from.  On a
+    ``SanitizerError`` the nearest checkpoint and a replay recipe are
+    dumped to ``directory/failure.json`` (the path is attached to the
+    exception as ``replay_recipe``) and the error re-raised.
+    """
+    from repro.analysis.sanitizer import SanitizerError
+
+    if every < 1:
+        raise ValueError("checkpoint cadence must be >= 1 event")
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    checkpoints = [save(_ckpt_path(directory, sim.events_dispatched), sim, world, scenario=scenario)]
+    dispatched = 0
+    while True:
+        try:
+            dispatched += sim.run(until=until, max_events=every)
+        except MaxEventsExceeded as exc:
+            dispatched += exc.dispatched
+            checkpoints.append(
+                save(
+                    _ckpt_path(directory, sim.events_dispatched),
+                    sim,
+                    world,
+                    scenario=scenario,
+                )
+            )
+            while len(checkpoints) > max(1, keep):
+                old = checkpoints.pop(0)
+                old.path.unlink(missing_ok=True)
+        except SanitizerError as err:
+            recipe_path = _dump_failure(
+                directory, checkpoints[-1], err, until=until, scenario=scenario
+            )
+            err.replay_recipe = str(recipe_path)  # type: ignore[attr-defined]
+            raise
+        else:
+            return CheckpointedRun(checkpoints=checkpoints, dispatched=dispatched)
+
+
+def _dump_failure(
+    directory: Path,
+    nearest: CheckpointMeta,
+    err: Any,
+    *,
+    until: int,
+    scenario: Any,
+) -> Path:
+    recipe = {
+        "kind": "sanitizer-failure",
+        "checkpoint": str(nearest.path),
+        "checkpoint_events": nearest.events_dispatched,
+        "until": until,
+        "scenario": scenario,
+        "error": {
+            "invariant": getattr(err, "invariant", None),
+            "detail": getattr(err, "detail", str(err)),
+            "time_ns": getattr(err, "time_ns", None),
+            "site": getattr(err, "site", None),
+        },
+    }
+    path = directory / "failure.json"
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(json.dumps(recipe, indent=1, sort_keys=True) + "\n")
+    os.replace(tmp, path)
+    return path
+
+
+# -- restore-side helpers --------------------------------------------------
+
+
+def resume_or_start(
+    directory: str | Path,
+    build: Callable[[], tuple[Simulator, Any]],
+    *,
+    scenario: Any = None,
+) -> tuple[Simulator, Any]:
+    """Restore the newest checkpoint in ``directory`` or build afresh.
+
+    The resume primitive for crash-recovering sweep workers: attempt N
+    picks up exactly where attempt N-1 last checkpointed instead of
+    replaying the cell from zero.
+    """
+    path = latest_checkpoint(directory)
+    if path is None:
+        return build()
+    return load(path, scenario=scenario)
+
+
+def replay_failure(
+    recipe: str | Path | dict[str, Any],
+    *,
+    until: int | None = None,
+) -> dict[str, Any]:
+    """Time-travel to a dumped failure: restore its nearest checkpoint
+    and deterministically re-run to the violating event.
+
+    When the checkpointed simulator is a ``SanitizingSimulator`` its
+    stride is forced to 1 (full fidelity — every event checked, the
+    same escalation PR 6's ``escalate()`` applies from time zero, but
+    starting at the checkpoint instead).  Returns a report dict; the
+    violation is *expected* — ``reproduced`` is False when the re-run
+    completes cleanly (e.g. the bug was since fixed).
+    """
+    from repro.analysis.sanitizer import SanitizerError
+
+    if isinstance(recipe, (str, Path)):
+        recipe_path = Path(recipe)
+        if recipe_path.is_dir():
+            recipe_path = recipe_path / "failure.json"
+        recipe_obj: dict[str, Any] = json.loads(recipe_path.read_text())
+    else:
+        recipe_obj = recipe
+    sim, _world = load(
+        recipe_obj["checkpoint"], scenario=recipe_obj.get("scenario")
+    )
+    start_events = sim.events_dispatched
+    sanitizing = hasattr(sim, "check_stride")
+    if sanitizing:
+        sim.check_stride = 1  # full fidelity from the checkpoint on
+        sim._check_countdown = 1
+    horizon = until if until is not None else recipe_obj["until"]
+    report: dict[str, Any] = {
+        "reproduced": False,
+        "checkpoint": recipe_obj["checkpoint"],
+        "checkpoint_events": start_events,
+        "sanitizing": sanitizing,
+        "events_replayed": 0,
+    }
+    try:
+        sim.run(until=horizon)
+    except SanitizerError as err:
+        report.update(
+            reproduced=True,
+            invariant=err.invariant,
+            detail=err.detail,
+            time_ns=err.time_ns,
+            site=err.site,
+        )
+    report["events_replayed"] = sim.events_dispatched - start_events
+    return report

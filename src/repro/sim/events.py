@@ -52,6 +52,13 @@ class _HandledMark:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return "<HANDLED_MARK>"
 
+    def __reduce__(self) -> str:
+        # Pickle by reference to the module singleton: every run loop
+        # distinguishes handled from anonymous heap entries with an
+        # ``is HANDLED_MARK`` identity test, so a restored heap must
+        # alias the same object, not a fresh instance.
+        return "HANDLED_MARK"
+
 
 #: The sentinel occupying slot 2 of every handled heap entry.
 HANDLED_MARK = _HandledMark()

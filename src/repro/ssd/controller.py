@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
+from functools import partial
 from typing import TYPE_CHECKING, Callable, Protocol
 
 from repro.sim.engine import Simulator
@@ -48,6 +49,54 @@ class CompletionEntry:
 
     request: IORequest
     posted_ns: Nanoseconds
+
+
+class _GCJob:
+    """One block's GC compaction: reads, relocations, the final erase.
+
+    Replaces the former ``copy_done``/``after_read`` closures (and their
+    shared ``state`` dict) with a slotted object so in-flight GC work
+    survives checkpoint pickling.  ``finish_gc`` is looked up on the FTL
+    *instance* at call time, preserving the sanitizer's mapping-check
+    wrapper when one is installed.
+    """
+
+    __slots__ = ("ctrl", "chip_index", "block_id", "remaining")
+
+    def __init__(
+        self, ctrl: "SSDController", chip_index: int, block_id: int, remaining: int
+    ) -> None:
+        self.ctrl = ctrl
+        self.chip_index = chip_index
+        self.block_id = block_id
+        self.remaining = remaining
+
+    def after_read(self, lpn: int, _txn: PageTransaction) -> None:
+        ctrl = self.ctrl
+        if ctrl.ftl.gc_relocate(lpn, self.chip_index, self.block_id):
+            program = PageTransaction(
+                kind=TxnKind.GC_PROGRAM,
+                chip_index=self.chip_index,
+                page_bytes=ctrl.config.page_bytes,
+                on_done=self.copy_done,
+            )
+            ctrl.backend.submit(program)
+        else:
+            self.copy_done()
+
+    def copy_done(self, _txn: PageTransaction | None = None) -> None:
+        self.remaining -= 1
+        if self.remaining == 0:
+            erase = PageTransaction(
+                kind=TxnKind.ERASE,
+                chip_index=self.chip_index,
+                page_bytes=0,
+                on_done=self._erased,
+            )
+            self.ctrl.backend.submit(erase)
+
+    def _erased(self, _txn: PageTransaction) -> None:
+        self.ctrl.ftl.finish_gc(self.chip_index, self.block_id)
 
 
 @dataclass(slots=True)
@@ -131,9 +180,7 @@ class SSDController:
             if self.cache.read_hit(lpn):
                 # Served from the write cache at DRAM speed; one page
                 # transfer time stands in for the cache copy-out.
-                self.sim.schedule(
-                    self.config.page_transfer_ns, lambda c=cmd: self._page_done(c)
-                )
+                self.sim.schedule(self.config.page_transfer_ns, self._page_done, cmd)
                 continue
             chip = self.ftl.chip_for_read(lpn)
             hit = self.ftl.cmt.lookup(lpn)
@@ -142,7 +189,7 @@ class SSDController:
                 chip_index=chip,
                 page_bytes=self.config.page_bytes,
                 owner=cmd,
-                on_done=lambda t, c=cmd: self._page_done(c, t),
+                on_done=partial(self._page_done, cmd),
             )
             if not hit and self.config.mapping_read_penalty:
                 # The translation itself must be read from flash first.
@@ -151,7 +198,7 @@ class SSDController:
                     chip_index=chip,
                     page_bytes=self.config.page_bytes,
                     owner=cmd,
-                    on_done=lambda t, d=data_txn, c=cmd: self._mapping_done(t, d, c),
+                    on_done=partial(self._mapping_done, data_txn, cmd),
                 )
                 self.backend.submit(mapping_txn)
             else:
@@ -179,7 +226,7 @@ class SSDController:
             # per page, pipelined => dominated by the last page), flash
             # programs drain in the background.
             staging = self.config.page_transfer_ns * len(lpns)
-            self.sim.schedule(staging, lambda c=cmd: self._complete_command(c))
+            self.sim.schedule(staging, self._complete_command, cmd)
         for lpn in lpns:
             self.cache.note_write(lpn)
             chip = self.ftl.allocate_write(lpn)
@@ -189,7 +236,7 @@ class SSDController:
                 chip_index=chip,
                 page_bytes=self.config.page_bytes,
                 owner=cmd,
-                on_done=lambda t, c=cmd: self._write_page_done(c, t),
+                on_done=partial(self._write_page_done, cmd),
             )
             self.backend.submit(txn)
             self._maybe_gc(chip)
@@ -218,7 +265,7 @@ class SSDController:
             self._admit_write(self._stalled_writes.popleft())
 
     def _mapping_done(
-        self, txn: PageTransaction, data_txn: PageTransaction, cmd: _Inflight
+        self, data_txn: PageTransaction, cmd: _Inflight, txn: PageTransaction
     ) -> None:
         """A mapping read finished; chain the data read unless it errored."""
         if txn.failed:
@@ -280,42 +327,19 @@ class SSDController:
         if victim is None:
             return
         block_id, valid_lpns = victim
-        state = {"remaining": len(valid_lpns)}
-
-        def copy_done() -> None:
-            state["remaining"] -= 1
-            if state["remaining"] == 0:
-                erase = PageTransaction(
-                    kind=TxnKind.ERASE,
-                    chip_index=chip_index,
-                    page_bytes=0,
-                    on_done=lambda _t: self.ftl.finish_gc(chip_index, block_id),
-                )
-                self.backend.submit(erase)
+        job = _GCJob(self, chip_index, block_id, remaining=len(valid_lpns))
 
         if not valid_lpns:
-            state["remaining"] = 1
-            copy_done()
+            job.remaining = 1
+            job.copy_done()
             return
 
         for lpn in valid_lpns:
-            def after_read(_t: PageTransaction, lpn=lpn) -> None:
-                if self.ftl.gc_relocate(lpn, chip_index, block_id):
-                    program = PageTransaction(
-                        kind=TxnKind.GC_PROGRAM,
-                        chip_index=chip_index,
-                        page_bytes=self.config.page_bytes,
-                        on_done=lambda _t2: copy_done(),
-                    )
-                    self.backend.submit(program)
-                else:
-                    copy_done()
-
             self.backend.submit(
                 PageTransaction(
                     kind=TxnKind.GC_READ,
                     chip_index=chip_index,
                     page_bytes=self.config.page_bytes,
-                    on_done=after_read,
+                    on_done=partial(job.after_read, lpn),
                 )
             )

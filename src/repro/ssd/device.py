@@ -46,6 +46,12 @@ class SSD:
     def set_cq_listener(self, listener: Callable[[CompletionEntry], None]) -> None:
         self.controller.cq_listener = listener
 
+    def auto_drain(self, _entry: CompletionEntry) -> None:
+        """CQ listener for hosts without fabric backpressure: consume
+        each completion the instant it posts (picklable bound method —
+        experiments install it instead of an ad-hoc lambda)."""
+        self.pop_completion()
+
     # -- statistics ------------------------------------------------------------
     def completed_bytes(
         self, *, read: bool, start_ns: int = 0, end_ns: int | None = None

@@ -195,13 +195,12 @@ class FlashBackend:
         chip.busy = True
         latency = self._chip_latency(txn)
         chip.busy_ns_total += latency
+        self.sim.schedule(latency, self._chip_done, chip_index, txn, next_stage)
 
-        def done() -> None:
-            chip.busy = False
-            next_stage(txn)
-            self._start_chip(chip_index)
-
-        self.sim.schedule(latency, done)
+    def _chip_done(self, chip_index: int, txn: PageTransaction, next_stage) -> None:
+        self._chips[chip_index].busy = False
+        next_stage(txn)
+        self._start_chip(chip_index)
 
     # -- channel stage -------------------------------------------------------
     def _enqueue_channel(self, txn: PageTransaction, next_stage) -> None:
@@ -223,13 +222,12 @@ class FlashBackend:
         channel.busy = True
         latency = self._channel_latency(txn)
         channel.busy_ns_total += latency
+        self.sim.schedule(latency, self._channel_done, ch_index, txn, next_stage)
 
-        def done() -> None:
-            channel.busy = False
-            next_stage(txn)
-            self._start_channel(ch_index)
-
-        self.sim.schedule(latency, done)
+    def _channel_done(self, ch_index: int, txn: PageTransaction, next_stage) -> None:
+        self._channels[ch_index].busy = False
+        next_stage(txn)
+        self._start_channel(ch_index)
 
     # -- stage transitions ---------------------------------------------------
     def _after_read_chip(self, txn: PageTransaction) -> None:

@@ -8,9 +8,10 @@ reads, and the GC adds copy/erase transactions.
 from __future__ import annotations
 
 import enum
-import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable
+
+from repro.sim.serial import SerialCounter
 
 
 class TxnKind(enum.Enum):
@@ -24,7 +25,7 @@ class TxnKind(enum.Enum):
     GC_PROGRAM = "gc_program"
 
 
-_txn_ids = itertools.count()
+_txn_ids = SerialCounter("ssd.txn")
 
 
 @dataclass(slots=True)

@@ -8,6 +8,11 @@ class _Message:
     __slots__ = ()
 
 
+class _FlowRateFan:
+    # Present only to satisfy the repro.net.nic slots manifest.
+    __slots__ = ()
+
+
 class NIC:
     __slots__ = ("credits",)
 

@@ -140,6 +140,36 @@ class TestPool:
         assert [r["v"] for r in report.results] == [1, 2]
         assert report.mode in ("pool+serial-fallback", "serial")
 
+    def test_timeout_reaps_orphaned_workers(self):
+        report = run_cells(
+            slow_cell, [(1,), (2,), (3,)], workers=2, timeout_s=0.05
+        )
+        if report.mode == "serial":
+            pytest.skip("process pool unavailable on this platform")
+        # The abandoned pool's workers were still sleeping when the
+        # timeout fired; they must be terminated, not orphaned.
+        assert report.workers_reaped >= 1
+        assert report.perf_dict()["workers_reaped"] == report.workers_reaped
+        assert [r["v"] for r in report.results] == [1, 2, 3]
+
+    def test_timeout_exhaustion_recorded_with_kind(self):
+        # retries=0: the pool-side kill consumes the victim's whole
+        # attempt budget, so record mode quarantines it as a timeout.
+        report = run_cells(
+            slow_cell, [(1,), (2,)], workers=2, timeout_s=0.05,
+            retries=0, on_error="record",
+        )
+        if report.mode == "serial":
+            pytest.skip("process pool unavailable on this platform")
+        assert report.n_failed == 1
+        victim = report.failures[0]
+        assert victim.kind == "timeout"
+        assert victim.attempts == 1
+        assert report.results[victim.index] is None
+        # The non-victim cell still completed via the serial fallback.
+        other = 1 - victim.index
+        assert report.results[other] == {"v": other + 1}
+
     def test_report_stats_cover_every_cell(self):
         report = run_cells(square_cell, [(i,) for i in range(5)], workers=3)
         assert sorted(s.index for s in report.cell_stats) == list(range(5))
@@ -185,3 +215,10 @@ def test_sweep_report_zero_division_guards():
     report = SweepReport(results=[], cell_stats=[], workers=0, wall_s=0.0, mode="serial")
     assert report.events_per_sec() == 0.0
     assert report.utilization() == 0.0
+
+
+def test_cell_failure_default_kind_is_exception():
+    report = run_cells(
+        failing_cell, [(0,)], workers=1, retries=0, on_error="record"
+    )
+    assert report.failures[0].kind == "exception"

@@ -1,0 +1,209 @@
+"""Supervised sweeps: crash recovery, quarantine, checkpoint resume.
+
+The determinism contract under test: a sweep whose worker is SIGKILLed
+mid-cell (the OOM-killer case) recovers from the cell's last periodic
+checkpoint and produces results identical to an uncrashed sweep.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.parallel import (
+    SweepCellError,
+    run_cells,
+    run_cells_supervised,
+)
+
+CELL_ARGS = [(i,) for i in range(6)]
+
+
+# -- module-level cell functions (workers fork/spawn these) -----------------
+
+def square_cell(x):
+    return {"v": x * x, "sim_events": x}
+
+
+def square_cell_ckpt(x, checkpoint_dir=None):
+    return {"v": x * x, "sim_events": x}
+
+
+def sigkill_once_cell(x, checkpoint_dir=None):
+    """SIGKILL the worker on cell 3's first attempt; succeed on retry."""
+    if x == 3:
+        marker = Path(checkpoint_dir) / "attempted"
+        if not marker.exists():
+            marker.write_text("1")
+            os.kill(os.getpid(), signal.SIGKILL)
+    return {"v": x * x, "sim_events": x}
+
+
+def always_exit_cell(x, checkpoint_dir=None):
+    os._exit(77)
+
+
+def raising_cell(x):
+    raise ValueError(f"cell {x} is bad")
+
+
+def sleepy_cell(x):
+    time.sleep(30.0)
+    return x
+
+
+def simulated_sweep_cell(n_senders, checkpoint_dir=None):
+    """A real checkpointed simulation cell: resumes from its directory.
+
+    Crashes itself partway through the *first* attempt (after at least
+    one periodic checkpoint exists), so the retry genuinely restores
+    mid-run state rather than re-running from zero.
+    """
+    from repro.profiling.bench import build_incast_cell, incast_outputs
+    from repro.sim import checkpoint as ck
+
+    cell = dict(n_senders=n_senders, duration_ns=600_000, message_bytes=32 * 1024)
+    directory = Path(checkpoint_dir)
+    resumed = ck.latest_checkpoint(directory) is not None
+    sim, net = ck.resume_or_start(
+        directory,
+        lambda: build_incast_cell(trace=True, **cell),
+        scenario=cell,
+    )
+    if not resumed:
+        # First attempt: checkpoint a while, then die like an OOM kill.
+        run = ck.run_with_checkpoints(
+            sim, net, until=300_000, directory=directory, every=400, scenario=cell
+        )
+        assert len(run.checkpoints) >= 1
+        os.kill(os.getpid(), signal.SIGKILL)
+    start_events = sim.events_dispatched
+    assert start_events > 0  # restored mid-run, not rebuilt from zero
+    sim.run(until=650_000)
+    outputs = incast_outputs(net)
+    outputs["resumed_at_event"] = start_events
+    return outputs
+
+
+def uncrashed_sweep_cell(n_senders):
+    from repro.profiling.bench import build_incast_cell, incast_outputs
+
+    cell = dict(n_senders=n_senders, duration_ns=600_000, message_bytes=32 * 1024)
+    sim, net = build_incast_cell(trace=True, **cell)
+    sim.run(until=650_000)
+    return incast_outputs(net)
+
+
+# -- tests -----------------------------------------------------------------
+
+def test_supervised_matches_pool_results():
+    plain = run_cells(square_cell, CELL_ARGS, workers=2)
+    supervised = run_cells_supervised(square_cell, CELL_ARGS, workers=2)
+    assert supervised.results == plain.results
+    assert supervised.failures == []
+    assert supervised.workers_reaped == 0
+    assert all(a.outcome == "ok" for a in supervised.attempts)
+
+
+def test_sigkill_mid_cell_recovers(tmp_path):
+    """Acceptance criterion: a SIGKILLed worker is detected, re-executed,
+    and the sweep's results equal the uncrashed sweep's."""
+    uncrashed = run_cells_supervised(
+        square_cell_ckpt,
+        CELL_ARGS,
+        workers=3,
+        heartbeat_s=0.5,
+        retries=1,
+        checkpoint_root=tmp_path / "clean",
+    )
+    crashed = run_cells_supervised(
+        sigkill_once_cell,
+        CELL_ARGS,
+        workers=3,
+        heartbeat_s=0.5,
+        retries=1,
+        checkpoint_root=tmp_path / "crashy",
+    )
+    assert crashed.results == uncrashed.results
+    assert crashed.failures == []
+    kills = [a for a in crashed.attempts if a.outcome == "crash"]
+    assert len(kills) == 1
+    assert kills[0].index == 3
+    assert kills[0].exitcode == -signal.SIGKILL
+    assert "signal 9" in kills[0].detail
+    retry = [a for a in crashed.attempts if a.index == 3 and a.outcome == "ok"]
+    assert retry and retry[0].attempt == 2
+
+
+def test_persistent_crash_is_quarantined(tmp_path):
+    report = run_cells_supervised(
+        always_exit_cell,
+        [(1,), (2,)],
+        workers=2,
+        heartbeat_s=0.3,
+        retries=1,
+        checkpoint_root=tmp_path,
+    )
+    assert report.results == [None, None]
+    assert len(report.failures) == 2
+    for failure in sorted(report.failures, key=lambda f: f.index):
+        assert failure.kind == "crash"
+        assert failure.attempts == 2
+        assert "status 77" in failure.error
+
+
+def test_worker_exception_is_kind_exception():
+    report = run_cells_supervised(raising_cell, [(5,)], heartbeat_s=0.3, retries=0)
+    assert len(report.failures) == 1
+    assert report.failures[0].kind == "exception"
+    assert "cell 5 is bad" in report.failures[0].error
+
+
+def test_timeout_kills_and_records():
+    t0 = time.perf_counter()
+    report = run_cells_supervised(
+        sleepy_cell, [(1,)], heartbeat_s=0.2, timeout_s=0.6, retries=0
+    )
+    wall = time.perf_counter() - t0
+    assert wall < 10.0  # killed, not waited out
+    assert report.workers_reaped >= 1
+    assert len(report.failures) == 1
+    assert report.failures[0].kind == "timeout"
+    assert report.attempts[0].outcome == "timeout"
+
+
+def test_on_error_raise():
+    with pytest.raises(SweepCellError):
+        run_cells_supervised(
+            raising_cell, [(5,)], heartbeat_s=0.3, retries=0, on_error="raise"
+        )
+    with pytest.raises(ValueError):
+        run_cells_supervised(square_cell, CELL_ARGS, on_error="explode")
+
+
+def test_checkpoint_resume_after_sigkill_matches_uncrashed(tmp_path):
+    """End-to-end: a real simulation cell crashes after checkpointing,
+    the retry restores mid-run, and outputs equal the uncrashed run."""
+    baseline = run_cells_supervised(
+        uncrashed_sweep_cell, [(3,)], heartbeat_s=1.0, retries=0
+    )
+    assert baseline.failures == []
+    crashed = run_cells_supervised(
+        simulated_sweep_cell,
+        [(3,)],
+        heartbeat_s=1.0,
+        retries=1,
+        checkpoint_root=tmp_path,
+    )
+    assert crashed.failures == []
+    (outputs,) = crashed.results
+    resumed_at = outputs.pop("resumed_at_event")
+    assert resumed_at > 0
+    assert outputs == baseline.results[0]
+    # The crash really happened and really restored from disk.
+    assert [a.outcome for a in crashed.attempts if a.index == 0] == ["crash", "ok"]
+    assert list((tmp_path / "cell-0").glob("ckpt-*.ckpt"))

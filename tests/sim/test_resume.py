@@ -1,0 +1,83 @@
+"""Resumable runs: ``run(max_events=)`` legs compose byte-identically.
+
+Satellite guarantee for the checkpoint machinery: stopping a run at an
+event-count boundary leaves the simulator in a consistent mid-run state,
+and continuing it produces exactly the trace and outputs a single
+uninterrupted run would have — the property ``run_with_checkpoints``
+leans on at every leg boundary.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+import pytest
+
+from repro.profiling.bench import build_incast_cell, incast_outputs
+from repro.sim.engine import MaxEventsExceeded
+
+from tests.net.test_golden_trace import CELL, GOLDEN_PATH, normalized_log
+
+UNTIL = CELL["duration_ns"] + 50_000
+
+
+def _golden() -> dict:
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+def _trace_sha(dispatch_log) -> str:
+    log = normalized_log(dispatch_log)
+    canonical = "\n".join(f"{t} {name}" for t, name in log)
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def test_split_run_equals_single_run():
+    """One interruption mid-run: identical trace and outputs."""
+    golden = _golden()
+    sim, net = build_incast_cell(trace=True, **CELL)
+    with pytest.raises(MaxEventsExceeded) as exc:
+        sim.run(until=UNTIL, max_events=1500)
+    assert exc.value.dispatched == 1500
+    assert exc.value.max_events == 1500
+    assert exc.value.pending > 0
+    assert exc.value.now == sim.now < UNTIL
+    # Resume: no rebuild, no replay — continue the same heap.
+    sim.run(until=UNTIL)
+    assert _trace_sha(sim.dispatch_log) == golden["sha256"]
+    assert incast_outputs(net) == golden["outputs"]
+
+
+def test_many_small_legs_equal_single_run():
+    """run_with_checkpoints-style loop: many tiny legs, same answer."""
+    golden = _golden()
+    sim, net = build_incast_cell(trace=True, **CELL)
+    legs = 0
+    dispatched = 0
+    while True:
+        try:
+            dispatched += sim.run(until=UNTIL, max_events=137)
+        except MaxEventsExceeded as exc:
+            dispatched += exc.dispatched
+            legs += 1
+        else:
+            break
+    assert legs == golden["n_events"] // 137
+    assert dispatched == golden["n_events"]
+    assert sim.events_dispatched == golden["n_events"]
+    assert _trace_sha(sim.dispatch_log) == golden["sha256"]
+    assert incast_outputs(net) == golden["outputs"]
+
+
+def test_max_events_state_is_consistent_at_boundary():
+    sim, net = build_incast_cell(trace=False, **CELL)
+    with pytest.raises(MaxEventsExceeded) as exc:
+        sim.run(until=UNTIL, max_events=1000)
+    err = exc.value
+    assert sim.events_dispatched == 1000 == err.dispatched
+    assert len(sim._queue._heap) >= err.pending > 0
+    assert "1000" in str(err)
+    # The limit applies per run() call, not cumulatively.
+    with pytest.raises(MaxEventsExceeded):
+        sim.run(until=UNTIL, max_events=500)
+    assert sim.events_dispatched == 1500
