@@ -14,10 +14,14 @@ Three layers guard the repo's bit-identical-replay guarantee:
   purity (SIM201–SIM203), and :mod:`repro.analysis.effects` +
   :mod:`repro.analysis.shards` compute interprocedural effect/escape
   summaries and the shard-safety rules (SIM301–SIM304,
-  ``repro lint --shards``);
+  ``repro lint --shards``); :mod:`repro.analysis.snapshots` proves
+  every world checkpointable on the same substrate (SIM401–SIM404,
+  ``repro lint --snapshots``);
   :mod:`repro.analysis.run` drives all of it behind the
   :mod:`repro.analysis.baseline` suppression workflow (``repro lint``),
-  with :mod:`repro.analysis.sarif` as the CI-neutral output format;
+  with rule selection via :mod:`repro.analysis.registry`
+  (``--select``/``--ignore``) and :mod:`repro.analysis.sarif` as the
+  CI-neutral output format;
 * :mod:`repro.analysis.sanitizer` — a runtime invariant checker
   (``Simulator(sanitize=True)`` / ``REPRO_SANITIZE=1``) that verifies
   clock monotonicity, queue-depth non-negativity, NIC byte
@@ -47,15 +51,30 @@ from repro.analysis.effects import (
     load_or_compute_effects,
 )
 from repro.analysis.manifest import (
+    CHECKPOINT_PACKAGES,
     COMPONENT_CLASSES,
+    HEAP_EXTRA_CLASSES,
+    REDUCER_SANCTIONED,
     SHARD_REACH,
     SIM_PACKAGES,
     SLOTS_MANIFEST,
     UNITS_EXEMPT_MODULES,
 )
 from repro.analysis.purity import PURITY_RULES, check_purity
+from repro.analysis.registry import (
+    RULE_GROUPS,
+    RuleGroup,
+    expand_selection,
+    resolve_active_rules,
+)
 from repro.analysis.sarif import sarif_report, to_sarif, violations_from_sarif
 from repro.analysis.shards import SHARD_RULES, check_shards
+from repro.analysis.snapshots import (
+    SNAPSHOT_RULES,
+    check_snapshots,
+    heap_class_census,
+    load_or_compute_snapshots,
+)
 from repro.analysis.run import ALL_RULES, LintReport, lint_project
 from repro.analysis.sanitizer import (
     Sanitizer,
@@ -76,18 +95,24 @@ from repro.analysis.units import UNIT_RULES, check_units
 __all__ = [
     "ALL_RULES",
     "BaselineEntry",
+    "CHECKPOINT_PACKAGES",
     "COMPONENT_CLASSES",
     "CallGraph",
     "EffectMap",
     "EffectSummary",
+    "HEAP_EXTRA_CLASSES",
     "LintReport",
     "PURITY_RULES",
     "ProjectIndex",
+    "REDUCER_SANCTIONED",
     "RULES",
+    "RULE_GROUPS",
+    "RuleGroup",
     "SHARD_REACH",
     "SHARD_RULES",
     "SIM_PACKAGES",
     "SLOTS_MANIFEST",
+    "SNAPSHOT_RULES",
     "Sanitizer",
     "SanitizerError",
     "SanitizingSimulator",
@@ -97,16 +122,21 @@ __all__ = [
     "apply_baseline",
     "check_purity",
     "check_shards",
+    "check_snapshots",
     "check_units",
     "compute_effects",
     "env_sanitize_enabled",
+    "expand_selection",
     "format_violations",
     "ftl_mapping_violation",
+    "heap_class_census",
     "lint_file",
     "lint_paths",
     "lint_project",
     "load_baseline",
     "load_or_compute_effects",
+    "load_or_compute_snapshots",
+    "resolve_active_rules",
     "prune_stale",
     "reconcile_stale",
     "sarif_report",

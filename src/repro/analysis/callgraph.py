@@ -796,6 +796,12 @@ class CallGraph:
         #: wired into that callback attribute.
         self.wirings: dict[tuple[str, str], set[str]] = {}
         self.schedule_sites: list[ScheduleSite] = []
+        #: ``Simulator.register_batch`` call sites, as ``kind="register"``
+        #: :class:`ScheduleSite` records (delay is always None).  Kept
+        #: separate from :attr:`schedule_sites` so the delay-sensitive
+        #: consumers (SIM203 zero-delay, SIM302 lookahead) are untouched;
+        #: the snapshot-safety pass (SIM401) walks both lists.
+        self.register_sites: list[ScheduleSite] = []
         self.seeds: set[str] = set()
         #: (class qualname, attribute name) -> duck method name, for
         #: attributes wired as ``self.x = getattr(obj, "method", None)``.
@@ -1277,12 +1283,20 @@ class CallGraph:
         SIM2xx rules even though the run loop invokes it directly.
         """
         for arg in node.args[:2]:
+            target: str | None = None
             ref = self.index.resolve_function_reference(
                 arg, module=fn.module, enclosing=enclosing, env=env
             )
             if ref is not None:
-                self.seeds.add(ref.qualname)
-                self._add_edge(fn.qualname, ref.qualname, kind="sched")
+                target = ref.qualname
+                self.seeds.add(target)
+                self._add_edge(fn.qualname, target, kind="sched")
+            self.register_sites.append(
+                ScheduleSite(
+                    caller=fn.qualname, node=node, delay=None,
+                    callback=arg, target=target, kind="register",
+                )
+            )
 
     def _seed_calls_within(
         self,

@@ -64,6 +64,7 @@ __all__ = [
     "BoundaryCall",
     "EffectMap",
     "EffectSummary",
+    "GlobalWrite",
     "WriteRecord",
     "compute_effects",
     "effects_cache_path",
@@ -71,7 +72,10 @@ __all__ = [
     "project_digest",
 ]
 
-_EFFECTS_VERSION = 1
+#: Version 2 added ``global_sites`` (state-escape records feeding the
+#: snapshot-completeness rule SIM402) — a version-1 cache deserializes
+#: without them, so the bump forces a recompute.
+_EFFECTS_VERSION = 2
 
 #: Generator-style draw methods: a call to one of these marks the
 #: function as consuming randomness (summary payload; SIM002/SIM303
@@ -140,6 +144,41 @@ class BoundaryCall:
         )
 
 
+@dataclass(frozen=True)
+class GlobalWrite:
+    """One write to mutable state *outside* the checkpoint root set.
+
+    The checkpoint payload is exactly ``{sim, world, counters}``
+    (:mod:`repro.sim.checkpoint`): anything a dispatch-reachable
+    function writes that is not hanging off those objects — a
+    module-level global, a class attribute, a mutable default argument,
+    a raw ``itertools.count`` stream — silently resets (or stays stale)
+    on restore.  The direct pass records every such write; SIM402
+    (:mod:`repro.analysis.snapshots`) filters by dispatch reachability
+    and package scope.
+    """
+
+    function: str  # qualname of the writing function
+    kind: str  # module-global | class-attr | default-arg | raw-counter
+    name: str  # global / class attribute / parameter / counter name
+    path: str
+    line: int
+    col: int
+
+    def as_dict(self) -> dict:
+        return {
+            "function": self.function, "kind": self.kind, "name": self.name,
+            "path": self.path, "line": self.line, "col": self.col,
+        }
+
+    @staticmethod
+    def from_dict(d: dict) -> "GlobalWrite":
+        return GlobalWrite(
+            function=d["function"], kind=d["kind"], name=d["name"],
+            path=d["path"], line=d["line"], col=d["col"],
+        )
+
+
 @dataclass
 class EffectSummary:
     """Propagated effects of one function's synchronous call tree."""
@@ -179,6 +218,9 @@ class EffectMap:
 
     summaries: dict[str, EffectSummary] = field(default_factory=dict)
     boundary_calls: list[BoundaryCall] = field(default_factory=list)
+    #: Raw out-of-root-set writes (SIM402 material): per-function, not
+    #: propagated — dispatch reachability already closes over callees.
+    global_sites: list[GlobalWrite] = field(default_factory=list)
     digest: str = ""
     iterations: int = 0  # fixed-point rounds until convergence
 
@@ -197,6 +239,13 @@ def _store_base(target: ast.expr) -> ast.expr | None:
     if isinstance(target, ast.Subscript):
         return _store_base(target.value)
     return None
+
+
+def _root_name(expr: ast.expr) -> str | None:
+    """The name at the root of an attribute/subscript chain, or None."""
+    while isinstance(expr, (ast.Attribute, ast.Subscript)):
+        expr = expr.value
+    return expr.id if isinstance(expr, ast.Name) else None
 
 
 def _store_attr(target: ast.expr) -> str | None:
@@ -219,19 +268,109 @@ def _dotted_call_name(node: ast.Call) -> str | None:
     return None
 
 
+#: Constructors whose module-level result is mutable container state.
+_MUTABLE_CTORS = frozenset(
+    {"dict", "list", "set", "defaultdict", "deque", "OrderedDict", "Counter"}
+)
+#: Methods that mutate a container in place.
+_MUTATING_METHODS = frozenset(
+    {
+        "append", "appendleft", "add", "update", "setdefault", "pop",
+        "popleft", "popitem", "clear", "extend", "extendleft", "remove",
+        "discard", "insert",
+    }
+)
+
+
+@dataclass(frozen=True)
+class _ModuleGlobals:
+    """Module-level mutable names, classified once per module."""
+
+    mutable: frozenset[str]  # containers: dict/list/set/… literals + ctors
+    counters: frozenset[str]  # raw itertools.count streams
+
+
+def _resolved_call_dotted(
+    node: ast.Call, imports: dict[str, str]
+) -> str | None:
+    """Dotted call-head name with its first segment import-resolved."""
+    dotted = _dotted_call_name(node)
+    if dotted is None:
+        return None
+    head, _, rest = dotted.partition(".")
+    head = imports.get(head, head)
+    return f"{head}.{rest}" if rest else head
+
+
+def _module_globals(mod) -> _ModuleGlobals:
+    """Classify a module's top-level assignments.
+
+    ``SerialCounter(...)`` bindings are deliberately *not* recorded:
+    registry-named counters are the sanctioned, checkpoint-visible id
+    stream (:mod:`repro.sim.serial`).
+    """
+    mutable: set[str] = set()
+    counters: set[str] = set()
+    for stmt in mod.tree.body:
+        targets: list[ast.expr]
+        if isinstance(stmt, ast.Assign):
+            targets = stmt.targets
+            value = stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets = [stmt.target]
+            value = stmt.value
+        else:
+            continue
+        names = [t.id for t in targets if isinstance(t, ast.Name)]
+        if not names:
+            continue
+        if isinstance(value, (ast.Dict, ast.List, ast.Set, ast.DictComp,
+                              ast.ListComp, ast.SetComp)):
+            mutable.update(names)
+        elif isinstance(value, ast.Call):
+            resolved = _resolved_call_dotted(value, mod.imports) or ""
+            tail = resolved.rsplit(".", 1)[-1]
+            if resolved == "itertools.count" or resolved.endswith(
+                ".itertools.count"
+            ):
+                counters.update(names)
+            elif tail in _MUTABLE_CTORS:
+                mutable.update(names)
+    return _ModuleGlobals(
+        mutable=frozenset(mutable), counters=frozenset(counters)
+    )
+
+
 class _DirectEffects:
     """One function's own effects, before propagation."""
 
-    def __init__(self, index: ProjectIndex, fn: FunctionInfo) -> None:
+    def __init__(
+        self,
+        index: ProjectIndex,
+        fn: FunctionInfo,
+        globals_inv: _ModuleGlobals | None = None,
+    ) -> None:
         self.index = index
         self.fn = fn
         self.enclosing = index.classes.get(fn.cls) if fn.cls is not None else None
         self.env = index.env_for_function(fn)
         self.module_info = index.modules.get(fn.module)
+        self.globals_inv = globals_inv or _ModuleGlobals(frozenset(), frozenset())
         self.writes: set[WriteRecord] = set()
         self.boundary_calls: list[BoundaryCall] = []
+        self.global_sites: list[GlobalWrite] = []
         self.rng = False
         self.io = False
+        # Names the function binds locally (params + stores): a local
+        # shadowing a module global is not module state.
+        self._locals: set[str] = {p.name for p in fn.params}
+        self._global_decls: set[str] = set()
+        for node in ast.walk(fn.node):
+            if isinstance(node, ast.Global):
+                self._global_decls.update(node.names)
+            elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+                self._locals.add(node.id)
+        self._locals -= self._global_decls
 
     def collect(self) -> None:
         fn = self.fn
@@ -240,11 +379,14 @@ class _DirectEffects:
                 targets = node.targets if isinstance(node, ast.Assign) else [node.target]
                 for target in targets:
                     self._record_store(node, target)
+                    self._record_escape_store(node, target)
             elif isinstance(node, ast.Delete):
                 for target in node.targets:
                     self._record_store(node, target)
             elif isinstance(node, ast.Call):
                 self._record_call(node)
+                self._record_escape_call(node)
+        self._record_default_arg_caches()
 
     def _owner_of(self, base: ast.expr) -> str | None:
         """Component-class qualname owning a store base, or None."""
@@ -277,6 +419,134 @@ class _DirectEffects:
                 col=node.col_offset,
             )
         )
+
+    # -- out-of-root-set state escapes (SIM402 material) ----------------
+    def _emit_global(
+        self, kind: str, name: str, node: ast.AST
+    ) -> None:
+        if self.module_info is None:
+            return
+        self.global_sites.append(
+            GlobalWrite(
+                function=self.fn.qualname,
+                kind=kind,
+                name=name,
+                path=self.module_info.path,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0),
+            )
+        )
+
+    def _class_attr_of(self, target: ast.expr) -> str | None:
+        """``Cls.attr = …`` / ``type(self).attr = …`` -> ``Cls.attr``."""
+        node: ast.expr = target
+        while isinstance(node, ast.Subscript):
+            node = node.value
+        if not isinstance(node, ast.Attribute):
+            return None
+        base = node.value
+        if isinstance(base, ast.Name) and base.id not in self._locals:
+            qual = self.index.resolve_dotted(self.fn.module, base.id)
+            if qual is not None and qual in self.index.classes:
+                return f"{base.id}.{node.attr}"
+        if (
+            isinstance(base, ast.Call)
+            and isinstance(base.func, ast.Name)
+            and base.func.id == "type"
+            and base.args
+        ):
+            return f"type(...).{node.attr}"
+        return None
+
+    def _record_escape_store(self, node: ast.stmt, target: ast.expr) -> None:
+        if isinstance(target, ast.Name):
+            if target.id in self._global_decls:
+                self._emit_global("module-global", target.id, node)
+            return
+        root = _root_name(target)
+        if (
+            root is not None
+            and root in self.globals_inv.mutable
+            and root not in self._locals
+            and not isinstance(target, ast.Name)
+        ):
+            self._emit_global("module-global", root, node)
+            return
+        cls_attr = self._class_attr_of(target)
+        if cls_attr is not None:
+            self._emit_global("class-attr", cls_attr, node)
+
+    def _record_escape_call(self, node: ast.Call) -> None:
+        func = node.func
+        if (
+            isinstance(func, ast.Name)
+            and func.id == "next"
+            and node.args
+            and isinstance(node.args[0], ast.Name)
+            and node.args[0].id in self.globals_inv.counters
+            and node.args[0].id not in self._locals
+        ):
+            self._emit_global("raw-counter", node.args[0].id, node)
+            return
+        if not (
+            isinstance(func, ast.Attribute) and func.attr in _MUTATING_METHODS
+        ):
+            return
+        root = _root_name(func.value)
+        if (
+            root is not None
+            and root in self.globals_inv.mutable
+            and root not in self._locals
+        ):
+            self._emit_global("module-global", root, node)
+            return
+        cls_attr = self._class_attr_of(func.value)
+        if cls_attr is not None:
+            self._emit_global("class-attr", cls_attr, node)
+
+    def _record_default_arg_caches(self) -> None:
+        """Mutable default arguments the body writes into: one shared
+        instance across calls, living on the function object — outside
+        every checkpoint payload."""
+        args = self.fn.node.args
+        pos = [*args.posonlyargs, *args.args]
+        pairs = list(zip(pos[len(pos) - len(args.defaults):], args.defaults))
+        pairs += [
+            (a, d) for a, d in zip(args.kwonlyargs, args.kw_defaults)
+            if d is not None
+        ]
+        for arg, default in pairs:
+            if not isinstance(
+                default, (ast.Dict, ast.List, ast.Set)
+            ) and not (
+                isinstance(default, ast.Call)
+                and isinstance(default.func, ast.Name)
+                and default.func.id in _MUTABLE_CTORS
+            ):
+                continue
+            if self._param_is_mutated(arg.arg):
+                self._emit_global("default-arg", arg.arg, default)
+
+    def _param_is_mutated(self, name: str) -> bool:
+        for node in ast.walk(self.fn.node):
+            if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    if not isinstance(target, ast.Name) and (
+                        _root_name(target) == name
+                    ):
+                        return True
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _MUTATING_METHODS
+                and _root_name(node.func.value) == name
+            ):
+                return True
+        return False
 
     def _record_call(self, node: ast.Call) -> None:
         func = node.func
@@ -355,11 +625,22 @@ def compute_effects(index: ProjectIndex, graph: CallGraph) -> EffectMap:
     """Direct effects + Kleene fixed-point propagation over sync edges."""
     direct: dict[str, _DirectEffects] = {}
     boundary_calls: list[BoundaryCall] = []
+    global_sites: list[GlobalWrite] = []
+    inventories: dict[str, _ModuleGlobals] = {}
     for qualname, fn in sorted(index.functions.items()):
-        de = _DirectEffects(index, fn)
+        inv = inventories.get(fn.module)
+        if inv is None:
+            mod = index.modules.get(fn.module)
+            inv = (
+                _module_globals(mod) if mod is not None
+                else _ModuleGlobals(frozenset(), frozenset())
+            )
+            inventories[fn.module] = inv
+        de = _DirectEffects(index, fn, inv)
         de.collect()
         direct[qualname] = de
         boundary_calls.extend(de.boundary_calls)
+        global_sites.extend(de.global_sites)
 
     writes: dict[str, frozenset[WriteRecord]] = {
         q: frozenset(d.writes) for q, d in direct.items()
@@ -435,6 +716,7 @@ def compute_effects(index: ProjectIndex, graph: CallGraph) -> EffectMap:
     return EffectMap(
         summaries=summaries,
         boundary_calls=boundary_calls,
+        global_sites=global_sites,
         digest=project_digest(index),
         iterations=iterations,
     )
@@ -487,6 +769,10 @@ def load_or_compute_effects(
                         BoundaryCall.from_dict(b)
                         for b in data["boundary_calls"]
                     ],
+                    global_sites=[
+                        GlobalWrite.from_dict(g)
+                        for g in data["global_sites"]
+                    ],
                     digest=digest,
                     iterations=data.get("iterations", 0),
                 )
@@ -508,6 +794,9 @@ def load_or_compute_effects(
                         },
                         "boundary_calls": [
                             b.as_dict() for b in effects.boundary_calls
+                        ],
+                        "global_sites": [
+                            g.as_dict() for g in effects.global_sites
                         ],
                     },
                     indent=1,

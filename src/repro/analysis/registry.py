@@ -1,0 +1,134 @@
+"""Unified SIM rule registry and CLI rule selection.
+
+Every lint rule the driver can emit, grouped by the pass that computes
+it.  ``repro lint --select SIM4 --ignore SIM203`` style selection
+resolves here: tokens are rule-id prefixes (``SIM4`` -> SIM401–SIM404,
+``SIM203`` -> itself) or group keys (``shards``), and the legacy
+``--shards`` / ``--snapshots`` flags are sugar that adds the matching
+group on top of the defaults.  A token matching nothing is an error —
+a typo silently selecting zero rules would read as "clean".
+
+SIM999 (file does not parse) is always active: a parse failure
+undermines every other pass, so deselecting it can only hide findings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.purity import PURITY_RULES
+from repro.analysis.shards import SHARD_RULES
+from repro.analysis.simlint import RULES
+from repro.analysis.snapshots import SNAPSHOT_RULES
+from repro.analysis.units import UNIT_RULES
+
+__all__ = [
+    "ALL_RULES",
+    "RULE_GROUPS",
+    "RuleGroup",
+    "expand_selection",
+    "resolve_active_rules",
+]
+
+
+@dataclass(frozen=True)
+class RuleGroup:
+    """One lint pass and the rules it emits."""
+
+    key: str  # selection token (``--select shards``)
+    title: str
+    rules: tuple[str, ...]
+    #: Enabled with no ``--select`` and no flag.
+    default: bool
+    #: CLI flag that adds this group over the defaults, if any.
+    flag: str | None = None
+
+
+RULE_GROUPS: tuple[RuleGroup, ...] = (
+    RuleGroup(
+        "core", "per-file determinism rules", tuple(sorted(RULES)), True
+    ),
+    RuleGroup(
+        "units", "units-of-measure dataflow", tuple(sorted(UNIT_RULES)), True
+    ),
+    RuleGroup(
+        "purity", "event-callback purity", tuple(sorted(PURITY_RULES)), True
+    ),
+    RuleGroup(
+        "shards", "shard safety (effect summaries)",
+        tuple(sorted(SHARD_RULES)), False, flag="--shards",
+    ),
+    RuleGroup(
+        "snapshots", "snapshot safety (checkpointability)",
+        tuple(sorted(SNAPSHOT_RULES)), False, flag="--snapshots",
+    ),
+)
+
+#: Every rule the whole-program driver can emit.
+ALL_RULES: dict[str, str] = {
+    **RULES, **UNIT_RULES, **PURITY_RULES, **SHARD_RULES, **SNAPSHOT_RULES
+}
+
+_GROUPS_BY_KEY = {g.key: g for g in RULE_GROUPS}
+
+
+def expand_selection(tokens: list[str]) -> frozenset[str]:
+    """Rule ids matching the given tokens (comma-splittable).
+
+    A token is a group key (``snapshots``) or a rule-id prefix
+    (``SIM4``, ``sim203``).  Raises ``ValueError`` on a token that
+    matches nothing.
+    """
+    out: set[str] = set()
+    for raw in tokens:
+        for token in raw.split(","):
+            token = token.strip()
+            if not token:
+                continue
+            group = _GROUPS_BY_KEY.get(token.lower())
+            if group is not None:
+                out.update(group.rules)
+                continue
+            prefix = token.upper()
+            matches = {r for r in ALL_RULES if r.startswith(prefix)}
+            if not matches:
+                raise ValueError(
+                    f"rule selector {token!r} matches no SIM rule or group "
+                    f"(groups: {', '.join(sorted(_GROUPS_BY_KEY))})"
+                )
+            out.update(matches)
+    return frozenset(out)
+
+
+def resolve_active_rules(
+    *,
+    select: list[str] | None = None,
+    ignore: list[str] | None = None,
+    shards: bool = False,
+    snapshots: bool = False,
+) -> frozenset[str]:
+    """The rule set one lint run should emit.
+
+    Without ``select``, the default groups run, plus any group whose
+    sugar flag (``shards`` / ``snapshots``) is set.  With ``select``,
+    only the selection runs — the flags still add their group, so
+    ``--select SIM001 --shards`` means SIM001 + SIM301–304.  ``ignore``
+    is subtracted last and wins.  SIM999 is never deselectable.
+    """
+    if select:
+        active = set(expand_selection(select))
+    else:
+        active = {
+            rule
+            for group in RULE_GROUPS
+            if group.default
+            for rule in group.rules
+        }
+    if shards:
+        active.update(_GROUPS_BY_KEY["shards"].rules)
+    if snapshots:
+        active.update(_GROUPS_BY_KEY["snapshots"].rules)
+    if ignore:
+        active -= expand_selection(ignore)
+    active.add("SIM999")
+    return frozenset(active)

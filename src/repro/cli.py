@@ -247,9 +247,37 @@ def cmd_replay_failure(args) -> int:
     try:
         report = replay_failure(args.recipe, until=args.until)
     except CheckpointError as err:
+        if args.json:
+            print(
+                _json.dumps(
+                    {
+                        "error": {
+                            "kind": "checkpoint",
+                            "reason": err.reason,
+                            "detail": err.detail,
+                        }
+                    },
+                    indent=1,
+                    sort_keys=True,
+                )
+            )
         print(f"replay-failure: {err}", file=sys.stderr)
         return 2
     except FileNotFoundError as err:
+        if args.json:
+            print(
+                _json.dumps(
+                    {
+                        "error": {
+                            "kind": "missing-recipe",
+                            "reason": "missing-recipe",
+                            "detail": str(err),
+                        }
+                    },
+                    indent=1,
+                    sort_keys=True,
+                )
+            )
         print(f"replay-failure: {err}", file=sys.stderr)
         return 2
     if args.json:
@@ -283,11 +311,13 @@ def cmd_lint(args) -> int:
 
     Per-file determinism rules (SIM001–SIM005), units-of-measure
     dataflow (SIM101–SIM104), and event-callback purity (SIM201–SIM203)
-    in one pass — plus, with ``--shards``, the interprocedural effect
-    pass and the shard-safety rules (SIM301–SIM304) — minus the
-    checked-in baseline.  Exit status: 0 = clean (no *new* findings,
-    no twice-stale baseline entries, within the time budget),
-    1 otherwise.
+    in one pass — plus, with ``--shards`` / ``--snapshots``, the
+    interprocedural effect pass and the shard-safety (SIM301–SIM304) /
+    snapshot-safety (SIM401–SIM404) rules — minus the checked-in
+    baseline.  ``--select`` / ``--ignore`` narrow the rule set by
+    rule-id prefix or group key.  Exit status: 0 = clean (no *new*
+    findings, no twice-stale baseline entries, within the time budget),
+    1 = findings, 2 = bad rule selector.
     """
     from pathlib import Path
 
@@ -303,14 +333,21 @@ def cmd_lint(args) -> int:
     else:
         baseline_path = DEFAULT_BASELINE_PATH
 
-    report = lint_project(
-        args.paths,
-        baseline_path=baseline_path,
-        update_baseline=args.update_baseline,
-        cache_path=Path(args.cache) if args.cache else None,
-        shards=args.shards,
-        prune_baseline=args.prune_baseline,
-    )
+    try:
+        report = lint_project(
+            args.paths,
+            baseline_path=baseline_path,
+            update_baseline=args.update_baseline,
+            cache_path=Path(args.cache) if args.cache else None,
+            shards=args.shards,
+            prune_baseline=args.prune_baseline,
+            snapshots=args.snapshots,
+            select=args.select,
+            ignore=args.ignore,
+        )
+    except ValueError as err:
+        print(f"simlint: {err}", file=sys.stderr)
+        return 2
     if args.format == "sarif":
         out = to_sarif(report.violations, ALL_RULES).rstrip("\n")
     else:
@@ -448,7 +485,8 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "lint",
         help="whole-program simulation linter (SIM001-005, SIM101-104, "
-        "SIM201-203; --shards adds SIM301-304)",
+        "SIM201-203; --shards adds SIM301-304, --snapshots adds "
+        "SIM401-404, --select/--ignore pick rules)",
     )
     p.add_argument(
         "paths", nargs="+", help="files or directories to lint (e.g. src)"
@@ -464,6 +502,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the interprocedural effect/escape pass and the "
         "shard-safety rules SIM301-304 (effect summaries cached as "
         "effects.json beside the AST cache)",
+    )
+    p.add_argument(
+        "--snapshots", action="store_true",
+        help="run the snapshot-safety rules SIM401-404 (checkpoint "
+        "picklability, root-set completeness, manifest/reducer drift, "
+        "restore-order typestate; findings cached as snapshots.json "
+        "beside the AST cache)",
+    )
+    p.add_argument(
+        "--select", action="append", default=None, metavar="RULES",
+        help="only run rules matching these comma-separated rule-id "
+        "prefixes or group keys (e.g. 'SIM4', 'SIM203', 'shards'); "
+        "repeatable; --shards/--snapshots add their group on top",
+    )
+    p.add_argument(
+        "--ignore", action="append", default=None, metavar="RULES",
+        help="drop rules matching these selectors after --select "
+        "(same syntax); SIM999 cannot be ignored",
     )
     p.add_argument(
         "--prune-baseline", action="store_true",

@@ -45,6 +45,47 @@ class _MonitoredFeed:
         self.driver.submit(req, now_ns=self.sim.now)
 
 
+class _SRCAdjuster:
+    """One scheduled SRC weight adjustment (slotted module class instead
+    of a per-event closure so pending adjustments stay
+    checkpoint-picklable)."""
+
+    __slots__ = ("sim", "monitor", "driver", "tpm", "tau", "outcomes", "event")
+
+    def __init__(
+        self,
+        sim: Simulator,
+        monitor: WorkloadMonitor,
+        driver: SSQDriver,
+        tpm: ThroughputPredictionModel,
+        tau: float,
+        outcomes: list["AdjustmentOutcome"],
+        event: CongestionEvent,
+    ) -> None:
+        self.sim = sim
+        self.monitor = monitor
+        self.driver = driver
+        self.tpm = tpm
+        self.tau = tau
+        self.outcomes = outcomes
+        self.event = event
+
+    def apply(self) -> None:
+        if self.monitor.in_window(self.sim.now) >= 2:
+            features = self.monitor.features(self.sim.now)
+            w = predict_weight_ratio(
+                self.tpm, self.event.demanded_rate_gbps, features, tau=self.tau
+            )
+        else:
+            w = 1
+        self.driver.set_weights(1, w, now_ns=self.sim.now)
+        self.outcomes.append(
+            AdjustmentOutcome(
+                event=self.event, weight_ratio=w, convergence_delay_ns=-1
+            )
+        )
+
+
 @dataclass
 class AdjustmentOutcome:
     """What happened at one congestion event."""
@@ -104,18 +145,8 @@ def run_dynamic_control(
     outcomes: list[AdjustmentOutcome] = []
 
     for event in events:
-        def apply(ev=event):
-            if monitor.in_window(sim.now) >= 2:
-                features = monitor.features(sim.now)
-                w = predict_weight_ratio(tpm, ev.demanded_rate_gbps, features, tau=tau)
-            else:
-                w = 1
-            driver.set_weights(1, w, now_ns=sim.now)
-            outcomes.append(
-                AdjustmentOutcome(event=ev, weight_ratio=w, convergence_delay_ns=-1)
-            )
-
-        sim.schedule_at(event.time_ns, apply)
+        adjuster = _SRCAdjuster(sim, monitor, driver, tpm, tau, outcomes, event)
+        sim.schedule_at(event.time_ns, adjuster.apply)
 
     end = duration_ns if duration_ns is not None else trace[-1].arrival_ns
     sim.run(until=end)

@@ -1,0 +1,24 @@
+"""Fixture: SIM401 — heap callbacks the checkpoint pickler cannot
+re-bind: a lambda at a schedule site, and a ``functools.partial``
+capturing an open file."""
+# simlint: package=repro.net.switch
+from functools import partial
+
+
+class Switch:
+    __slots__ = ("sim", "backlog")
+
+    def __init__(self, sim) -> None:
+        self.sim = sim
+        self.backlog = 0
+
+    def start(self) -> None:
+        self.sim.schedule(2, lambda: self._drain())
+        sink = open("/tmp/switch.log", "w")
+        self.sim.schedule(4, partial(self._note, sink))
+
+    def _drain(self) -> None:
+        self.backlog = 0
+
+    def _note(self, sink) -> None:
+        self.backlog += 1

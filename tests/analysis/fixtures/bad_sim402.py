@@ -1,0 +1,33 @@
+"""Fixture: SIM402 — simulation state outside the ``{sim, world,
+counters}`` checkpoint root set, written from dispatch-reachable code:
+a raw ``itertools.count`` stream, a module-level dict, a class
+attribute, and a mutable default-argument cache."""
+# simlint: package=repro.net.switch
+from itertools import count
+
+_EVENT_LOG: dict[int, int] = {}
+_ids = count()
+
+
+class Switch:
+    __slots__ = ("sim",)
+
+    generation = 0
+
+    def __init__(self, sim) -> None:
+        self.sim = sim
+
+    def start(self) -> None:
+        self.sim.schedule(2, self._drain)
+        self.sim.schedule(2, self._mark)
+        self.sim.schedule(2, self._route)
+
+    def _drain(self) -> None:
+        eid = next(_ids)
+        _EVENT_LOG[eid] = 1
+
+    def _mark(self) -> None:
+        Switch.generation += 1
+
+    def _route(self, cache={}) -> None:
+        cache[0] = 1

@@ -1,0 +1,35 @@
+"""Fixture: SIM403 — manifest & reducer drift: ``Rogue`` puts its
+bound methods on the event heap without being declared in the
+checkpoint manifest, and ``Switch`` (declared) defines a
+``__getstate__`` hook the checkpoint pickler would diverge on."""
+# simlint: package=repro.net.switch
+
+
+class Rogue:
+    __slots__ = ("sim",)
+
+    def __init__(self, sim) -> None:
+        self.sim = sim
+
+    def start(self) -> None:
+        self.sim.schedule(2, self._tick)
+
+    def _tick(self) -> None:
+        self.start()
+
+
+class Switch:
+    __slots__ = ("sim", "backlog")
+
+    def __init__(self, sim) -> None:
+        self.sim = sim
+        self.backlog = 0
+
+    def start(self) -> None:
+        self.sim.schedule(2, self._drain)
+
+    def _drain(self) -> None:
+        self.backlog = 0
+
+    def __getstate__(self):
+        return {"backlog": self.backlog}

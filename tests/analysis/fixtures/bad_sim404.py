@@ -1,0 +1,36 @@
+"""Fixture: SIM404 — checkpoint lifecycle misuse: manual ``Simulator``
+construction beside ``resume_or_start``, ``load`` lexically before
+``save`` (clobbering the checkpoint being read), a direct
+``restore_counters`` call, and a ``failure.json`` recipe consumed
+outside a replay entry point."""
+# simlint: package=repro.experiments.capacity
+import json
+from pathlib import Path
+
+from repro.sim.checkpoint import load, resume_or_start, save
+from repro.sim.engine import Simulator
+from repro.sim.serial import restore_counters
+
+
+def build():
+    return Simulator(), {}
+
+
+def resume_with_manual_sim(directory):
+    probe = Simulator()
+    sim, world = resume_or_start(directory, build)
+    return probe, sim, world
+
+
+def clobber_roundtrip(path):
+    sim, world = load(path)
+    save(path, sim, world)
+    return sim
+
+
+def adopt_counters(counters):
+    restore_counters(counters)
+
+
+def inspect_recipe(directory):
+    return json.loads(Path(directory, "failure.json").read_text())

@@ -1,0 +1,23 @@
+"""Fixture: SIM401 clean — bound-method callbacks (re-bindable by
+``__func__`` identity through the MRO) and a ``functools.partial``
+over picklable captures only."""
+# simlint: package=repro.net.switch
+from functools import partial
+
+
+class Switch:
+    __slots__ = ("sim", "backlog")
+
+    def __init__(self, sim) -> None:
+        self.sim = sim
+        self.backlog = 0
+
+    def start(self) -> None:
+        self.sim.schedule(2, self._drain)
+        self.sim.schedule(4, partial(self._note, 7))
+
+    def _drain(self) -> None:
+        self.backlog = 0
+
+    def _note(self, amount) -> None:
+        self.backlog += amount

@@ -1,0 +1,21 @@
+"""Fixture: SIM402 clean — ids flow through a registry-named
+:class:`~repro.sim.serial.SerialCounter` (checkpointed out of band)
+and per-event state lives on the instance, inside the root set."""
+# simlint: package=repro.net.switch
+from repro.sim.serial import SerialCounter
+
+_ids = SerialCounter("switch.fixture")
+
+
+class Switch:
+    __slots__ = ("sim", "log")
+
+    def __init__(self, sim) -> None:
+        self.sim = sim
+        self.log = {}
+
+    def start(self) -> None:
+        self.sim.schedule(2, self._drain)
+
+    def _drain(self) -> None:
+        self.log[next(_ids)] = 1

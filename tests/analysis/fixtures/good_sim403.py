@@ -1,0 +1,17 @@
+"""Fixture: SIM403 clean — the only class owning heap callbacks is
+``Switch``, declared in ``COMPONENT_CLASSES``, with no pickle hooks."""
+# simlint: package=repro.net.switch
+
+
+class Switch:
+    __slots__ = ("sim", "backlog")
+
+    def __init__(self, sim) -> None:
+        self.sim = sim
+        self.backlog = 0
+
+    def start(self) -> None:
+        self.sim.schedule(2, self._drain)
+
+    def _drain(self) -> None:
+        self.backlog = 0

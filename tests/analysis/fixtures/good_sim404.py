@@ -1,0 +1,25 @@
+"""Fixture: SIM404 clean — the Simulator is constructed inside the
+``build`` factory handed to ``resume_or_start``, save precedes load,
+and the failure recipe is consumed by a replay entry point."""
+# simlint: package=repro.experiments.capacity
+import json
+from pathlib import Path
+
+from repro.sim.checkpoint import load, resume_or_start, save
+from repro.sim.engine import Simulator
+
+
+def resume(directory):
+    def build():
+        return Simulator(), {}
+
+    return resume_or_start(directory, build)
+
+
+def roundtrip(path, sim, world):
+    save(path, sim, world)
+    return load(path)
+
+
+def replay_from_recipe(directory):
+    return json.loads(Path(directory, "failure.json").read_text())

@@ -1,0 +1,45 @@
+"""Mutation gate: a fixture-copy revert of the representative PR-9
+closure-free refactor in ``repro.net.nic`` — a lambda back at a
+schedule site (line 32) and flow ids drawn from a raw
+``itertools.count`` stream (line 35).  The snapshot analyzer must flag
+exactly SIM401 at the lambda and SIM402 at the ``next()`` — this is
+the regression that would silently break every checkpoint restore.
+
+The stub classes exist only to satisfy the ``repro.net.nic`` slots
+manifest."""
+# simlint: package=repro.net.nic
+from itertools import count
+
+_flow_ids = count()
+
+
+class _Message:
+    __slots__ = ()
+
+
+class _FlowRateFan:
+    __slots__ = ()
+
+
+class Flow:
+    __slots__ = ("sim", "nic")
+
+    def __init__(self, sim, nic) -> None:
+        self.sim = sim
+        self.nic = nic
+
+    def start(self) -> None:
+        self.sim.schedule_anon(3, lambda: self.pump())
+
+    def pump(self) -> None:
+        self.nic.admit(next(_flow_ids))
+
+
+class NIC:
+    __slots__ = ("queue",)
+
+    def __init__(self) -> None:
+        self.queue = []
+
+    def admit(self, flow_id) -> None:
+        self.queue.append(flow_id)

@@ -270,17 +270,21 @@ def _corrupt_link(link):
     link._queued_bytes = -7
 
 
+def _violating_run(tmp_path):
+    sim = Simulator(sanitize=True)
+    sim, net = build_incast_cell(sim=sim, **CELL)
+    link = next(iter(net.iter_links()))
+    sim.schedule_at_anon(250_000, _corrupt_link, link)
+    with pytest.raises(SanitizerError) as exc:
+        ck.run_with_checkpoints(
+            sim, net, until=UNTIL, directory=tmp_path, every=500, scenario=CELL
+        )
+    return exc.value
+
+
 class TestFailureReplay:
     def _violating_run(self, tmp_path):
-        sim = Simulator(sanitize=True)
-        sim, net = build_incast_cell(sim=sim, **CELL)
-        link = next(iter(net.iter_links()))
-        sim.schedule_at_anon(250_000, _corrupt_link, link)
-        with pytest.raises(SanitizerError) as exc:
-            ck.run_with_checkpoints(
-                sim, net, until=UNTIL, directory=tmp_path, every=500, scenario=CELL
-            )
-        return exc.value
+        return _violating_run(tmp_path)
 
     def test_sanitizer_error_dumps_recipe(self, tmp_path):
         err = self._violating_run(tmp_path)
@@ -316,3 +320,67 @@ class TestFailureReplay:
         assert main(["replay-failure", str(tmp_path), "--json"]) == 0
         report = json.loads(capsys.readouterr().out)
         assert report["reproduced"] is True
+
+
+class TestReplayFailureErrorPaths:
+    """The replay CLI must fail loudly — exit 2 plus a structured
+    ``--json`` error object — on every broken-input path."""
+
+    def _rewrite_checkpoint_header(self, ckpt: Path, **overrides) -> None:
+        raw = ckpt.read_bytes()
+        header_line, payload = raw.split(b"\n", 1)
+        header = json.loads(header_line)
+        header.update(overrides)
+        ckpt.write_bytes(
+            json.dumps(header, sort_keys=True).encode() + b"\n" + payload
+        )
+
+    def test_missing_recipe_exits_2_with_structured_error(
+        self, tmp_path, capsys
+    ):
+        from repro.cli import main
+
+        assert main(["replay-failure", str(tmp_path), "--json"]) == 2
+        captured = capsys.readouterr()
+        error = json.loads(captured.out)["error"]
+        assert error["kind"] == "missing-recipe"
+        assert error["reason"] == "missing-recipe"
+        assert "failure.json" in error["detail"]
+        assert "replay-failure:" in captured.err
+
+    def test_corrupt_payload_exits_2_with_reason(self, tmp_path, capsys):
+        from repro.cli import main
+
+        err = _violating_run(tmp_path)
+        recipe = json.loads(Path(err.replay_recipe).read_text())
+        ckpt = Path(recipe["checkpoint"])
+        raw = bytearray(ckpt.read_bytes())
+        raw[-10] ^= 0xFF
+        ckpt.write_bytes(bytes(raw))
+
+        with pytest.raises(ck.CheckpointError) as exc:
+            ck.replay_failure(err.replay_recipe)
+        assert exc.value.reason == "payload-corrupt"
+
+        assert main(["replay-failure", err.replay_recipe, "--json"]) == 2
+        captured = capsys.readouterr()
+        error = json.loads(captured.out)["error"]
+        assert error["kind"] == "checkpoint"
+        assert error["reason"] == "payload-corrupt"
+        assert "replay-failure:" in captured.err
+
+    def test_schema_mismatch_exits_2_with_reason(self, tmp_path, capsys):
+        from repro.cli import main
+
+        err = _violating_run(tmp_path)
+        recipe = json.loads(Path(err.replay_recipe).read_text())
+        self._rewrite_checkpoint_header(
+            Path(recipe["checkpoint"]), schema=ck.CKPT_SCHEMA + 1
+        )
+
+        assert main(["replay-failure", err.replay_recipe, "--json"]) == 2
+        captured = capsys.readouterr()
+        error = json.loads(captured.out)["error"]
+        assert error["kind"] == "checkpoint"
+        assert error["reason"] == "schema-mismatch"
+        assert "replay-failure:" in captured.err

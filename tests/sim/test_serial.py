@@ -1,0 +1,108 @@
+"""SerialCounter: snapshot/rewind semantics, ``_PENDING`` adoption,
+registry aliasing — including a Hypothesis property over interleaved
+``next()`` / ``snapshot_counters`` / ``restore_counters`` sequences."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import serial
+from repro.sim.serial import (
+    SerialCounter,
+    restore_counters,
+    snapshot_counters,
+)
+
+_NAME = "test.serial.prop"
+
+
+def _scrub(*names: str) -> None:
+    for name in names:
+        serial._REGISTRY.pop(name, None)
+        serial._PENDING.pop(name, None)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    start=st.integers(min_value=0, max_value=1_000),
+    ops=st.lists(
+        st.sampled_from(["next", "snapshot", "restore"]), max_size=40
+    ),
+)
+def test_interleaved_snapshot_restore_tracks_a_pure_model(start, ops):
+    """Property: against any interleaving, the counter equals a pure
+    integer model — ``restore`` is an exact rewind to the last
+    snapshot, never an approximation."""
+    try:
+        counter = SerialCounter(_NAME, start=start)
+        model = start
+        saved: int | None = None
+        for op in ops:
+            if op == "next":
+                assert next(counter) == model
+                model += 1
+            elif op == "snapshot":
+                snap = snapshot_counters()
+                assert snap[_NAME] == model
+                saved = model
+            elif saved is not None:  # restore (no-op before a snapshot)
+                restore_counters({_NAME: saved})
+                model = saved
+        assert counter.value == model
+    finally:
+        _scrub(_NAME)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    parked=st.integers(min_value=0, max_value=10**6),
+    start=st.integers(min_value=0, max_value=100),
+)
+def test_pending_position_is_adopted_at_registration(parked, start):
+    """A restore that arrives before the owning module registers its
+    counter parks the position in ``_PENDING``; registration adopts it
+    and the declared ``start`` is ignored."""
+    name = "test.serial.pending"
+    try:
+        restore_counters({name: parked})
+        assert serial._PENDING[name] == parked
+        counter = SerialCounter(name, start=start)
+        assert name not in serial._PENDING
+        assert next(counter) == parked
+        assert counter.value == parked + 1
+    finally:
+        _scrub(name)
+
+
+def test_duplicate_name_is_rejected():
+    name = "test.serial.dup"
+    try:
+        SerialCounter(name)
+        with pytest.raises(ValueError, match="duplicate"):
+            SerialCounter(name)
+    finally:
+        _scrub(name)
+
+
+def test_restore_leaves_unknown_counters_untouched():
+    name = "test.serial.untouched"
+    try:
+        counter = SerialCounter(name, start=5)
+        restore_counters({})  # nothing for this counter
+        assert counter.value == 5
+    finally:
+        _scrub(name)
+
+
+def test_pickle_aliases_the_registry_instance():
+    name = "test.serial.alias"
+    try:
+        counter = SerialCounter(name, start=3)
+        clone = pickle.loads(pickle.dumps(counter))
+        assert clone is counter  # __reduce__ resolves by name
+    finally:
+        _scrub(name)
